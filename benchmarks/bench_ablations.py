@@ -1,0 +1,32 @@
+"""Ablation benches for the design choices listed in DESIGN.md Sec. 5.
+
+These quantify decisions the paper fixes without ablating: the squared
+idf of Eq. 1, the absence of score normalization in Eq. 3, the linear
+[0.5, 1] distance decay of wr, and the α-blend itself.
+"""
+
+from repro.experiments import ablations
+
+
+def bench_ablations(benchmark, ctx, save_result):
+    result = benchmark.pedantic(ablations.run, args=(ctx,), rounds=1, iterations=1)
+    save_result("ablations", result.render())
+
+    paper = result.table["paper"]
+
+    # every variant is a valid configuration producing bounded metrics
+    for summary in result.table.values():
+        for value in summary.as_row():
+            assert 0.0 <= value <= 1.0
+
+    # normalizing Eq. 3 by resource count destroys the volume signal the
+    # paper relies on ("direct correlation between the number of
+    # resources … and the potential expertise")
+    assert result.table["normalized scores"].map < paper.map
+
+    # removing the window entirely should not beat the paper's windowed
+    # setting by a large margin (the window mostly trims noise)
+    assert result.table["no window"].map < paper.map + 0.1
+
+    # the blended α=0.6 is at least as good as the entity-only extreme
+    assert paper.map >= result.table["entities only (α=0)"].map - 0.02

@@ -1,0 +1,31 @@
+"""Fig. 10 — trustworthiness of social information.
+
+Regenerates the per-candidate F1 / resource-count scatter and its
+regression, and checks the paper's reading: prediction quality
+correlates positively with the amount of exposed social information,
+several users are essentially unrecoverable (the flagship/private
+accounts), and a solid group exceeds F1 = 0.7.
+"""
+
+from repro.experiments import fig10_trust
+
+
+def bench_fig10_trust(benchmark, ctx, save_result):
+    result = benchmark.pedantic(fig10_trust.run, args=(ctx,), rounds=1, iterations=1)
+    save_result("fig10_trust", result.render())
+
+    # paper shape: positive correlation between available resources and
+    # assessment quality
+    assert result.regression_slope > 0.0
+    assert result.pearson_r > 0.1
+
+    # paper shape: some candidates are deemed (nearly) completely
+    # unreliable — the generator plants ~20% low-exposure users
+    assert result.count_unreliable(0.1) >= 2
+
+    # paper shape: several candidates are assessed well
+    assert result.count_above(0.70) >= 3
+
+    # about half the users sit above the mean F1 (median near average)
+    above_avg = sum(1 for u in result.users if u.f1 > result.average_f1)
+    assert 0.2 * len(result.users) <= above_avg <= 0.8 * len(result.users)

@@ -1,0 +1,26 @@
+"""Fig. 11 — differential number of retrieved experts.
+
+Regenerates the per-query Δ(retrieved − expected experts) series for
+distances 0, 1, 2 and checks the paper's reading: the amount of
+considered resources (growing with distance) drives the system's
+ability to retrieve experts — strongly negative Δ at distance 0,
+rising with distance.
+"""
+
+from repro.experiments import fig11_delta
+
+
+def bench_fig11_delta(benchmark, ctx, save_result):
+    result = benchmark.pedantic(fig11_delta.run, args=(ctx,), rounds=1, iterations=1)
+    save_result("fig11_delta", result.render())
+
+    # paper shape: average Δ grows with the resource distance
+    assert result.average_delta(0) < result.average_delta(1)
+    assert result.average_delta(1) <= result.average_delta(2)
+
+    # distance 0 under-retrieves badly: profiles barely match queries
+    assert result.average_delta(0) < 0
+
+    # at distance 2 a number of queries over-retrieve (the paper notes 5
+    # clearly over-represented queries) while some still under-retrieve
+    assert result.over_represented(2) >= 1

@@ -1,0 +1,28 @@
+"""Fig. 7 — α sensitivity sweep.
+
+Regenerates the metric curves over α ∈ [0, 1] at distances 0, 1, 2
+(window = 100) and checks the paper's shape: entity-only matching
+(α = 0) collapses at distance 0, and the metrics are stable on the
+α ∈ [0.3, 0.8] plateau the paper reads off before fixing α = 0.6.
+"""
+
+from repro.experiments import fig7_alpha
+
+
+def bench_fig7_alpha(benchmark, ctx, save_result):
+    result = benchmark.pedantic(fig7_alpha.run, args=(ctx,), rounds=1, iterations=1)
+    save_result("fig7_alpha", result.render())
+
+    # paper shape: α = 0 (entities only) greatly decreases effectiveness
+    # at distance 0 — profiles yield few, poorly disambiguated entities
+    d0 = result.sweeps[0]
+    assert d0[0.0].map < max(s.map for s in d0.values()) * 0.75
+
+    # paper shape: metrics are stable for α in [0.3, 0.8]
+    for distance in (1, 2):
+        assert result.plateau_spread("map", distance) < 0.10
+        assert result.plateau_spread("ndcg", distance) < 0.10
+
+    # distance 2 dominates distance 0 across the whole α range
+    for alpha, summary in result.sweeps[2].items():
+        assert summary.map >= result.sweeps[0][alpha].map

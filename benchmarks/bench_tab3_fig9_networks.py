@@ -1,0 +1,52 @@
+"""Table 3 + Fig. 9 — contribution of resource distance and network.
+
+Regenerates the {All, FB, TW, LI} × distance {0, 1, 2} grid (window =
+100, α = 0.6) against the random baseline and checks the paper's
+headline findings:
+
+1. profiles alone (distance 0) are *worse than random selection*;
+2. adding social behaviour (distances 1 and 2) beats random decisively;
+3. Twitter at distance 2 is the strongest single-network configuration
+   on MAP;
+4. LinkedIn is the weakest network at behavioural distances.
+"""
+
+from repro.experiments import tab3_fig9_networks
+
+
+def bench_tab3_fig9_networks(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        tab3_fig9_networks.run, args=(ctx,), rounds=1, iterations=1
+    )
+    save_result("tab3_fig9_networks", result.render())
+    random_map = result.baseline.map
+
+    # (1) distance 0 below random — "profiles alone are inadequate"
+    assert result.summary("All", 0).map < random_map
+
+    # (2) behaviour beats random, and distance 2 is the best "All" row
+    assert result.summary("All", 1).map > random_map
+    assert result.summary("All", 2).map > random_map
+    assert result.summary("All", 2).map > result.summary("All", 1).map
+
+    # (3) Twitter@2 best single network on MAP, and at worst a hair
+    # behind on NDCG (the paper has it leading 3 of 4 metrics)
+    tw2 = result.summary("TW", 2)
+    assert tw2.map >= result.summary("FB", 2).map
+    assert tw2.map >= result.summary("LI", 2).map
+    assert tw2.ndcg >= 0.95 * result.summary("FB", 2).ndcg
+    assert tw2.ndcg >= result.summary("LI", 2).ndcg
+
+    # (4) LinkedIn weakest at distances 1 and 2
+    for distance in (1, 2):
+        li = result.summary("LI", distance).map
+        assert li <= result.summary("FB", distance).map
+        assert li <= result.summary("TW", distance).map
+
+    # Fig. 9: the distance-2 11-point curve dominates the distance-0 one
+    d0_curve = result.eleven_point_all[0]
+    d2_curve = result.eleven_point_all[2]
+    assert sum(d2_curve) > sum(d0_curve)
+    # DCG curves are monotone in the cut-off
+    for curve in result.dcg_all.values():
+        assert list(curve) == sorted(curve)

@@ -1,0 +1,35 @@
+"""Benchmark fixtures.
+
+The dataset (SMALL by default — 40 people, ~15k resources; override
+with ``REPRO_SCALE=tiny|small|paper``) is built once per session and
+shared by every benchmark. Rendered paper-style tables are written to
+``benchmarks/results/`` as each experiment completes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.context import ExperimentContext, scale_from_env
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext.create(scale_from_env())
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Write an experiment's rendered text to benchmarks/results/."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

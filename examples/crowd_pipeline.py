@@ -1,0 +1,85 @@
+"""End-to-end crowd pipeline: find experts, form a team, pick a jury,
+route the question.
+
+Chains the paper's expert finder with the crowd-selection applications
+its introduction and related work describe: the Expert Team Formation
+problem (Lappas et al.), the Jury Selection Problem (Cao et al.), and
+crowd-search question routing with availability models.
+
+    python examples/crowd_pipeline.py
+"""
+
+import networkx as nx
+
+from repro import DatasetScale, FinderConfig, Platform, build_dataset
+from repro.crowd.jury import JurySelector
+from repro.crowd.routing import QuestionRouter, default_contact_models
+from repro.crowd.team_formation import TeamFormation
+from repro.evaluation.runner import ExperimentRunner
+
+
+def main() -> None:
+    dataset = build_dataset(DatasetScale.TINY, seed=7)
+    runner = ExperimentRunner(dataset)
+    finder = runner.finder(None, FinderConfig())
+    names = {p.person_id: p.name for p in dataset.people}
+
+    # 1. expert finding — who knows what?
+    question = "Which team has won the most Champions League titles, Real Madrid or AC Milan?"
+    ranked = finder.find_experts(question, top_k=5)
+    print(f"Q: {question}")
+    print("top experts:", ", ".join(f"{names[e.candidate_id]}" for e in ranked))
+
+    # 2. team formation — cover a multi-domain task with a tight team
+    task_domains = ("sport", "computer_engineering", "music")
+    skills: dict[str, set[str]] = {}
+    for domain in task_domains:
+        domain_query = next(q for q in dataset.queries if q.domain == domain)
+        for expert in finder.find_experts(domain_query, top_k=5):
+            skills.setdefault(expert.candidate_id, set()).add(domain)
+    graph = nx.Graph()
+    graph.add_nodes_from(skills)
+    fb = dataset.graphs[Platform.FACEBOOK]
+    fb_to_person = {
+        profiles[Platform.FACEBOOK]: person
+        for person, profiles in dataset.networks.profile_ids.items()
+    }
+    for fb_id, person in fb_to_person.items():
+        for friend in fb.friends_of(fb_id):
+            other = fb_to_person.get(friend)
+            if other and person in skills and other in skills:
+                graph.add_edge(person, other)
+    formation = TeamFormation(skills, graph)
+    team = formation.greedy_cover(task_domains)
+    print(
+        f"\ntask needs {task_domains}: team = "
+        f"{{{', '.join(sorted(names[m] for m in team.members))}}}"
+        f" (diameter {team.diameter_cost:.0f}, mst {team.mst_cost:.0f})"
+    )
+
+    # 3. jury selection — a sport decision by majority vote
+    likert = {
+        pid: dataset.ground_truth.likert(pid, "sport") for pid in dataset.person_ids
+    }
+    jury = JurySelector.from_expertise(likert).select(max_size=5)
+    print(
+        f"\nsport jury: {', '.join(names[m] for m in jury.members)}"
+        f" → majority error rate {jury.jury_error_rate:.3f}"
+    )
+
+    # 4. question routing — whom to contact, and how
+    router = QuestionRouter(default_contact_models(dataset.person_ids, seed=7))
+    print("\nrouting strategies for the top experts:")
+    for strategy, plan in router.compare(ranked, top_k=3).items():
+        waves = " → ".join(
+            "{" + ", ".join(names[c] for c in wave) + "}" for wave in plan.waves
+        )
+        latency = f"{plan.expected_latency:.1f}" if plan.expected_latency else "n/a"
+        print(
+            f"  {strategy.value:<10} P(answer)={plan.answer_probability:.2f}"
+            f"  E[latency]={latency:<5} contacts={plan.contacts}  waves: {waves}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Domain analysis: which social network finds experts for which topic?
+
+Replays the paper's Table-4 question on the synthetic dataset: for each
+of the seven expertise domains, score every network × distance
+configuration and report the winner — Twitter for technical domains,
+Facebook for entertainment, LinkedIn only for career-described skills
+at distance 0.
+
+    python examples/domain_analysis.py           # TINY, fast
+    REPRO_SCALE=small python examples/domain_analysis.py
+"""
+
+from repro.core.config import FinderConfig
+from repro.experiments.context import ExperimentContext, scale_from_env
+from repro.socialgraph.metamodel import Platform
+from repro.synthetic.dataset import DatasetScale
+from repro.synthetic.vocab import DOMAIN_LABELS, DOMAINS
+
+
+def main() -> None:
+    context = ExperimentContext.create(scale_from_env(default=DatasetScale.TINY))
+    networks = [
+        (Platform.FACEBOOK, "FB"),
+        (Platform.TWITTER, "TW"),
+        (Platform.LINKEDIN, "LI"),
+    ]
+
+    print(f"{'domain':<24} {'best net @d1':>14} {'best net @d2':>14} {'LI@d0 MAP':>10}")
+    for domain in DOMAINS:
+        queries = [q for q in context.dataset.queries if q.domain == domain]
+        row = {}
+        for platform, label in networks:
+            for distance in (0, 1, 2):
+                result = context.runner.run(
+                    platform, FinderConfig(max_distance=distance), queries=queries
+                )
+                row[(label, distance)] = result.summary().map
+        best_d1 = max(networks, key=lambda n: row[(n[1], 1)])[1]
+        best_d2 = max(networks, key=lambda n: row[(n[1], 2)])[1]
+        print(
+            f"{DOMAIN_LABELS[domain]:<24} {best_d1:>14} {best_d2:>14}"
+            f" {row[('LI', 0)]:>10.3f}"
+        )
+
+    print(
+        "\nreading: the paper found TW leading computer engineering /"
+        "\nscience / sport / technology at distance 2, FB strong on"
+        "\nentertainment, and LinkedIn valuable only through its career"
+        "\nprofiles (distance 0) for work domains."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Full paper reproduction: run every table and figure in one go.
+
+Builds the dataset (SMALL by default, ~40 s; set ``REPRO_SCALE=tiny``
+for a fast dry run or ``REPRO_SCALE=paper`` for full volume), executes
+all experiment drivers, and prints the paper-style tables and series.
+The same drivers power ``pytest benchmarks/ --benchmark-only``, which
+additionally asserts the expected shapes.
+
+    REPRO_SCALE=tiny python examples/reproduce_paper.py
+"""
+
+import time
+
+from repro.experiments import (
+    ablations,
+    fig5_dataset,
+    fig6_window,
+    fig7_alpha,
+    fig10_trust,
+    fig11_delta,
+    tab2_fig8_friends,
+    tab3_fig9_networks,
+    tab4_domains,
+)
+from repro.experiments.context import ExperimentContext
+
+DRIVERS = [
+    ("Fig. 5 (dataset)", fig5_dataset),
+    ("Fig. 6 (window size)", fig6_window),
+    ("Fig. 7 (alpha)", fig7_alpha),
+    ("Table 2 + Fig. 8 (friends)", tab2_fig8_friends),
+    ("Table 3 + Fig. 9 (networks x distance)", tab3_fig9_networks),
+    ("Table 4 (domains)", tab4_domains),
+    ("Fig. 10 (trustworthiness)", fig10_trust),
+    ("Fig. 11 (retrieved-expert delta)", fig11_delta),
+    ("Ablations", ablations),
+]
+
+
+def main() -> None:
+    t0 = time.time()
+    context = ExperimentContext.create()
+    print(
+        f"dataset built in {time.time() - t0:.1f}s "
+        f"(scale={context.dataset.scale.value}, seed={context.dataset.seed})"
+    )
+    for title, driver in DRIVERS:
+        start = time.time()
+        result = driver.run(context)
+        print(f"\n{'=' * 72}\n{title}   [{time.time() - start:.1f}s]\n{'=' * 72}")
+        print(result.render())
+    print(f"\ntotal: {time.time() - t0:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Streaming updates: the expert index follows the feed.
+
+A deployed expert finder cannot rebuild its indexes every time someone
+tweets. ``ExpertFinder.observe`` ingests new resources incrementally —
+evidence lists grow, collection statistics are invalidated, and the
+next query sees the new content. This script simulates a live day: a
+previously invisible candidate starts posting about swimming and climbs
+the ranking query by query.
+
+    python examples/streaming_updates.py
+"""
+
+from repro import DatasetScale, ExpertFinder, FinderConfig, build_dataset
+
+NEW_POSTS = [
+    "just finished a freestyle swimming session at the pool great training",
+    "the olympics freestyle relay was amazing what a gold medal race",
+    "my backstroke and butterfly still need work but freestyle feels strong",
+    "coach says my freestyle lap times are almost at championship level",
+]
+
+
+def main() -> None:
+    dataset = build_dataset(DatasetScale.TINY, seed=7)
+    finder = ExpertFinder.build(
+        dataset.merged_graph,
+        dataset.candidates_for(None),
+        dataset.analyzer,
+        FinderConfig(),
+        corpus=dataset.corpus,
+    )
+    question = "Who is the best freestyle swimmer, is it Michael Phelps?"
+    newcomer = dataset.person_ids[-1]
+    names = {p.person_id: p.name for p in dataset.people}
+
+    def position() -> str:
+        ranked = finder.find_experts(question)
+        for rank, expert in enumerate(ranked, start=1):
+            if expert.candidate_id == newcomer:
+                return f"rank {rank}/{len(ranked)} (score {expert.score:.1f})"
+        return "not ranked"
+
+    print(f"question: {question!r}")
+    print(f"watching {names[newcomer]} ({newcomer}), initially: {position()}\n")
+
+    for i, text in enumerate(NEW_POSTS):
+        indexed = finder.observe(
+            f"live:tweet:{i}", text, [(newcomer, 1)], language="en"
+        )
+        print(f"new post {i + 1} (indexed={indexed}): {text[:48]}...")
+        print(f"  → {names[newcomer]} now at {position()}")
+
+    print(
+        f"\ntotal evidence for {names[newcomer]}:"
+        f" {finder.evidence_count(newcomer)} items,"
+        f" {finder.indexed_resources} resources indexed overall"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro — expert finding in social networks.
+
+A complete reproduction of *Bozzon, Brambilla, Ceri, Silvestri, Vesci:
+"Choosing the Right Crowd: Expert Finding in Social Networks"* (EDBT
+2013): the social-graph meta-model, the resource analysis pipeline
+(language identification, text processing, TAGME-style entity
+annotation), the vector-space matching of expertise needs to resources
+(Eq. 1–2), the distance-weighted expert ranking (Eq. 3), simulated
+platform extraction, a synthetic 40-volunteer evaluation dataset, and
+the full experimental harness for every table and figure in the paper.
+
+Quickstart::
+
+    from repro import ExpertFinder, FinderConfig, build_dataset, DatasetScale
+
+    dataset = build_dataset(DatasetScale.TINY, seed=7)
+    finder = ExpertFinder.build(
+        dataset.merged_graph,
+        dataset.candidates_for(None),
+        dataset.analyzer,
+        FinderConfig(),
+        corpus=dataset.corpus,
+    )
+    for expert in finder.find_experts("best freestyle swimmer", top_k=5):
+        print(expert.candidate_id, expert.score)
+"""
+
+from repro.core.config import FinderConfig
+from repro.core.expert_finder import ExpertFinder
+from repro.core.need import ExpertiseNeed
+from repro.core.ranking import ExpertScore
+from repro.socialgraph.metamodel import Platform
+from repro.synthetic.dataset import DatasetScale, EvaluationDataset, build_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DatasetScale",
+    "EvaluationDataset",
+    "ExpertFinder",
+    "ExpertScore",
+    "ExpertiseNeed",
+    "FinderConfig",
+    "Platform",
+    "build_dataset",
+    "__version__",
+]

@@ -1,0 +1,211 @@
+"""Command-line interface.
+
+::
+
+    repro dataset --scale small --seed 7 --out data/small   # build & save
+    repro info --dataset data/small                          # dataset stats
+    repro query "best freestyle swimmer" --dataset data/small --top-k 5
+    repro experiments --only tab3,fig7 --scale tiny          # reproduce paper
+
+Every subcommand also works without a saved dataset by generating one
+on the fly (``--scale``/``--seed``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+from repro.core.config import FinderConfig
+from repro.core.expert_finder import ExpertFinder
+from repro.socialgraph.metamodel import Platform
+from repro.synthetic.dataset import DatasetScale, EvaluationDataset, build_dataset
+
+_PLATFORMS = {
+    "all": None,
+    "fb": Platform.FACEBOOK,
+    "facebook": Platform.FACEBOOK,
+    "tw": Platform.TWITTER,
+    "twitter": Platform.TWITTER,
+    "li": Platform.LINKEDIN,
+    "linkedin": Platform.LINKEDIN,
+}
+
+_EXPERIMENTS = (
+    "fig5", "fig6", "fig7", "tab2", "tab3", "tab4", "fig10", "fig11", "ablations",
+)
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", help="directory of a saved dataset (repro dataset)")
+    parser.add_argument(
+        "--scale",
+        choices=[s.value for s in DatasetScale],
+        default="tiny",
+        help="generate a dataset at this scale when --dataset is not given",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="master seed")
+
+
+def _load_dataset(args: argparse.Namespace) -> EvaluationDataset:
+    if args.dataset:
+        from repro.storage.dataset_io import load_dataset
+
+        return load_dataset(args.dataset)
+    return build_dataset(DatasetScale(args.scale), args.seed)
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.storage.dataset_io import save_dataset
+
+    t0 = time.time()
+    dataset = build_dataset(DatasetScale(args.scale), args.seed)
+    save_dataset(dataset, args.out)
+    counts = dataset.merged_graph.counts()
+    print(
+        f"built scale={args.scale} seed={args.seed} in {time.time() - t0:.1f}s: "
+        f"{counts['profiles']} profiles, {counts['resources']} resources, "
+        f"{counts['containers']} containers → {args.out}"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    print(f"scale={dataset.scale.value} seed={dataset.seed}")
+    print(f"candidates: {len(dataset.people)}")
+    for platform, graph in dataset.graphs.items():
+        counts = graph.counts()
+        print(
+            f"  {platform.value:<9} profiles={counts['profiles']:<6}"
+            f" resources={counts['resources']:<7} containers={counts['containers']}"
+        )
+    overall = dataset.ground_truth.overall_stats()
+    print(
+        f"ground truth: avg {overall['avg_experts_per_domain']:.1f} experts/domain,"
+        f" avg expertise {overall['avg_expertise']:.2f}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    platform = _PLATFORMS[args.platform]
+    config = FinderConfig(
+        alpha=args.alpha, window=args.window, max_distance=args.distance
+    )
+    finder = ExpertFinder.build(
+        dataset.graph_for(platform),
+        dataset.candidates_for(platform),
+        dataset.analyzer,
+        config,
+        corpus=dataset.corpus,
+    )
+    experts = finder.find_experts(args.text, top_k=args.top_k)
+    if not experts:
+        print("no candidate shows matching expertise")
+        return 1
+    names = {p.person_id: p.name for p in dataset.people}
+    print(f"{'rank':<5} {'candidate':<22} {'score':>10} {'#resources':>11}")
+    for rank, expert in enumerate(experts, start=1):
+        label = f"{expert.candidate_id} ({names.get(expert.candidate_id, '?')})"
+        print(
+            f"{rank:<5} {label:<22} {expert.score:>10.2f}"
+            f" {expert.supporting_resources:>11}"
+        )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.evaluation.runner import ExperimentRunner
+    from repro.experiments import (
+        ablations,
+        fig5_dataset,
+        fig6_window,
+        fig7_alpha,
+        fig10_trust,
+        fig11_delta,
+        tab2_fig8_friends,
+        tab3_fig9_networks,
+        tab4_domains,
+    )
+    from repro.experiments.context import ExperimentContext
+
+    drivers = {
+        "fig5": fig5_dataset,
+        "fig6": fig6_window,
+        "fig7": fig7_alpha,
+        "tab2": tab2_fig8_friends,
+        "tab3": tab3_fig9_networks,
+        "tab4": tab4_domains,
+        "fig10": fig10_trust,
+        "fig11": fig11_delta,
+        "ablations": ablations,
+    }
+    selected = (
+        [name.strip() for name in args.only.split(",")] if args.only else list(drivers)
+    )
+    unknown = [name for name in selected if name not in drivers]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(drivers)}", file=sys.stderr)
+        return 2
+    dataset = _load_dataset(args)
+    context = ExperimentContext(dataset=dataset, runner=ExperimentRunner(dataset))
+    for name in selected:
+        t0 = time.time()
+        result = drivers[name].run(context)
+        print(f"\n=== {name} [{time.time() - t0:.1f}s] ===")
+        print(result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Expert finding in social networks (EDBT 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_dataset = sub.add_parser("dataset", help="generate and save a dataset")
+    p_dataset.add_argument(
+        "--scale", choices=[s.value for s in DatasetScale], default="small"
+    )
+    p_dataset.add_argument("--seed", type=int, default=7)
+    p_dataset.add_argument("--out", required=True, help="output directory")
+    p_dataset.set_defaults(func=_cmd_dataset)
+
+    p_info = sub.add_parser("info", help="show dataset statistics")
+    _add_dataset_args(p_info)
+    p_info.set_defaults(func=_cmd_info)
+
+    p_query = sub.add_parser("query", help="rank experts for an expertise need")
+    p_query.add_argument("text", help="the expertise need")
+    _add_dataset_args(p_query)
+    p_query.add_argument("--platform", choices=sorted(_PLATFORMS), default="all")
+    p_query.add_argument("--top-k", type=int, default=10)
+    p_query.add_argument("--alpha", type=float, default=0.6)
+    p_query.add_argument("--window", type=int, default=100)
+    p_query.add_argument("--distance", type=int, default=2, choices=(0, 1, 2))
+    p_query.set_defaults(func=_cmd_query)
+
+    p_exp = sub.add_parser("experiments", help="reproduce the paper's tables/figures")
+    _add_dataset_args(p_exp)
+    p_exp.add_argument(
+        "--only",
+        help=f"comma-separated subset of: {', '.join(_EXPERIMENTS)}",
+    )
+    p_exp.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Configuration of the expert finding method.
+
+Defaults reproduce the paper's final setting: α = 0.6 (Sec. 3.3.2),
+window = 100 resources (Sec. 3.3.1), resource distance up to 2, friend
+resources excluded (Sec. 3.3.3), and resource weights ``wr`` fixed "in an
+interval [0.5, 1], with value linearly decreasing w.r.t. the distance of
+the considered resource" (Sec. 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+
+@dataclass(frozen=True)
+class FinderConfig:
+    """Tunable parameters of the expert finding method."""
+
+    #: keyword vs. entity matching balance in Eq. 1 (1.0 = terms only)
+    alpha: float = 0.6
+    #: number of top relevant resources aggregated by Eq. 3; an ``int`` is
+    #: an absolute count, a ``float`` in (0, 1] is a fraction of the
+    #: matching resources, ``None`` disables the window
+    window: int | float | None = 100
+    #: maximum graph distance of the resources considered (paper Table 1)
+    max_distance: int = 2
+    #: wr weight at distance 0 and at ``max_distance``
+    weight_interval: tuple[float, float] = (0.5, 1.0)
+    #: traverse friendship (bidirectional) edges like follows edges
+    include_friends: bool = False
+    #: exponent applied to irf/eirf in Eq. 1 (the paper squares them)
+    idf_exponent: float = 2.0
+    #: normalize Eq. 3 by the number of supporting resources. The paper
+    #: deliberately does NOT do this ("we assume a direct correlation
+    #: between the number of resources ... and the potential expertise",
+    #: Sec. 2.4.1); the flag exists for the ablation benchmark.
+    normalize: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if not 0 <= self.max_distance <= 2:
+            raise ValueError(f"max_distance must be in 0..2, got {self.max_distance}")
+        low, high = self.weight_interval
+        if not 0.0 <= low <= high:
+            raise ValueError(f"invalid weight interval {self.weight_interval}")
+        if isinstance(self.window, bool):
+            raise ValueError("window must be a number or None, not a bool")
+        if isinstance(self.window, int) and self.window is not None and self.window <= 0:
+            raise ValueError(f"integer window must be positive, got {self.window}")
+        if isinstance(self.window, float) and not 0.0 < self.window <= 1.0:
+            raise ValueError(f"fractional window must be in (0, 1], got {self.window}")
+        if self.idf_exponent <= 0:
+            raise ValueError(f"idf_exponent must be positive, got {self.idf_exponent}")
+
+    def with_(self, **changes: Any) -> "FinderConfig":
+        """A copy of this config with *changes* applied (validated)."""
+        return replace(self, **changes)
+
+
+#: the paper's final parameter setting
+PAPER_CONFIG = FinderConfig()

@@ -1,0 +1,258 @@
+"""The public expert-finding facade (paper Fig. 1).
+
+``ExpertFinder.build`` wires the whole system together for one
+configuration: gather each candidate's evidence up to the configured
+distance (Table 1), index the evidence (terms + entities), and expose
+``find_experts`` which matches an expertise need against the indexes
+(Eq. 1–2) and ranks candidates (Eq. 3).
+
+Because the experiments sweep configurations over one dataset, the
+expensive text/entity analysis can be done once (see
+:class:`repro.extraction.crawler.CorpusAnalyzer`) and passed in as
+*corpus*; the finder then only selects and indexes the evidence reachable
+under its configuration.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.core.config import FinderConfig
+from repro.core.need import ExpertiseNeed
+from repro.core.ranking import ExpertRanker, ExpertScore
+from repro.index.analyzer import AnalyzedResource, ResourceAnalyzer
+from repro.index.entity_index import EntityIndex
+from repro.index.inverted import InvertedIndex
+from repro.index.statistics import CollectionStatistics
+from repro.index.vsm import ResourceMatch, VectorSpaceRetriever
+from repro.socialgraph.distance import ResourceGatherer, evidence_text, evidence_urls
+from repro.socialgraph.graph import SocialGraph
+
+#: languages admitted into the index: English resources (paper Sec. 3.1)
+#: plus texts too short for identification (profile fragments)
+_INDEXABLE_LANGUAGES = frozenset({"en", "und"})
+
+
+class ExpertFinder:
+    """Find experts for expertise needs within a candidate population."""
+
+    def __init__(
+        self,
+        analyzer: ResourceAnalyzer,
+        retriever: VectorSpaceRetriever,
+        evidence_of: Mapping[str, Sequence[tuple[str, int]]],
+        config: FinderConfig,
+        *,
+        evidence_counts: Mapping[str, int],
+        indexed_count: int,
+    ):
+        self._analyzer = analyzer
+        self._retriever = retriever
+        self._evidence_of = evidence_of
+        self._ranker = ExpertRanker(evidence_of, config)
+        self._config = config
+        self._evidence_counts = dict(evidence_counts)
+        self._indexed_count = indexed_count
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        graph: SocialGraph,
+        candidates: Mapping[str, Sequence[str]] | Sequence[str],
+        analyzer: ResourceAnalyzer,
+        config: FinderConfig | None = None,
+        *,
+        corpus: Mapping[str, AnalyzedResource] | None = None,
+        url_content: Callable[[str], str] | None = None,
+    ) -> "ExpertFinder":
+        """Build a finder over *graph*.
+
+        *candidates* is either a sequence of profile ids (each profile is
+        its own candidate) or a mapping ``candidate id → profile ids``
+        for candidates holding several profiles — the paper's "All"
+        configuration aggregates one person's Facebook, Twitter, and
+        LinkedIn evidence under a single candidate.
+
+        *corpus* — pre-analyzed node texts keyed by node id; nodes missing
+        from it are analyzed on the fly (with *url_content* enrichment if
+        provided).
+        """
+        config = config or FinderConfig()
+        if not candidates:
+            raise ValueError("candidates must be non-empty")
+        if isinstance(candidates, Mapping):
+            seeds = {cid: tuple(pids) for cid, pids in candidates.items()}
+        else:
+            seeds = {pid: (pid,) for pid in candidates}
+        gatherer = ResourceGatherer(graph, include_friends=config.include_friends)
+        evidence_of: dict[str, list[tuple[str, int]]] = {}
+        evidence_counts: dict[str, int] = {}
+        unique_nodes: dict[str, AnalyzedResource | None] = {}
+
+        for candidate_id, profile_ids in seeds.items():
+            # one node may be reachable from several of the candidate's
+            # profiles; keep it once, at its minimal distance
+            node_distance: dict[str, int] = {}
+            for profile_id in profile_ids:
+                for item in gatherer.gather(profile_id, config.max_distance):
+                    prev = node_distance.get(item.node_id)
+                    if prev is None or item.distance < prev:
+                        node_distance[item.node_id] = item.distance
+                    if item.node_id not in unique_nodes:
+                        analyzed = (
+                            corpus.get(item.node_id) if corpus is not None else None
+                        )
+                        if analyzed is None:
+                            text = evidence_text(graph, item)
+                            if url_content is not None:
+                                for url in evidence_urls(graph, item):
+                                    text = f"{text} {url_content(url)}"
+                            analyzed = analyzer.analyze(item.node_id, text)
+                        unique_nodes[item.node_id] = analyzed
+            evidence_counts[candidate_id] = len(node_distance)
+            for node_id, distance in node_distance.items():
+                evidence_of.setdefault(node_id, []).append((candidate_id, distance))
+
+        term_index = InvertedIndex()
+        entity_index = EntityIndex()
+        indexed = 0
+        for node_id, analyzed in unique_nodes.items():
+            if analyzed is None or analyzed.language not in _INDEXABLE_LANGUAGES:
+                continue
+            term_index.add_document(node_id, analyzed.term_counts)
+            entity_index.add_document(node_id, analyzed.entity_counts)
+            indexed += 1
+
+        retriever = VectorSpaceRetriever(
+            term_index,
+            entity_index,
+            CollectionStatistics(term_index, entity_index),
+            idf_exponent=config.idf_exponent,
+        )
+        return cls(
+            analyzer,
+            retriever,
+            evidence_of,
+            config,
+            evidence_counts=evidence_counts,
+            indexed_count=indexed,
+        )
+
+    # -- queries -------------------------------------------------------------------
+
+    @property
+    def config(self) -> FinderConfig:
+        return self._config
+
+    @property
+    def indexed_resources(self) -> int:
+        """Number of evidence items admitted into the indexes."""
+        return self._indexed_count
+
+    def evidence_count(self, candidate_id: str) -> int:
+        """Evidence items gathered for one candidate (pre language cut)."""
+        return self._evidence_counts.get(candidate_id, 0)
+
+    # -- streaming updates --------------------------------------------------------
+
+    def observe(
+        self,
+        node_id: str,
+        text: str,
+        supporters: Sequence[tuple[str, int]],
+        *,
+        language: str | None = None,
+    ) -> bool:
+        """Ingest one new resource without rebuilding the finder.
+
+        *supporters* lists (candidate id, distance) pairs the resource is
+        evidence for — e.g. its author at distance 1 and fellow group
+        members at distance 2. Returns True when the resource entered
+        the index (False for non-English content, which is observed as
+        evidence but not indexed, mirroring the build-time language cut).
+
+        Collection statistics are invalidated, so subsequent queries see
+        updated irf/eirf values immediately.
+        """
+        if not supporters:
+            raise ValueError("a resource must support at least one candidate")
+        for candidate_id, distance in supporters:
+            if not 0 <= distance <= self._config.max_distance:
+                raise ValueError(
+                    f"distance {distance} outside 0..{self._config.max_distance}"
+                )
+            if candidate_id not in self._evidence_counts:
+                raise KeyError(f"unknown candidate {candidate_id!r}")
+        if node_id in self._evidence_of:
+            raise ValueError(f"resource {node_id!r} already observed")
+
+        self._evidence_of[node_id] = list(supporters)
+        for candidate_id, _ in supporters:
+            self._evidence_counts[candidate_id] += 1
+        analyzed = self._analyzer.analyze(node_id, text, language=language)
+        if analyzed.language not in _INDEXABLE_LANGUAGES:
+            return False
+        self._retriever.add_document(analyzed)
+        self._indexed_count += 1
+        return True
+
+    def match_resources(
+        self, need: ExpertiseNeed | str, *, alpha: float | None = None
+    ) -> list[ResourceMatch]:
+        """The relevant-resource set RR for a need, best first (Eq. 1).
+
+        *alpha* overrides the configured value for parameter sweeps —
+        the indexes do not depend on it, so no rebuild is needed.
+        """
+        text = need.text if isinstance(need, ExpertiseNeed) else need
+        query = self._analyzer.analyze("__query__", text, language="en")
+        effective_alpha = self._config.alpha if alpha is None else alpha
+        return self._retriever.retrieve(query, effective_alpha)
+
+    def rank_matches(
+        self,
+        matches: Sequence[ResourceMatch],
+        *,
+        window: int | float | None | type(...) = ...,
+        config: FinderConfig | None = None,
+    ) -> list[ExpertScore]:
+        """Apply the window and Eq. 3 to an already retrieved match list
+        (lets sweeps reuse one retrieval across several window values).
+
+        *config* overrides every rank-time parameter (window, weight
+        interval, normalization); it must agree with the build-time
+        parameters, because the evidence was gathered under them.
+        """
+        if config is not None:
+            if (
+                config.max_distance != self._config.max_distance
+                or config.include_friends != self._config.include_friends
+            ):
+                raise ValueError(
+                    "rank-time config must match the finder's build-time "
+                    "max_distance and include_friends"
+                )
+            ranker = ExpertRanker(self._evidence_of, config)
+        elif window is ...:
+            ranker = self._ranker
+        else:
+            ranker = ExpertRanker(self._evidence_of, self._config.with_(window=window))
+        return ranker.rank(matches)
+
+    def find_experts(
+        self,
+        need: ExpertiseNeed | str,
+        *,
+        top_k: int | None = None,
+        alpha: float | None = None,
+        window: int | float | None | type(...) = ...,
+    ) -> list[ExpertScore]:
+        """Rank the candidate experts for *need* (Eq. 3); the full list EX
+        unless *top_k* truncates it. *alpha* and *window* override the
+        configured values for parameter sweeps (``window=None`` means "no
+        window"; leave it at the default to use the configured window)."""
+        matches = self.match_resources(need, alpha=alpha)
+        ranked = self.rank_matches(matches, window=window)
+        return ranked if top_k is None else ranked[:top_k]

@@ -1,0 +1,27 @@
+"""Expertise needs (paper Sec. 2.1).
+
+An expertise need is "an information need that relates with specific
+skills or knowledge", stated here as a natural-language question, and
+referring to at least one domain of expertise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExpertiseNeed:
+    """One expertise need (query)."""
+
+    need_id: str
+    text: str
+    domain: str
+
+    def __post_init__(self) -> None:
+        if not self.need_id:
+            raise ValueError("ExpertiseNeed.need_id must be non-empty")
+        if not self.text.strip():
+            raise ValueError("ExpertiseNeed.text must be non-empty")
+        if not self.domain:
+            raise ValueError("ExpertiseNeed.domain must be non-empty")

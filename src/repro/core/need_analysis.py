@@ -1,0 +1,106 @@
+"""Expertise-need analysis (the "Expertise Need Analysis" box of paper
+Fig. 1).
+
+An expertise need "refers to at least one domain of expertise" (Sec.
+2.1). The system mostly treats the need as text, but applications need
+the domain itself — the per-domain evaluation (Table 4), domain-aware
+routing, and the paper's future-work call for "domain-specific
+solutions for location related expertise needs" all start from knowing
+which domain a need belongs to.
+
+``NeedAnalyzer`` classifies a need by combining two votes:
+
+* **entity vote** — each entity recognized in the need casts its KB
+  domain, weighted by its disambiguation confidence;
+* **vocabulary vote** — stemmed need terms matched against the stemmed
+  per-domain vocabularies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.need import ExpertiseNeed
+from repro.entity.annotator import EntityAnnotator
+from repro.textproc.pipeline import TextPipeline
+from repro.synthetic.vocab import DOMAIN_WORDS, DOMAINS
+
+
+@dataclass(frozen=True)
+class DomainScore:
+    """One domain's affinity to a need."""
+
+    domain: str
+    score: float
+    entity_votes: float
+    term_votes: int
+
+
+class NeedAnalyzer:
+    """Classify expertise needs into the seven domains."""
+
+    def __init__(
+        self,
+        pipeline: TextPipeline,
+        annotator: EntityAnnotator,
+        *,
+        entity_weight: float = 0.6,
+    ):
+        if not 0.0 <= entity_weight <= 1.0:
+            raise ValueError("entity_weight must be in [0, 1]")
+        self._pipeline = pipeline
+        self._annotator = annotator
+        self._entity_weight = entity_weight
+        # stem the domain vocabularies once with the same stemmer the
+        # pipeline applies to the need text
+        self._domain_stems: dict[str, frozenset[str]] = {
+            domain: frozenset(
+                self._pipeline.analyze(" ".join(words), language="en").terms
+            )
+            for domain, words in DOMAIN_WORDS.items()
+        }
+
+    def scores(self, need: ExpertiseNeed | str) -> list[DomainScore]:
+        """All domains ranked by affinity (best first)."""
+        text = need.text if isinstance(need, ExpertiseNeed) else need
+        analyzed = self._pipeline.analyze(text, language="en")
+        annotations = self._annotator.annotate_tokens(analyzed.tokens)
+        kb = self._annotator.knowledge_base
+
+        entity_votes: dict[str, float] = {d: 0.0 for d in DOMAINS}
+        for annotation in annotations:
+            entity = kb.entity(annotation.entity_uri)
+            if entity.domain in entity_votes:
+                entity_votes[entity.domain] += annotation.d_score
+        total_entity = sum(entity_votes.values())
+
+        term_votes: dict[str, int] = {
+            domain: sum(1 for t in analyzed.terms if t in stems)
+            for domain, stems in self._domain_stems.items()
+        }
+        total_terms = sum(term_votes.values())
+
+        scores = []
+        for domain in DOMAINS:
+            entity_part = entity_votes[domain] / total_entity if total_entity else 0.0
+            term_part = term_votes[domain] / total_terms if total_terms else 0.0
+            combined = (
+                self._entity_weight * entity_part
+                + (1 - self._entity_weight) * term_part
+            )
+            scores.append(
+                DomainScore(
+                    domain=domain,
+                    score=combined,
+                    entity_votes=entity_votes[domain],
+                    term_votes=term_votes[domain],
+                )
+            )
+        scores.sort(key=lambda s: (-s.score, s.domain))
+        return scores
+
+    def classify(self, need: ExpertiseNeed | str) -> str | None:
+        """The most likely domain, or None when the need carries no
+        domain signal at all."""
+        best = self.scores(need)[0]
+        return best.domain if best.score > 0.0 else None

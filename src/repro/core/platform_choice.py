@@ -1,0 +1,81 @@
+"""Choosing the contact platform (paper Sec. 2.1).
+
+The problem statement asks two questions: *who* are the most suited
+candidates, "And which is the best social platform to contact them?".
+``PlatformChooser`` answers the second: given one finder per platform,
+it measures how much of a candidate's matching expertise evidence lives
+on each platform and recommends the channel — per candidate, and
+aggregated per need (the network a whole question should be routed
+through, the Sec.-3.5/3.6 view).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.expert_finder import ExpertFinder
+from repro.core.need import ExpertiseNeed
+from repro.socialgraph.metamodel import Platform
+
+
+@dataclass(frozen=True)
+class ChannelRecommendation:
+    """Where to reach one candidate for one need."""
+
+    candidate_id: str
+    #: best platform, or None when no platform carries matching evidence
+    platform: Platform | None
+    #: platform → that platform's Eq.-3 score for the candidate
+    scores: dict[Platform, float]
+
+    @property
+    def confidence(self) -> float:
+        """Share of the candidate's total cross-platform score carried
+        by the recommended platform, in [0, 1]."""
+        total = sum(self.scores.values())
+        if self.platform is None or total == 0.0:
+            return 0.0
+        return self.scores[self.platform] / total
+
+
+class PlatformChooser:
+    """Recommend contact platforms from per-platform finders."""
+
+    def __init__(self, finders: Mapping[Platform, ExpertFinder]):
+        missing = [p for p in Platform if p not in finders]
+        if missing:
+            raise ValueError(f"finders missing for platforms: {missing}")
+        self._finders = dict(finders)
+
+    def recommend(
+        self, need: ExpertiseNeed | str, candidate_id: str
+    ) -> ChannelRecommendation:
+        """The best platform to contact *candidate_id* about *need*."""
+        scores: dict[Platform, float] = {}
+        for platform, finder in self._finders.items():
+            entry = next(
+                (
+                    e
+                    for e in finder.find_experts(need)
+                    if e.candidate_id == candidate_id
+                ),
+                None,
+            )
+            scores[platform] = entry.score if entry else 0.0
+        best = max(scores, key=lambda p: (scores[p], p.value))
+        return ChannelRecommendation(
+            candidate_id=candidate_id,
+            platform=best if scores[best] > 0.0 else None,
+            scores=scores,
+        )
+
+    def best_network(self, need: ExpertiseNeed | str, *, top_k: int = 10) -> Platform | None:
+        """The network whose own ranking carries the most expertise mass
+        for *need* — the platform the whole question is best asked on."""
+        totals: dict[Platform, float] = {}
+        for platform, finder in self._finders.items():
+            ranked = finder.find_experts(need, top_k=top_k)
+            totals[platform] = sum(e.score for e in ranked)
+        best = max(totals, key=lambda p: (totals[p], p.value))
+        return best if totals[best] > 0.0 else None

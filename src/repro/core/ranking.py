@@ -1,0 +1,70 @@
+"""Expert ranking (paper Sec. 2.4.1): from resource matches to a ranked
+expert list."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.config import FinderConfig
+from repro.core.scoring import aggregate_expert_scores, apply_window
+from repro.index.vsm import ResourceMatch
+
+
+@dataclass(frozen=True)
+class ExpertScore:
+    """One ranked expert with the expertise score of Eq. 3."""
+
+    candidate_id: str
+    score: float
+    #: number of windowed relevant resources that supported the candidate
+    supporting_resources: int
+
+    def __post_init__(self) -> None:
+        if self.score <= 0.0:
+            raise ValueError("ExpertScore.score must be positive (EX keeps score > 0)")
+
+
+class ExpertRanker:
+    """Apply the window and Eq. 3, producing the ordered expert list EX.
+
+    *evidence_of* maps doc id → ((candidate_id, distance), ...) as built
+    by the finder from the Table-1 gathering.
+    """
+
+    def __init__(
+        self,
+        evidence_of: Mapping[str, Sequence[tuple[str, int]]],
+        config: FinderConfig,
+    ):
+        self._evidence_of = evidence_of
+        self._config = config
+
+    def rank(self, matches: Sequence[ResourceMatch]) -> list[ExpertScore]:
+        """Rank the candidates supported by *matches* (already sorted by
+        decreasing relevance). Only candidates with score > 0 appear —
+        the paper's EX ⊆ CE with score(q, ce) > 0."""
+        windowed = apply_window(matches, self._config.window)
+        scores = aggregate_expert_scores(
+            windowed,
+            self._evidence_of,
+            max_distance=self._config.max_distance,
+            weight_interval=self._config.weight_interval,
+        )
+        support: dict[str, int] = {}
+        for match in windowed:
+            for candidate_id, _ in self._evidence_of.get(match.doc_id, ()):
+                support[candidate_id] = support.get(candidate_id, 0) + 1
+        if self._config.normalize:
+            scores = {
+                cid: score / support[cid] for cid, score in scores.items() if support.get(cid)
+            }
+        ranked = [
+            ExpertScore(
+                candidate_id=cid, score=score, supporting_resources=support.get(cid, 0)
+            )
+            for cid, score in scores.items()
+            if score > 0.0
+        ]
+        ranked.sort(key=lambda e: (-e.score, e.candidate_id))
+        return ranked

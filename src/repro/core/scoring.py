@@ -1,0 +1,92 @@
+"""Scoring functions of the expert ranking stage (paper Sec. 2.4.1).
+
+* :func:`distance_weight` — the resource weight ``wr(rᵢ, ex)``, linearly
+  decreasing with the graph distance of the resource from the candidate
+  over a fixed interval (the paper uses [0.5, 1]);
+* :func:`apply_window` — the window-size cut on the retrieved resources;
+* :func:`aggregate_expert_scores` — Eq. 3 itself:
+  ``score(q, ex) = Σ score(q, rᵢ) · wr(rᵢ, ex)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.index.vsm import ResourceMatch
+
+
+def distance_weight(
+    distance: int,
+    max_distance: int,
+    interval: tuple[float, float] = (0.5, 1.0),
+) -> float:
+    """``wr`` for a resource at *distance*, linear over *interval*.
+
+    Distance 0 gets the high end, ``max_distance`` the low end. With the
+    paper's setting (interval [0.5, 1], max distance 2): d0 → 1.0,
+    d1 → 0.75, d2 → 0.5. When only one distance level is in play the
+    weight is the high end (no decay to distribute).
+
+    >>> [distance_weight(d, 2) for d in (0, 1, 2)]
+    [1.0, 0.75, 0.5]
+    """
+    if distance < 0 or distance > max_distance:
+        raise ValueError(f"distance {distance} outside 0..{max_distance}")
+    low, high = interval
+    if max_distance == 0:
+        return high
+    return high - (high - low) * (distance / max_distance)
+
+
+def window_size(window: int | float | None, total_matches: int) -> int:
+    """Resolve the window parameter to an absolute resource count.
+
+    >>> window_size(100, 5000)
+    100
+    >>> window_size(0.1, 5000)
+    500
+    >>> window_size(None, 5000)
+    5000
+    """
+    if total_matches < 0:
+        raise ValueError("total_matches must be non-negative")
+    if window is None:
+        return total_matches
+    if isinstance(window, float):
+        return min(total_matches, max(1, math.ceil(window * total_matches)))
+    return min(total_matches, window)
+
+
+def apply_window(
+    matches: Sequence[ResourceMatch], window: int | float | None
+) -> Sequence[ResourceMatch]:
+    """Keep the top-*window* matches (input must already be sorted by
+    decreasing score, as :meth:`VectorSpaceRetriever.retrieve` returns)."""
+    return matches[: window_size(window, len(matches))]
+
+
+def aggregate_expert_scores(
+    matches: Sequence[ResourceMatch],
+    evidence_of: Mapping[str, Sequence[tuple[str, int]]],
+    *,
+    max_distance: int,
+    weight_interval: tuple[float, float] = (0.5, 1.0),
+) -> dict[str, float]:
+    """Eq. 3: fold resource relevance into per-candidate expertise scores.
+
+    *evidence_of* maps a resource (doc) id to the candidates it is
+    evidence for, with the graph distance of the relation; one resource
+    may support several candidates (e.g. a post in a group that two
+    candidates belong to), each weighted by its own distance.
+
+    No normalization over the number of resources is applied — the paper
+    assumes "a direct correlation between the number of resources related
+    to a query, and the potential expertise of the user" (Sec. 2.4.1).
+    """
+    scores: dict[str, float] = {}
+    for match in matches:
+        for candidate_id, distance in evidence_of.get(match.doc_id, ()):
+            weight = distance_weight(distance, max_distance, weight_interval)
+            scores[candidate_id] = scores.get(candidate_id, 0.0) + match.score * weight
+    return scores

@@ -1,0 +1,42 @@
+"""Crowd-selection applications on top of expert finding.
+
+The paper motivates expert ranking as the core of several applications
+(Sec. 1 and related work): routing crowd-search questions to the right
+people, assembling teams, and selecting juries for decision-making
+tasks. This package implements those consumers of the expert ranking:
+
+* :mod:`team_formation` — the Expert Team Formation problem of Lappas,
+  Liu & Terzi (KDD 2009, the paper's reference [15]): cover a set of
+  required skills with a team that minimizes communication cost over
+  the social graph;
+* :mod:`jury` — the Jury Selection Problem of Cao et al. (VLDB 2012,
+  reference [8]): pick the jury whose majority vote minimizes the
+  decision error rate;
+* :mod:`routing` — crowd-search question routing (the paper's Fig.-1
+  scenario): given the ranked experts, decide whom to ask, in which
+  order or in parallel, under per-candidate availability and response
+  models.
+"""
+
+from repro.crowd.jury import JurorProfile, JurySelector, majority_error_rate
+from repro.crowd.routing import (
+    ContactModel,
+    QuestionRouter,
+    RoutingPlan,
+    RoutingStrategy,
+    default_contact_models,
+)
+from repro.crowd.team_formation import Team, TeamFormation
+
+__all__ = [
+    "ContactModel",
+    "JurorProfile",
+    "JurySelector",
+    "QuestionRouter",
+    "RoutingPlan",
+    "RoutingStrategy",
+    "Team",
+    "TeamFormation",
+    "default_contact_models",
+    "majority_error_rate",
+]

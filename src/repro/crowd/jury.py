@@ -1,0 +1,138 @@
+"""The Jury Selection Problem (Cao, She, Tong & Chen, VLDB 2012 —
+paper ref [8]).
+
+A decision-making task is given to a *jury* of crowd members who vote;
+the task outcome is the majority vote. Each juror *j* has an individual
+error rate ``ε_j``; the **Jury Error Rate** (JER) is the probability
+that the majority is wrong. JSP asks for the jury (of odd size, within
+budget) minimizing the JER.
+
+``majority_error_rate`` computes the JER exactly via the
+Poisson-binomial distribution (dynamic programming over jurors), and
+:class:`JurySelector` implements the monotonicity result of Cao et al.:
+with majority voting and independent jurors, the optimal jury of size
+*k* consists of the *k* members with the smallest error rates — so
+selection reduces to a sort plus a sweep over odd jury sizes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class JurorProfile:
+    """One candidate juror."""
+
+    candidate_id: str
+    error_rate: float
+    cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise ValueError(f"error_rate must be in [0, 1], got {self.error_rate}")
+        if self.cost < 0:
+            raise ValueError("cost must be non-negative")
+
+
+def majority_error_rate(error_rates: Sequence[float]) -> float:
+    """Probability that the majority vote of independent jurors with
+    the given individual *error_rates* is wrong.
+
+    Exact Poisson-binomial computation: DP over the number of wrong
+    votes. Ties (even juries) count half — a tie is resolved by a coin
+    flip, as in Cao et al.'s formulation.
+
+    >>> round(majority_error_rate([0.3, 0.3, 0.3]), 4)
+    0.216
+    >>> majority_error_rate([0.0])
+    0.0
+    """
+    if not error_rates:
+        raise ValueError("at least one juror is required")
+    for rate in error_rates:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"error rate {rate} outside [0, 1]")
+    # dp[k] = P(exactly k wrong votes so far)
+    dp = [1.0]
+    for rate in error_rates:
+        nxt = [0.0] * (len(dp) + 1)
+        for wrong, p in enumerate(dp):
+            nxt[wrong] += p * (1.0 - rate)
+            nxt[wrong + 1] += p * rate
+        dp = nxt
+    n = len(error_rates)
+    jer = 0.0
+    for wrong, p in enumerate(dp):
+        if 2 * wrong > n:
+            jer += p
+        elif 2 * wrong == n:  # even-jury tie → coin flip
+            jer += 0.5 * p
+    return jer
+
+
+@dataclass(frozen=True)
+class JuryDecision:
+    """The selected jury and its error rate."""
+
+    members: tuple[str, ...]
+    jury_error_rate: float
+    total_cost: float
+
+
+class JurySelector:
+    """Select the jury minimizing the majority error under a budget."""
+
+    def __init__(self, jurors: Sequence[JurorProfile]):
+        if not jurors:
+            raise ValueError("juror pool must be non-empty")
+        self._jurors = sorted(jurors, key=lambda j: (j.error_rate, j.candidate_id))
+
+    @classmethod
+    def from_expertise(
+        cls,
+        likert: Mapping[str, int],
+        *,
+        best_error: float = 0.05,
+        worst_error: float = 0.45,
+    ) -> "JurySelector":
+        """Build juror profiles from 7-point Likert expertise: the error
+        rate interpolates linearly from *worst_error* (Likert 1) down to
+        *best_error* (Likert 7) — knowledgeable members err less, but
+        nobody is perfect and nobody is (quite) a coin flip."""
+        if not 0.0 <= best_error <= worst_error <= 0.5:
+            raise ValueError("need 0 <= best_error <= worst_error <= 0.5")
+        jurors = [
+            JurorProfile(
+                candidate_id=cid,
+                error_rate=worst_error - (worst_error - best_error) * (score - 1) / 6.0,
+            )
+            for cid, score in likert.items()
+        ]
+        return cls(jurors)
+
+    def select(self, *, budget: float = float("inf"), max_size: int | None = None) -> JuryDecision:
+        """The jury minimizing JER among odd-sized prefixes of the
+        error-sorted pool that fit the *budget* (Cao et al.'s
+        monotonicity makes prefixes sufficient)."""
+        limit = len(self._jurors) if max_size is None else min(max_size, len(self._jurors))
+        best: JuryDecision | None = None
+        members: list[JurorProfile] = []
+        total_cost = 0.0
+        for juror in self._jurors[:limit]:
+            if total_cost + juror.cost > budget:
+                break
+            members.append(juror)
+            total_cost += juror.cost
+            if len(members) % 2 == 1:
+                jer = majority_error_rate([j.error_rate for j in members])
+                if best is None or jer < best.jury_error_rate:
+                    best = JuryDecision(
+                        members=tuple(j.candidate_id for j in members),
+                        jury_error_rate=jer,
+                        total_cost=total_cost,
+                    )
+        if best is None:
+            raise ValueError("budget admits no juror at all")
+        return best

@@ -1,0 +1,196 @@
+"""Crowd-search question routing.
+
+The paper's Fig.-1 scenario ends with a decision the ranking alone does
+not make: "Anna will then address her question according to the ranking
+(e.g., just to Alice, or to Alice and then Charlie, or to both of them
+at the same time, and so on)". Social contacts are responsive but "not
+available on a continuous and demanding basis" (Sec. 1), so the router
+combines the expertise ranking with per-candidate availability and
+response models and plans who to contact, how:
+
+* ``SEQUENTIAL`` — ask one expert at a time, escalate on no-answer:
+  cheapest in contacts, slowest;
+* ``PARALLEL`` — ask the top-k at once: fastest, most intrusive;
+* ``HYBRID`` — small parallel waves until the target answer probability
+  is reached: the middle ground.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.ranking import ExpertScore
+
+
+class RoutingStrategy(enum.Enum):
+    SEQUENTIAL = "sequential"
+    PARALLEL = "parallel"
+    HYBRID = "hybrid"
+
+
+@dataclass(frozen=True)
+class ContactModel:
+    """Availability/response behaviour of one candidate."""
+
+    #: probability the candidate answers when asked
+    answer_probability: float
+    #: expected time-to-answer when they do answer (arbitrary units)
+    response_time: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.answer_probability <= 1.0:
+            raise ValueError("answer_probability must be in [0, 1]")
+        if self.response_time <= 0:
+            raise ValueError("response_time must be positive")
+
+
+@dataclass(frozen=True)
+class RoutingPlan:
+    """A concrete contact plan with its predicted behaviour."""
+
+    strategy: RoutingStrategy
+    #: contact waves, in order; a wave is contacted simultaneously
+    waves: tuple[tuple[str, ...], ...]
+    #: probability at least one contacted expert answers
+    answer_probability: float
+    #: expected latency until the first answer (None if answering is
+    #: impossible)
+    expected_latency: float | None
+    #: total number of people contacted in the worst case
+    contacts: int
+
+
+class QuestionRouter:
+    """Plan who to contact for a ranked expert list."""
+
+    def __init__(self, contact_models: Mapping[str, ContactModel]):
+        if not contact_models:
+            raise ValueError("contact models must be non-empty")
+        self._models = dict(contact_models)
+
+    def _model(self, candidate_id: str) -> ContactModel:
+        model = self._models.get(candidate_id)
+        if model is None:
+            raise KeyError(f"no contact model for {candidate_id!r}")
+        return model
+
+    @staticmethod
+    def _combined_answer_probability(models: Sequence[ContactModel]) -> float:
+        miss = 1.0
+        for model in models:
+            miss *= 1.0 - model.answer_probability
+        return 1.0 - miss
+
+    def _wave_latency(self, wave: Sequence[ContactModel]) -> float | None:
+        """Expected first-answer time within one wave: approximated by
+        the fastest responder among those who answer (min of expected
+        times, weighted by the chance anyone answers at all)."""
+        answering = [m for m in wave if m.answer_probability > 0]
+        if not answering:
+            return None
+        return min(m.response_time for m in answering)
+
+    def plan(
+        self,
+        ranked: Sequence[ExpertScore],
+        strategy: RoutingStrategy,
+        *,
+        top_k: int = 5,
+        target_probability: float = 0.9,
+        wave_size: int = 2,
+    ) -> RoutingPlan:
+        """Build a plan over the *top_k* ranked experts."""
+        if top_k <= 0 or wave_size <= 0:
+            raise ValueError("top_k and wave_size must be positive")
+        if not 0.0 < target_probability < 1.0:
+            raise ValueError("target_probability must be in (0, 1)")
+        chosen = [e.candidate_id for e in ranked[:top_k]]
+        if not chosen:
+            raise ValueError("the ranking is empty — nobody to contact")
+        models = {cid: self._model(cid) for cid in chosen}
+
+        if strategy is RoutingStrategy.PARALLEL:
+            waves: list[tuple[str, ...]] = [tuple(chosen)]
+        elif strategy is RoutingStrategy.SEQUENTIAL:
+            waves = [(cid,) for cid in chosen]
+        else:  # HYBRID: waves until the target probability is reached
+            waves = []
+            reached = 0.0
+            for start in range(0, len(chosen), wave_size):
+                wave = tuple(chosen[start : start + wave_size])
+                waves.append(wave)
+                reached = self._combined_answer_probability(
+                    [models[c] for w in waves for c in w]
+                )
+                if reached >= target_probability:
+                    break
+
+        contacted = [cid for wave in waves for cid in wave]
+        answer_probability = self._combined_answer_probability(
+            [models[c] for c in contacted]
+        )
+        expected_latency = self._expected_latency(waves, models)
+        return RoutingPlan(
+            strategy=strategy,
+            waves=tuple(waves),
+            answer_probability=answer_probability,
+            expected_latency=expected_latency,
+            contacts=len(contacted),
+        )
+
+    def _expected_latency(
+        self,
+        waves: Sequence[Sequence[str]],
+        models: Mapping[str, ContactModel],
+    ) -> float | None:
+        """Expected time to the first answer: each wave w starts after
+        the previous waves stayed silent; within a wave the fastest
+        answering member sets the clock."""
+        total = 0.0
+        silent_so_far = 1.0
+        elapsed = 0.0
+        any_answer = False
+        for wave in waves:
+            wave_models = [models[c] for c in wave]
+            p_wave = self._combined_answer_probability(wave_models)
+            latency = self._wave_latency(wave_models)
+            if latency is not None and p_wave > 0:
+                total += silent_so_far * p_wave * (elapsed + latency)
+                any_answer = True
+            # a silent wave costs its full timeout before escalation
+            timeout = max((m.response_time for m in wave_models), default=0.0)
+            elapsed += timeout
+            silent_so_far *= 1.0 - p_wave
+        if not any_answer:
+            return None
+        answered = 1.0 - silent_so_far
+        return total / answered if answered > 0 else None
+
+    def compare(
+        self, ranked: Sequence[ExpertScore], *, top_k: int = 5
+    ) -> dict[RoutingStrategy, RoutingPlan]:
+        """All three strategies side by side for one ranking."""
+        return {
+            strategy: self.plan(ranked, strategy, top_k=top_k)
+            for strategy in RoutingStrategy
+        }
+
+
+def default_contact_models(
+    candidate_ids: Sequence[str], *, seed: int = 0
+) -> dict[str, ContactModel]:
+    """Seeded synthetic availability models: most contacts answer with
+    probability 0.3–0.9 within 1–12 time units (social contacts are
+    responsive but not on-demand, paper Sec. 1)."""
+    import random
+
+    rng = random.Random(seed)
+    return {
+        cid: ContactModel(
+            answer_probability=rng.uniform(0.3, 0.9),
+            response_time=rng.uniform(1.0, 12.0),
+        )
+        for cid in candidate_ids
+    }

@@ -1,0 +1,29 @@
+"""Entity recognition and disambiguation substrate (paper Sec. 2.3).
+
+A self-contained reimplementation of the TAGME approach (Ferragina &
+Scaiella, CIKM 2010) used by the paper: anchors are spotted in short
+text, each spot's candidate entities are scored by combining the anchor's
+*commonness* prior with link-based *relatedness* to the other spots'
+candidates, and low-confidence annotations are pruned. Every annotation
+carries a Wikipedia-style URI and a disambiguation confidence ``dScore``
+that feeds the resource-relevance formula (paper Eq. 2).
+
+The knowledge base is synthetic (built by :mod:`repro.synthetic.seeds`)
+but structurally faithful: ambiguous anchors, commonness priors, a link
+graph, and per-entity types and domains.
+"""
+
+from repro.entity.annotator import Annotation, EntityAnnotator
+from repro.entity.disambiguator import Disambiguator
+from repro.entity.knowledge_base import Entity, KnowledgeBase
+from repro.entity.spotter import Spot, Spotter
+
+__all__ = [
+    "Annotation",
+    "Disambiguator",
+    "Entity",
+    "EntityAnnotator",
+    "KnowledgeBase",
+    "Spot",
+    "Spotter",
+]

@@ -1,0 +1,52 @@
+"""Evaluation substrate (paper Sec. 3.2).
+
+Implements the paper's four metric families — MAP, 11-point interpolated
+average precision, MRR, and (N)DCG — plus the random baseline (10 runs
+of 20 randomly selected users per query) and the experiment runner that
+executes the 30 queries under a finder configuration and aggregates the
+metrics.
+"""
+
+from repro.evaluation.baselines import random_baseline
+from repro.evaluation.metrics import (
+    average_precision,
+    dcg,
+    eleven_point_precision,
+    f1_score,
+    ndcg,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.evaluation.runner import (
+    EvaluationResult,
+    ExperimentRunner,
+    MetricsSummary,
+    QueryOutcome,
+    evaluate_finder,
+)
+from repro.evaluation.significance import (
+    SignificanceReport,
+    compare_results,
+    paired_permutation_test,
+)
+
+__all__ = [
+    "EvaluationResult",
+    "ExperimentRunner",
+    "MetricsSummary",
+    "QueryOutcome",
+    "SignificanceReport",
+    "average_precision",
+    "compare_results",
+    "dcg",
+    "eleven_point_precision",
+    "evaluate_finder",
+    "f1_score",
+    "ndcg",
+    "paired_permutation_test",
+    "precision_at_k",
+    "random_baseline",
+    "recall_at_k",
+    "reciprocal_rank",
+]

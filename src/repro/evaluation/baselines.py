@@ -1,0 +1,91 @@
+"""The random selection baseline (paper Sec. 3.1, last paragraph).
+
+"Random figures have been calculated by averaging, for each query, the
+results of 10 runs in which 20 users were randomly selected."
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.core.need import ExpertiseNeed
+from repro.evaluation.metrics import (
+    average_precision,
+    mean,
+    ndcg,
+    reciprocal_rank,
+)
+from repro.evaluation.runner import MetricsSummary
+from repro.synthetic.ground_truth import GroundTruth
+
+
+def random_baseline(
+    person_ids: Sequence[str],
+    queries: Sequence[ExpertiseNeed],
+    ground_truth: GroundTruth,
+    *,
+    runs: int = 10,
+    sample_size: int = 20,
+    seed: int = 0,
+) -> MetricsSummary:
+    """Average metrics of random top-20 selections over *runs* repeats.
+
+    The sample size is capped at the population size, so tiny test
+    datasets remain valid.
+    """
+    if runs <= 0 or sample_size <= 0:
+        raise ValueError("runs and sample_size must be positive")
+    rng = random.Random(seed)
+    population = list(person_ids)
+    k = min(sample_size, len(population))
+    ap_values: list[float] = []
+    rr_values: list[float] = []
+    ndcg_values: list[float] = []
+    ndcg10_values: list[float] = []
+    for need in queries:
+        relevant = ground_truth.experts(need.domain)
+        gains = {pid: float(ground_truth.likert(pid, need.domain)) for pid in relevant}
+        for _ in range(runs):
+            ranking = rng.sample(population, k)
+            ap_values.append(average_precision(ranking, relevant))
+            rr_values.append(reciprocal_rank(ranking, relevant))
+            ndcg_values.append(ndcg(ranking, gains))
+            ndcg10_values.append(ndcg(ranking, gains, 10))
+    return MetricsSummary(
+        map=mean(ap_values),
+        mrr=mean(rr_values),
+        ndcg=mean(ndcg_values),
+        ndcg_at_10=mean(ndcg10_values),
+    )
+
+
+def random_curves(
+    person_ids: Sequence[str],
+    queries: Sequence[ExpertiseNeed],
+    ground_truth: GroundTruth,
+    *,
+    runs: int = 10,
+    sample_size: int = 20,
+    seed: int = 0,
+    dcg_ks: Sequence[int] = (5, 10, 15, 20),
+) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """Random-baseline 11-point precision and DCG curves (for the
+    baseline series of Figs. 8 and 9)."""
+    from repro.evaluation.metrics import dcg, eleven_point_precision
+
+    rng = random.Random(seed)
+    population = list(person_ids)
+    k = min(sample_size, len(population))
+    curves: list[tuple[float, ...]] = []
+    dcg_rows: list[tuple[float, ...]] = []
+    for need in queries:
+        relevant = ground_truth.experts(need.domain)
+        gains = {pid: float(ground_truth.likert(pid, need.domain)) for pid in relevant}
+        for _ in range(runs):
+            ranking = rng.sample(population, k)
+            curves.append(eleven_point_precision(ranking, relevant))
+            dcg_rows.append(tuple(dcg(ranking, gains, cut) for cut in dcg_ks))
+    eleven = tuple(mean([c[i] for c in curves]) for i in range(11))
+    dcg_curve = tuple(mean([row[i] for row in dcg_rows]) for i in range(len(dcg_ks)))
+    return eleven, dcg_curve

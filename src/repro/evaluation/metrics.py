@@ -1,0 +1,148 @@
+"""Standard retrieval metrics (paper Sec. 3.2).
+
+All functions take a *ranked* list of candidate ids (best first) and
+ground-truth relevance — a set of relevant ids for the binary metrics,
+or an id → graded-relevance mapping for the DCG family. The DCG gain is
+exponential (``2^rel − 1``) over the 7-point Likert relevance, which
+reproduces the magnitude of the paper's DCG curves (tens to hundreds);
+NDCG divides by the ideal DCG so tables stay in [0, 1].
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence, Set
+
+
+def precision_at_k(ranked: Sequence[str], relevant: Set[str], k: int) -> float:
+    """Fraction of the top-*k* results that are relevant.
+
+    >>> precision_at_k(["a", "b", "c"], {"a", "c"}, 2)
+    0.5
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    top = ranked[:k]
+    if not top:
+        return 0.0
+    return sum(1 for r in top if r in relevant) / k
+
+
+def recall_at_k(ranked: Sequence[str], relevant: Set[str], k: int) -> float:
+    """Fraction of the relevant items found in the top *k*."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not relevant:
+        return 0.0
+    return sum(1 for r in ranked[:k] if r in relevant) / len(relevant)
+
+
+def average_precision(ranked: Sequence[str], relevant: Set[str]) -> float:
+    """AP: mean of precision@rank over the ranks of relevant results.
+
+    Missing relevant items contribute 0 (standard TREC convention).
+
+    >>> average_precision(["a", "x", "b"], {"a", "b"})
+    0.8333333333333333
+    """
+    if not relevant:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for i, item in enumerate(ranked, start=1):
+        if item in relevant:
+            hits += 1
+            total += hits / i
+    return total / len(relevant)
+
+
+def reciprocal_rank(ranked: Sequence[str], relevant: Set[str]) -> float:
+    """1 / rank of the first relevant result; 0 when none appears.
+
+    >>> reciprocal_rank(["x", "a"], {"a"})
+    0.5
+    """
+    for i, item in enumerate(ranked, start=1):
+        if item in relevant:
+            return 1.0 / i
+    return 0.0
+
+
+def _gain(relevance: float) -> float:
+    return 2.0**relevance - 1.0
+
+
+def dcg(ranked: Sequence[str], gains: Mapping[str, float], k: int | None = None) -> float:
+    """Discounted cumulative gain with exponential gains and a
+    ``log2(rank + 1)`` discount. Ids absent from *gains* contribute 0."""
+    if k is not None and k <= 0:
+        raise ValueError("k must be positive when given")
+    top = ranked if k is None else ranked[:k]
+    total = 0.0
+    for i, item in enumerate(top, start=1):
+        rel = gains.get(item, 0.0)
+        if rel > 0:
+            total += _gain(rel) / math.log2(i + 1)
+    return total
+
+
+def ideal_dcg(gains: Mapping[str, float], k: int | None = None) -> float:
+    """The DCG of the perfect ordering of *gains*."""
+    ordered = sorted(gains, key=lambda item: -gains[item])
+    return dcg(ordered, gains, k)
+
+
+def ndcg(ranked: Sequence[str], gains: Mapping[str, float], k: int | None = None) -> float:
+    """Normalized DCG in [0, 1]; 0 when there is no relevant item at all.
+
+    >>> ndcg(["a", "b"], {"a": 3.0, "b": 1.0})
+    1.0
+    """
+    ideal = ideal_dcg(gains, k)
+    if ideal == 0.0:
+        return 0.0
+    return dcg(ranked, gains, k) / ideal
+
+
+def eleven_point_precision(
+    ranked: Sequence[str], relevant: Set[str]
+) -> tuple[float, ...]:
+    """Interpolated precision at recall 0.0, 0.1, …, 1.0 (11 values).
+
+    Interpolation takes, at each recall level, the maximum precision at
+    any recall ≥ that level.
+    """
+    if not relevant:
+        return tuple(0.0 for _ in range(11))
+    # precision/recall after each rank
+    points: list[tuple[float, float]] = []
+    hits = 0
+    for i, item in enumerate(ranked, start=1):
+        if item in relevant:
+            hits += 1
+            points.append((hits / len(relevant), hits / i))
+    curve = []
+    for level in range(11):
+        recall_level = level / 10.0
+        attainable = [p for r, p in points if r >= recall_level]
+        curve.append(max(attainable) if attainable else 0.0)
+    return tuple(curve)
+
+
+def f1_score(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall; 0 when both are 0.
+
+    >>> f1_score(0.5, 0.5)
+    0.5
+    """
+    if precision < 0 or recall < 0:
+        raise ValueError("precision and recall must be non-negative")
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence (a query set with no
+    evaluable queries contributes nothing rather than crashing a sweep)."""
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,85 @@
+"""Paper-style rendering of experiment outputs.
+
+Turns metric summaries and curves into the rows/series layout of the
+paper's tables and figures, as plain text suitable for terminals and for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.evaluation.runner import MetricsSummary
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.4f}"
+
+
+def metrics_table(
+    rows: Mapping[str, MetricsSummary],
+    *,
+    title: str = "",
+    header: Sequence[str] = ("MAP", "MRR", "NDCG", "NDCG@10"),
+) -> str:
+    """Render label → summary rows as an aligned text table, bolding
+    nothing but marking the per-column best with a ``*`` (the paper uses
+    bold)."""
+    labels = list(rows)
+    if not labels:
+        return title
+    values = [rows[label].as_row() for label in labels]
+    best = [max(col[i] for col in values) for i in range(4)]
+    width = max(len(label) for label in labels)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" " * width + "  " + "  ".join(f"{h:>8}" for h in header))
+    for label, row in zip(labels, values):
+        cells = []
+        for i, value in enumerate(row):
+            mark = "*" if value == best[i] and value > 0 else " "
+            cells.append(f"{_fmt(value):>7}{mark}")
+        lines.append(f"{label:<{width}}  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def curve_series(
+    series: Mapping[str, Sequence[float]],
+    *,
+    x_labels: Sequence[str],
+    title: str = "",
+) -> str:
+    """Render named series over common x points (the figure data)."""
+    width = max((len(name) for name in series), default=0)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" " * width + "  " + "  ".join(f"{x:>7}" for x in x_labels))
+    for name, values in series.items():
+        cells = "  ".join(f"{v:7.4f}" for v in values)
+        lines.append(f"{name:<{width}}  {cells}")
+    return "\n".join(lines)
+
+
+def domain_table(
+    rows: Mapping[str, Mapping[str, Mapping[int, MetricsSummary]]],
+    *,
+    metric: str,
+    networks: Sequence[str] = ("All", "FB", "TW", "LI"),
+    distances: Sequence[int] = (0, 1, 2),
+) -> str:
+    """Render the Table-4 layout for one metric: domain × distance rows,
+    one column per network."""
+    lines = [f"metric: {metric}"]
+    header = "domain                    d  " + "  ".join(f"{n:>7}" for n in networks)
+    lines.append(header)
+    for domain, per_network in rows.items():
+        for distance in distances:
+            cells = []
+            for network in networks:
+                summary = per_network.get(network, {}).get(distance)
+                value = getattr(summary, metric) if summary is not None else float("nan")
+                cells.append(f"{value:7.4f}")
+            lines.append(f"{domain:<24}  {distance}  " + "  ".join(cells))
+    return "\n".join(lines)

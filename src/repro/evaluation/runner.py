@@ -1,0 +1,239 @@
+"""Experiment runner: execute the query set under a configuration.
+
+The runner owns the expensive pieces — finder construction per
+``(platform, max_distance, include_friends, idf_exponent)`` — and reuses
+the dataset's shared corpus, so parameter sweeps over α and the window
+only pay the cheap retrieval/ranking cost.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.config import FinderConfig
+from repro.core.expert_finder import ExpertFinder
+from repro.core.need import ExpertiseNeed
+from repro.evaluation.metrics import (
+    average_precision,
+    dcg,
+    eleven_point_precision,
+    f1_score,
+    mean,
+    ndcg,
+    reciprocal_rank,
+)
+from repro.socialgraph.metamodel import Platform
+from repro.synthetic.dataset import EvaluationDataset
+
+
+@dataclass(frozen=True)
+class MetricsSummary:
+    """The four headline metrics of the paper's tables."""
+
+    map: float
+    mrr: float
+    ndcg: float
+    ndcg_at_10: float
+
+    def as_row(self) -> tuple[float, float, float, float]:
+        return (self.map, self.mrr, self.ndcg, self.ndcg_at_10)
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Everything recorded for one query under one configuration."""
+
+    need: ExpertiseNeed
+    ranking: tuple[str, ...]
+    relevant: frozenset[str]
+    gains: dict[str, float] = field(repr=False)
+    matched_resources: int = 0
+
+    @property
+    def ap(self) -> float:
+        return average_precision(self.ranking, self.relevant)
+
+    @property
+    def rr(self) -> float:
+        return reciprocal_rank(self.ranking, self.relevant)
+
+    @property
+    def ndcg(self) -> float:
+        return ndcg(self.ranking, self.gains)
+
+    @property
+    def ndcg_at_10(self) -> float:
+        return ndcg(self.ranking, self.gains, 10)
+
+    def dcg_at(self, k: int) -> float:
+        return dcg(self.ranking, self.gains, k)
+
+    @property
+    def retrieved_delta(self) -> int:
+        """Δ of Fig. 11: retrieved experts minus expected experts."""
+        return len(self.ranking) - len(self.relevant)
+
+
+@dataclass
+class EvaluationResult:
+    """Aggregation over a query set."""
+
+    outcomes: list[QueryOutcome]
+
+    def summary(self) -> MetricsSummary:
+        return MetricsSummary(
+            map=mean([o.ap for o in self.outcomes]),
+            mrr=mean([o.rr for o in self.outcomes]),
+            ndcg=mean([o.ndcg for o in self.outcomes]),
+            ndcg_at_10=mean([o.ndcg_at_10 for o in self.outcomes]),
+        )
+
+    def eleven_point_curve(self) -> tuple[float, ...]:
+        """Average interpolated 11-point precision/recall curve."""
+        curves = [eleven_point_precision(o.ranking, o.relevant) for o in self.outcomes]
+        if not curves:
+            return tuple(0.0 for _ in range(11))
+        return tuple(mean([c[i] for c in curves]) for i in range(11))
+
+    def dcg_curve(self, ks: Sequence[int] = (5, 10, 15, 20)) -> tuple[float, ...]:
+        """Average DCG at each cut-off (the Fig. 8b / 9b series)."""
+        return tuple(mean([o.dcg_at(k) for o in self.outcomes]) for k in ks)
+
+    def by_domain(self) -> dict[str, "EvaluationResult"]:
+        grouped: dict[str, list[QueryOutcome]] = {}
+        for outcome in self.outcomes:
+            grouped.setdefault(outcome.need.domain, []).append(outcome)
+        return {d: EvaluationResult(os) for d, os in grouped.items()}
+
+    def expert_deltas(self) -> list[int]:
+        """Per-query Δ (Fig. 11), in query order."""
+        return [o.retrieved_delta for o in self.outcomes]
+
+    def user_f1(
+        self, person_ids: Sequence[str], *, top_k: int | None = 20
+    ) -> dict[str, float]:
+        """Fig.-10 per-candidate F1: each query is a binary prediction
+        "this person is among the top-*top_k* returned experts" (None =
+        anywhere in EX — near-vacuous when most candidates match
+        something, hence the default cut at the paper's 20-user
+        selection size)."""
+        scores: dict[str, float] = {}
+        for pid in person_ids:
+            true_positive = false_positive = false_negative = 0
+            for o in self.outcomes:
+                retrieved = o.ranking if top_k is None else o.ranking[:top_k]
+                predicted = pid in retrieved
+                actual = pid in o.relevant
+                if predicted and actual:
+                    true_positive += 1
+                elif predicted:
+                    false_positive += 1
+                elif actual:
+                    false_negative += 1
+            precision = (
+                true_positive / (true_positive + false_positive)
+                if true_positive + false_positive
+                else 0.0
+            )
+            recall = (
+                true_positive / (true_positive + false_negative)
+                if true_positive + false_negative
+                else 0.0
+            )
+            scores[pid] = f1_score(precision, recall)
+        return scores
+
+
+def evaluate_finder(
+    dataset: EvaluationDataset,
+    finder,
+    queries: Sequence[ExpertiseNeed] | None = None,
+) -> EvaluationResult:
+    """Score any object exposing ``find_experts(need)`` — the paper's
+    system, the Balog baselines, the profile matcher — over *dataset*'s
+    queries with its ground truth."""
+    ground_truth = dataset.ground_truth
+    outcomes: list[QueryOutcome] = []
+    for need in queries if queries is not None else dataset.queries:
+        experts = finder.find_experts(need)
+        ranking = tuple(e.candidate_id for e in experts)
+        relevant = ground_truth.experts(need.domain)
+        gains = {
+            pid: float(ground_truth.likert(pid, need.domain)) for pid in relevant
+        }
+        outcomes.append(
+            QueryOutcome(
+                need=need,
+                ranking=ranking,
+                relevant=relevant,
+                gains=gains,
+                matched_resources=0,
+            )
+        )
+    return EvaluationResult(outcomes)
+
+
+class ExperimentRunner:
+    """Run query sets against finder configurations over one dataset."""
+
+    def __init__(self, dataset: EvaluationDataset):
+        self._dataset = dataset
+        self._finders: dict[tuple, ExpertFinder] = {}
+
+    @property
+    def dataset(self) -> EvaluationDataset:
+        return self._dataset
+
+    def finder(self, platform: Platform | None, config: FinderConfig) -> ExpertFinder:
+        """A finder for (platform, config); indexes are cached across α
+        and window values, which don't affect them."""
+        key = (
+            platform,
+            config.max_distance,
+            config.include_friends,
+            config.idf_exponent,
+        )
+        cached = self._finders.get(key)
+        if cached is None:
+            cached = ExpertFinder.build(
+                self._dataset.graph_for(platform),
+                self._dataset.candidates_for(platform),
+                self._dataset.analyzer,
+                config,
+                corpus=self._dataset.corpus,
+            )
+            self._finders[key] = cached
+        return cached
+
+    def run(
+        self,
+        platform: Platform | None,
+        config: FinderConfig,
+        *,
+        queries: Sequence[ExpertiseNeed] | None = None,
+    ) -> EvaluationResult:
+        """Execute *queries* (default: all 30) and collect outcomes."""
+        finder = self.finder(platform, config)
+        ground_truth = self._dataset.ground_truth
+        outcomes: list[QueryOutcome] = []
+        for need in queries if queries is not None else self._dataset.queries:
+            matches = finder.match_resources(need, alpha=config.alpha)
+            experts = finder.rank_matches(matches, config=config)
+            ranking = tuple(e.candidate_id for e in experts)
+            relevant = ground_truth.experts(need.domain)
+            gains = {
+                pid: float(ground_truth.likert(pid, need.domain))
+                for pid in self._dataset.person_ids
+                if pid in relevant
+            }
+            outcomes.append(
+                QueryOutcome(
+                    need=need,
+                    ranking=ranking,
+                    relevant=relevant,
+                    gains=gains,
+                    matched_resources=len(matches),
+                )
+            )
+        return EvaluationResult(outcomes)

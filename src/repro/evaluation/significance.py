@@ -1,0 +1,108 @@
+"""Paired significance testing between system configurations.
+
+The paper compares configurations by their mean metrics alone; with 30
+queries, a paired test tells whether a difference is more than seed
+luck. ``paired_permutation_test`` implements the standard
+Fisher/Pitman randomization test on per-query score differences (exact
+for ≤ ``exact_limit`` queries, Monte-Carlo above), and
+``compare_results`` applies it to two :class:`EvaluationResult`s on any
+per-query metric.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.evaluation.runner import EvaluationResult
+
+
+@dataclass(frozen=True)
+class SignificanceReport:
+    """Outcome of one paired comparison."""
+
+    metric: str
+    mean_a: float
+    mean_b: float
+    p_value: float
+
+    @property
+    def difference(self) -> float:
+        return self.mean_a - self.mean_b
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def paired_permutation_test(
+    a: Sequence[float],
+    b: Sequence[float],
+    *,
+    rounds: int = 10000,
+    seed: int = 0,
+    exact_limit: int = 14,
+) -> float:
+    """Two-sided p-value for mean(a) ≠ mean(b) on paired samples.
+
+    Under the null hypothesis each pair's difference is symmetric
+    around 0, so its sign can be flipped freely; the p-value is the
+    share of sign assignments whose |mean difference| reaches the
+    observed one. Exact enumeration when there are at most
+    *exact_limit* informative pairs, seeded Monte-Carlo otherwise.
+
+    >>> paired_permutation_test([1.0, 1.0, 1.0], [1.0, 1.0, 1.0])
+    1.0
+    """
+    if len(a) != len(b):
+        raise ValueError(f"paired samples differ in length: {len(a)} != {len(b)}")
+    if not a:
+        raise ValueError("samples must be non-empty")
+    diffs = [x - y for x, y in zip(a, b)]
+    informative = [d for d in diffs if d != 0.0]
+    if not informative:
+        return 1.0
+    observed = abs(sum(diffs) / len(diffs))
+    n = len(informative)
+    count_total = 0
+    count_extreme = 0
+    if n <= exact_limit:
+        for signs in itertools.product((1, -1), repeat=n):
+            total = sum(s * d for s, d in zip(signs, informative))
+            count_total += 1
+            if abs(total / len(diffs)) >= observed - 1e-15:
+                count_extreme += 1
+    else:
+        rng = random.Random(seed)
+        for _ in range(rounds):
+            total = sum(d if rng.random() < 0.5 else -d for d in informative)
+            count_total += 1
+            if abs(total / len(diffs)) >= observed - 1e-15:
+                count_extreme += 1
+    return count_extreme / count_total
+
+
+def compare_results(
+    result_a: EvaluationResult,
+    result_b: EvaluationResult,
+    *,
+    metric: str = "ap",
+    rounds: int = 10000,
+    seed: int = 0,
+) -> SignificanceReport:
+    """Paired test between two evaluation results on a per-query metric
+    (``ap``, ``rr``, ``ndcg``, or ``ndcg_at_10``). The results must
+    cover the same queries in the same order."""
+    ids_a = [o.need.need_id for o in result_a.outcomes]
+    ids_b = [o.need.need_id for o in result_b.outcomes]
+    if ids_a != ids_b:
+        raise ValueError("results cover different query sets")
+    a = [getattr(o, metric) for o in result_a.outcomes]
+    b = [getattr(o, metric) for o in result_b.outcomes]
+    return SignificanceReport(
+        metric=metric,
+        mean_a=sum(a) / len(a),
+        mean_b=sum(b) / len(b),
+        p_value=paired_permutation_test(a, b, rounds=rounds, seed=seed),
+    )

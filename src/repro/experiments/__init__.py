@@ -1,0 +1,24 @@
+"""Experiment drivers — one module per table/figure of the paper.
+
+Each driver consumes an :class:`ExperimentContext` (dataset + runner +
+random baseline, shared across experiments) and returns a structured
+result object with a ``render()`` method producing the paper-style
+table/series text. The benchmark suite wraps these drivers; the
+``examples/reproduce_paper.py`` script runs them all.
+
+| module              | reproduces                                        |
+|----------------------|---------------------------------------------------|
+| ``fig5_dataset``     | Fig. 5a/5b dataset distributions                  |
+| ``fig6_window``      | Fig. 6 window-size sweep                          |
+| ``fig7_alpha``       | Fig. 7 α sweep                                    |
+| ``tab2_fig8_friends``| Table 2 + Fig. 8 Twitter-friends experiment       |
+| ``tab3_fig9_networks``| Table 3 + Fig. 9 distance/network contribution   |
+| ``tab4_domains``     | Table 4 per-domain breakdown                      |
+| ``fig10_trust``      | Fig. 10 per-user F1 vs. available resources       |
+| ``fig11_delta``      | Fig. 11 Δ of retrieved experts                    |
+| ``ablations``        | design-choice ablations (DESIGN.md Sec. 5)        |
+"""
+
+from repro.experiments.context import ExperimentContext
+
+__all__ = ["ExperimentContext"]

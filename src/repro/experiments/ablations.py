@@ -1,0 +1,59 @@
+"""Ablations of the design choices called out in DESIGN.md Sec. 5.
+
+The paper fixes several modelling decisions without ablating them; these
+experiments quantify each one on the final configuration (All networks,
+distance 2, window = 100, α = 0.6):
+
+* **idf exponent** — Eq. 1 squares irf/eirf; compare linear idf.
+* **score normalization** — Eq. 3 deliberately does not normalize by the
+  number of supporting resources; compare the normalized variant.
+* **wr decay** — the paper fixes ``wr`` linear over [0.5, 1]; compare a
+  constant weight (no distance discount) and a steeper [0.1, 1] decay.
+* **entity weight** — Eq. 2 boosts entities by 1 + dScore; compare
+  ignoring the disambiguation confidence (idf-only entity scoring is
+  obtained with a [1, 1]-style flat weight, approximated by α = 1 term
+  matching vs the full model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import FinderConfig
+from repro.evaluation.reports import metrics_table
+from repro.evaluation.runner import MetricsSummary
+from repro.experiments.context import ExperimentContext
+
+
+@dataclass
+class AblationResult:
+    #: variant label → summary; "paper" is the reference configuration
+    table: dict[str, MetricsSummary]
+
+    def delta_map(self, variant: str) -> float:
+        """MAP difference of *variant* against the paper configuration."""
+        return self.table[variant].map - self.table["paper"].map
+
+    def render(self) -> str:
+        return metrics_table(self.table, title="Ablations (All networks, distance 2)")
+
+
+VARIANTS: dict[str, FinderConfig] = {
+    "paper": FinderConfig(),
+    "linear idf": FinderConfig(idf_exponent=1.0),
+    "normalized scores": FinderConfig(normalize=True),
+    "constant wr": FinderConfig(weight_interval=(1.0, 1.0)),
+    "steep wr [0.1,1]": FinderConfig(weight_interval=(0.1, 1.0)),
+    "terms only (α=1)": FinderConfig(alpha=1.0),
+    "entities only (α=0)": FinderConfig(alpha=0.0),
+    "no window": FinderConfig(window=None),
+}
+
+
+def run(context: ExperimentContext) -> AblationResult:
+    """Evaluate every ablation variant on the full query set."""
+    table = {
+        label: context.runner.run(None, config).summary()
+        for label, config in VARIANTS.items()
+    }
+    return AblationResult(table=table)

@@ -1,0 +1,55 @@
+"""Fig. 11 — differential number of retrieved experts.
+
+For every query and resource distance, Δ = |EX| − |ground-truth
+experts|: negative when the system under-retrieves (not enough evidence
+reaches the candidates), positive when it over-retrieves. Expected
+shape: strongly negative at distance 0 (profiles barely match),
+approaching and crossing 0 as the distance grows — more resources, more
+retrieved experts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import FinderConfig
+from repro.evaluation.metrics import mean
+from repro.experiments.context import ExperimentContext
+
+
+@dataclass
+class Fig11Result:
+    #: distance → per-query Δ, in query order (q01..q30)
+    deltas: dict[int, list[int]]
+
+    def average_delta(self, distance: int) -> float:
+        return mean([float(d) for d in self.deltas[distance]])
+
+    def under_represented(self, distance: int, threshold: int = -3) -> int:
+        """Queries clearly under-retrieving at this distance."""
+        return sum(1 for d in self.deltas[distance] if d <= threshold)
+
+    def over_represented(self, distance: int, threshold: int = 3) -> int:
+        return sum(1 for d in self.deltas[distance] if d >= threshold)
+
+    def render(self) -> str:
+        lines = ["Fig. 11 — Δ(retrieved − expected experts) per query"]
+        lines.append("query  " + "  ".join(f"d{d:>4}" for d in sorted(self.deltas)))
+        n = len(next(iter(self.deltas.values())))
+        for i in range(n):
+            row = "  ".join(f"{self.deltas[d][i]:>5}" for d in sorted(self.deltas))
+            lines.append(f"q{i + 1:02d}    {row}")
+        lines.append(
+            "avg    "
+            + "  ".join(f"{self.average_delta(d):5.1f}" for d in sorted(self.deltas))
+        )
+        return "\n".join(lines)
+
+
+def run(context: ExperimentContext) -> Fig11Result:
+    """Compute the per-query Δ for distances 0, 1, 2."""
+    deltas: dict[int, list[int]] = {}
+    for distance in (0, 1, 2):
+        result = context.runner.run(None, FinderConfig(max_distance=distance))
+        deltas[distance] = result.expert_deltas()
+    return Fig11Result(deltas=deltas)

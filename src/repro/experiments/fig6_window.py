@@ -1,0 +1,65 @@
+"""Fig. 6 — effect of the window size.
+
+Sweeps the window over 1%–10% of the matching resources, at resource
+distances 1 and 2 with α = 0.5, and also evaluates the fixed
+100-resource window the paper finally adopts (the dashed vertical lines
+in the figure). Expected shape: MAP and NDCG grow with the window,
+MRR and NDCG@10 stay roughly flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import FinderConfig
+from repro.evaluation.runner import MetricsSummary
+from repro.experiments.context import ExperimentContext
+
+#: fractions of matching resources swept by the figure
+WINDOW_FRACTIONS: tuple[float, ...] = (0.01, 0.02, 0.04, 0.06, 0.08, 0.10)
+
+
+@dataclass
+class Fig6Result:
+    #: distance → window fraction → summary
+    sweeps: dict[int, dict[float, MetricsSummary]]
+    #: distance → summary at the fixed 100-resource window
+    fixed_100: dict[int, MetricsSummary]
+    baseline: MetricsSummary
+    metric_names: tuple[str, ...] = ("map", "mrr", "ndcg", "ndcg_at_10")
+
+    def series(self, metric: str, distance: int) -> list[float]:
+        """One curve of the figure: *metric* over the window fractions."""
+        return [getattr(s, metric) for s in self.sweeps[distance].values()]
+
+    def render(self) -> str:
+        lines = ["Fig. 6 — metrics vs window size (α = 0.5)"]
+        header = "dist  metric    " + "  ".join(f"{f:>5.0%}" for f in WINDOW_FRACTIONS) + "   @100"
+        lines.append(header)
+        for distance, per_fraction in self.sweeps.items():
+            for metric in self.metric_names:
+                cells = "  ".join(
+                    f"{getattr(s, metric):5.3f}" for s in per_fraction.values()
+                )
+                fixed = getattr(self.fixed_100[distance], metric)
+                lines.append(f"   {distance}  {metric:<8}  {cells}  {fixed:6.3f}")
+        lines.append(
+            "random  map=%.3f mrr=%.3f ndcg=%.3f ndcg@10=%.3f" % self.baseline.as_row()
+        )
+        return "\n".join(lines)
+
+
+def run(context: ExperimentContext, *, alpha: float = 0.5) -> Fig6Result:
+    """Run the window sweep at distances 1 and 2."""
+    sweeps: dict[int, dict[float, MetricsSummary]] = {}
+    fixed: dict[int, MetricsSummary] = {}
+    for distance in (1, 2):
+        per_fraction: dict[float, MetricsSummary] = {}
+        for fraction in WINDOW_FRACTIONS:
+            config = FinderConfig(alpha=alpha, window=fraction, max_distance=distance)
+            per_fraction[fraction] = context.runner.run(None, config).summary()
+        sweeps[distance] = per_fraction
+        fixed[distance] = context.runner.run(
+            None, FinderConfig(alpha=alpha, window=100, max_distance=distance)
+        ).summary()
+    return Fig6Result(sweeps=sweeps, fixed_100=fixed, baseline=context.baseline)

@@ -1,0 +1,63 @@
+"""Fig. 7 — sensitivity to the α parameter.
+
+α balances keyword matching (α = 1) against entity matching (α = 0) in
+Eq. 1. The sweep runs α from 0 to 1 in steps of 0.1 at distances 0, 1,
+and 2 (window = 100). Expected shape: α = 0 collapses at distance 0
+(profiles yield few, poorly disambiguated entities), and the metrics
+plateau for α ∈ [0.3, 0.8] — which is why the paper fixes α = 0.6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import FinderConfig
+from repro.evaluation.runner import MetricsSummary
+from repro.experiments.context import ExperimentContext
+
+ALPHA_GRID: tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(11))
+
+
+@dataclass
+class Fig7Result:
+    #: distance → alpha → summary
+    sweeps: dict[int, dict[float, MetricsSummary]]
+    baseline: MetricsSummary
+    metric_names: tuple[str, ...] = ("map", "mrr", "ndcg", "ndcg_at_10")
+
+    def series(self, metric: str, distance: int) -> list[float]:
+        return [getattr(s, metric) for s in self.sweeps[distance].values()]
+
+    def plateau_spread(self, metric: str, distance: int) -> float:
+        """Max−min of *metric* over α ∈ [0.3, 0.8] — the stability the
+        paper reads off the figure."""
+        values = [
+            getattr(s, metric)
+            for a, s in self.sweeps[distance].items()
+            if 0.3 <= a <= 0.8
+        ]
+        return max(values) - min(values)
+
+    def render(self) -> str:
+        lines = ["Fig. 7 — metrics vs α (window = 100)"]
+        lines.append("dist  metric    " + "  ".join(f"{a:>5.1f}" for a in ALPHA_GRID))
+        for distance, per_alpha in self.sweeps.items():
+            for metric in self.metric_names:
+                cells = "  ".join(f"{getattr(s, metric):5.3f}" for s in per_alpha.values())
+                lines.append(f"   {distance}  {metric:<8}  {cells}")
+        lines.append(
+            "random  map=%.3f mrr=%.3f ndcg=%.3f ndcg@10=%.3f" % self.baseline.as_row()
+        )
+        return "\n".join(lines)
+
+
+def run(context: ExperimentContext, *, window: int = 100) -> Fig7Result:
+    """Run the α sweep at distances 0, 1, and 2."""
+    sweeps: dict[int, dict[float, MetricsSummary]] = {}
+    for distance in (0, 1, 2):
+        per_alpha: dict[float, MetricsSummary] = {}
+        for alpha in ALPHA_GRID:
+            config = FinderConfig(alpha=alpha, window=window, max_distance=distance)
+            per_alpha[alpha] = context.runner.run(None, config).summary()
+        sweeps[distance] = per_alpha
+    return Fig7Result(sweeps=sweeps, baseline=context.baseline)

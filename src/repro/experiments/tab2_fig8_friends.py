@@ -1,0 +1,69 @@
+"""Table 2 + Fig. 8 — do Twitter friends' resources help?
+
+Compares the Twitter configuration (window = 100, α = 0.6) at distances
+1 and 2, with and without traversing friendship (mutual-follow) edges.
+The paper's conclusion: a modest ~1% gain at distance 1, slightly worse
+MAP/NDCG at distance 2 — so friends are excluded from the final method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import FinderConfig
+from repro.evaluation.reports import metrics_table
+from repro.evaluation.runner import EvaluationResult, MetricsSummary
+from repro.experiments.context import ExperimentContext
+from repro.socialgraph.metamodel import Platform
+
+DCG_CUTS: tuple[int, ...] = (5, 10, 15, 20)
+
+
+@dataclass
+class Tab2Result:
+    #: (distance, include_friends) → summary
+    table: dict[tuple[int, bool], MetricsSummary]
+    #: (distance, include_friends) → 11-point interpolated precision
+    eleven_point: dict[tuple[int, bool], tuple[float, ...]]
+    #: (distance, include_friends) → DCG at the Fig.-8b cut-offs
+    dcg_curves: dict[tuple[int, bool], tuple[float, ...]]
+    baseline: MetricsSummary
+    baseline_eleven: tuple[float, ...]
+    baseline_dcg: tuple[float, ...]
+
+    def render(self) -> str:
+        rows = {"Random": self.baseline}
+        for (distance, friends), summary in self.table.items():
+            rows[f"dist {distance} friends={'Y' if friends else 'N'}"] = summary
+        out = [metrics_table(rows, title="Table 2 — Twitter friend relationships")]
+        out.append("")
+        out.append("Fig. 8b — DCG at cut-offs " + str(DCG_CUTS))
+        out.append(f"{'Random':<22} " + "  ".join(f"{v:7.2f}" for v in self.baseline_dcg))
+        for key, curve in self.dcg_curves.items():
+            label = f"dist {key[0]} friends={'Y' if key[1] else 'N'}"
+            out.append(f"{label:<22} " + "  ".join(f"{v:7.2f}" for v in curve))
+        return "\n".join(out)
+
+
+def run(context: ExperimentContext) -> Tab2Result:
+    """Run the four Twitter configurations of Table 2."""
+    table: dict[tuple[int, bool], MetricsSummary] = {}
+    eleven: dict[tuple[int, bool], tuple[float, ...]] = {}
+    dcg_curves: dict[tuple[int, bool], tuple[float, ...]] = {}
+    for distance in (1, 2):
+        for friends in (False, True):
+            config = FinderConfig(max_distance=distance, include_friends=friends)
+            result: EvaluationResult = context.runner.run(Platform.TWITTER, config)
+            key = (distance, friends)
+            table[key] = result.summary()
+            eleven[key] = result.eleven_point_curve()
+            dcg_curves[key] = result.dcg_curve(DCG_CUTS)
+    baseline_eleven, baseline_dcg = context.baseline_curves(DCG_CUTS)
+    return Tab2Result(
+        table=table,
+        eleven_point=eleven,
+        dcg_curves=dcg_curves,
+        baseline=context.baseline,
+        baseline_eleven=baseline_eleven,
+        baseline_dcg=baseline_dcg,
+    )

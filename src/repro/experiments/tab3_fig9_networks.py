@@ -1,0 +1,81 @@
+"""Table 3 + Fig. 9 — contribution of resource distance and of each
+social network.
+
+Evaluates {All, Facebook, Twitter, LinkedIn} × distance {0, 1, 2} with
+the paper's final parameters (window = 100, α = 0.6), against the
+random baseline. Expected shape: distance 0 below random; distances 1
+and 2 well above it; Twitter-at-2 the strongest single configuration;
+LinkedIn the weakest network.
+
+Fig. 9 is the 11-point precision/recall and DCG view of the "All"
+rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import FinderConfig
+from repro.evaluation.reports import metrics_table
+from repro.evaluation.runner import MetricsSummary
+from repro.experiments.context import ExperimentContext
+from repro.socialgraph.metamodel import Platform
+
+NETWORKS: tuple[tuple[Platform | None, str], ...] = (
+    (None, "All"),
+    (Platform.FACEBOOK, "FB"),
+    (Platform.TWITTER, "TW"),
+    (Platform.LINKEDIN, "LI"),
+)
+DCG_CUTS: tuple[int, ...] = (5, 10, 15, 20)
+
+
+@dataclass
+class Tab3Result:
+    #: (network label, distance) → summary
+    table: dict[tuple[str, int], MetricsSummary]
+    #: distance → 11-point curve for the "All" configuration
+    eleven_point_all: dict[int, tuple[float, ...]]
+    #: distance → DCG curve for the "All" configuration
+    dcg_all: dict[int, tuple[float, ...]]
+    baseline: MetricsSummary
+    baseline_eleven: tuple[float, ...]
+    baseline_dcg: tuple[float, ...]
+
+    def summary(self, network: str, distance: int) -> MetricsSummary:
+        return self.table[(network, distance)]
+
+    def render(self) -> str:
+        rows = {"Random": self.baseline}
+        for (network, distance), summary in self.table.items():
+            rows[f"{network} d{distance}"] = summary
+        out = [metrics_table(rows, title="Table 3 — networks × distance")]
+        out.append("")
+        out.append("Fig. 9b — DCG (All) at cut-offs " + str(DCG_CUTS))
+        out.append(f"{'Random':<12} " + "  ".join(f"{v:7.2f}" for v in self.baseline_dcg))
+        for distance, curve in self.dcg_all.items():
+            out.append(f"{f'distance {distance}':<12} " + "  ".join(f"{v:7.2f}" for v in curve))
+        return "\n".join(out)
+
+
+def run(context: ExperimentContext) -> Tab3Result:
+    """Run the 12 configurations of Table 3."""
+    table: dict[tuple[str, int], MetricsSummary] = {}
+    eleven_all: dict[int, tuple[float, ...]] = {}
+    dcg_all: dict[int, tuple[float, ...]] = {}
+    for platform, label in NETWORKS:
+        for distance in (0, 1, 2):
+            result = context.runner.run(platform, FinderConfig(max_distance=distance))
+            table[(label, distance)] = result.summary()
+            if platform is None:
+                eleven_all[distance] = result.eleven_point_curve()
+                dcg_all[distance] = result.dcg_curve(DCG_CUTS)
+    baseline_eleven, baseline_dcg = context.baseline_curves(DCG_CUTS)
+    return Tab3Result(
+        table=table,
+        eleven_point_all=eleven_all,
+        dcg_all=dcg_all,
+        baseline=context.baseline,
+        baseline_eleven=baseline_eleven,
+        baseline_dcg=baseline_dcg,
+    )

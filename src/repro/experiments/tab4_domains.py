@@ -1,0 +1,62 @@
+"""Table 4 — per-domain breakdown.
+
+For each of the seven domains, each network selection, and each resource
+distance, reports MAP, MRR, and NDCG@10 over the domain's queries only.
+Expected shape: Twitter leads in computer engineering, science, sport,
+and technology & games; Facebook is strong in location, music, sport,
+and movies & tv; LinkedIn is competitive only at distance 0 for
+computer engineering (career profiles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import FinderConfig
+from repro.evaluation.reports import domain_table
+from repro.evaluation.runner import MetricsSummary
+from repro.experiments.context import ExperimentContext
+from repro.experiments.tab3_fig9_networks import NETWORKS
+from repro.synthetic.vocab import DOMAINS
+
+
+@dataclass
+class Tab4Result:
+    #: domain → network label → distance → summary
+    table: dict[str, dict[str, dict[int, MetricsSummary]]]
+
+    def summary(self, domain: str, network: str, distance: int) -> MetricsSummary:
+        return self.table[domain][network][distance]
+
+    def best_network(self, domain: str, distance: int, metric: str = "map") -> str:
+        """The network with the highest *metric* for (domain, distance)."""
+        candidates = {
+            network: getattr(per_distance[distance], metric)
+            for network, per_distance in self.table[domain].items()
+            if network != "All"
+        }
+        return max(candidates, key=candidates.get)
+
+    def render(self) -> str:
+        parts = ["Table 4 — per-domain metrics"]
+        for metric in ("map", "mrr", "ndcg_at_10"):
+            parts.append(domain_table(self.table, metric=metric))
+        return "\n\n".join(parts)
+
+
+def run(context: ExperimentContext) -> Tab4Result:
+    """Run the 84 (7 domains × 4 networks × 3 distances) cells.
+
+    Reuses full-query-set runs per (network, distance) and slices them by
+    domain, exactly as the paper derives Table 4 from the same runs as
+    Table 3.
+    """
+    table: dict[str, dict[str, dict[int, MetricsSummary]]] = {
+        d: {label: {} for _, label in NETWORKS} for d in DOMAINS
+    }
+    for platform, label in NETWORKS:
+        for distance in (0, 1, 2):
+            result = context.runner.run(platform, FinderConfig(max_distance=distance))
+            for domain, domain_result in result.by_domain().items():
+                table[domain][label][distance] = domain_result.summary()
+    return Tab4Result(table=table)

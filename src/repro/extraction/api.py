@@ -1,0 +1,233 @@
+"""Simulated social-platform APIs.
+
+A :class:`PlatformStore` is the *server side* of one platform: the full
+accounts, resources, and containers that exist there (the synthetic
+generator fills it). A :class:`PlatformClient` is the *client side* the
+crawler talks to: it needs an :class:`AuthToken`, enforces privacy
+policies, paginates results with the platform's page size, and applies a
+rate limit per request window — the concrete access constraints the
+paper names as what "naturally limit[s] the reach of the graph
+exploration" (Sec. 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.extraction.privacy import PrivacyPolicy
+from repro.socialgraph.metamodel import Platform, Resource, ResourceContainer, UserProfile
+from repro.socialgraph.platforms import PlatformCapabilities, capabilities_for
+
+
+class PermissionDenied(Exception):
+    """The target account's privacy settings forbid this read."""
+
+
+class RateLimitExceeded(Exception):
+    """Too many requests in the current window; retry after a reset."""
+
+
+class UnknownAccount(KeyError):
+    """The requested account does not exist on this platform."""
+
+
+@dataclass(frozen=True)
+class AuthToken:
+    """An OAuth-like token issued for one experiment volunteer.
+
+    The paper used the CrowdSearcher platform "to collect users
+    authentication tokens and privacy permissions".
+    """
+
+    token_id: str
+    subject_profile_id: str
+
+    def __post_init__(self) -> None:
+        if not self.token_id:
+            raise ValueError("AuthToken.token_id must be non-empty")
+
+
+@dataclass
+class AccountRecord:
+    """Server-side state of one account."""
+
+    profile: UserProfile
+    privacy: PrivacyPolicy = field(default_factory=PrivacyPolicy.open)
+    friends: list[str] = field(default_factory=list)
+    follows: list[str] = field(default_factory=list)
+    created: list[str] = field(default_factory=list)
+    owned: list[str] = field(default_factory=list)
+    annotated: list[str] = field(default_factory=list)
+    containers: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ContainerRecord:
+    """Server-side state of one group/page."""
+
+    container: ResourceContainer
+    members: list[str] = field(default_factory=list)
+    #: resource ids, most recent first (APIs return recent content first)
+    resource_ids: list[str] = field(default_factory=list)
+
+
+class PlatformStore:
+    """Everything that exists on one platform (server side)."""
+
+    def __init__(self, platform: Platform):
+        self.platform = platform
+        self.accounts: dict[str, AccountRecord] = {}
+        self.resources: dict[str, Resource] = {}
+        self.containers: dict[str, ContainerRecord] = {}
+
+    def add_account(self, record: AccountRecord) -> None:
+        pid = record.profile.profile_id
+        if pid in self.accounts:
+            raise ValueError(f"account {pid!r} already exists")
+        if record.profile.platform is not self.platform:
+            raise ValueError("profile platform mismatch")
+        self.accounts[pid] = record
+
+    def add_resource(self, resource: Resource) -> None:
+        if resource.resource_id in self.resources:
+            raise ValueError(f"resource {resource.resource_id!r} already exists")
+        self.resources[resource.resource_id] = resource
+
+    def add_container(self, record: ContainerRecord) -> None:
+        cid = record.container.container_id
+        if cid in self.containers:
+            raise ValueError(f"container {cid!r} already exists")
+        self.containers[cid] = record
+
+
+@dataclass(frozen=True)
+class Page:
+    """One page of API results."""
+
+    items: tuple
+    next_cursor: int | None
+
+
+class PlatformClient:
+    """Authenticated, rate-limited client over a :class:`PlatformStore`."""
+
+    def __init__(
+        self,
+        store: PlatformStore,
+        token: AuthToken,
+        *,
+        capabilities: PlatformCapabilities | None = None,
+    ):
+        if token.subject_profile_id not in store.accounts:
+            raise UnknownAccount(token.subject_profile_id)
+        self._store = store
+        self._token = token
+        self._caps = capabilities or capabilities_for(store.platform)
+        self._requests_in_window = 0
+        self.request_count = 0
+        self.rate_limit_hits = 0
+
+    @property
+    def platform(self) -> Platform:
+        return self._store.platform
+
+    @property
+    def subject_id(self) -> str:
+        """The volunteer this client's token was issued for."""
+        return self._token.subject_profile_id
+
+    @property
+    def capabilities(self) -> PlatformCapabilities:
+        return self._caps
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _account(self, profile_id: str) -> AccountRecord:
+        record = self._store.accounts.get(profile_id)
+        if record is None:
+            raise UnknownAccount(profile_id)
+        return record
+
+    def _spend_request(self) -> None:
+        if self._requests_in_window >= self._caps.rate_limit:
+            self.rate_limit_hits += 1
+            raise RateLimitExceeded(
+                f"{self.platform.value}: limit of {self._caps.rate_limit} reached"
+            )
+        self._requests_in_window += 1
+        self.request_count += 1
+
+    def wait_for_window_reset(self) -> None:
+        """Simulate sleeping until the rate window resets."""
+        self._requests_in_window = 0
+
+    def _is_self(self, profile_id: str) -> bool:
+        return profile_id == self._token.subject_profile_id
+
+    def _paginate(self, items: list, cursor: int) -> Page:
+        size = self._caps.page_size
+        chunk = tuple(items[cursor : cursor + size])
+        next_cursor = cursor + size if cursor + size < len(items) else None
+        return Page(items=chunk, next_cursor=next_cursor)
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def get_profile(self, profile_id: str) -> UserProfile:
+        """Read a profile; honours ``profile_visible`` for non-subjects."""
+        self._spend_request()
+        record = self._account(profile_id)
+        if not self._is_self(profile_id) and not record.privacy.profile_visible:
+            raise PermissionDenied(f"profile {profile_id!r} is private")
+        return record.profile
+
+    def get_friends(self, profile_id: str) -> tuple[str, ...]:
+        self._spend_request()
+        record = self._account(profile_id)
+        if not self._is_self(profile_id) and not record.privacy.relationships_visible:
+            raise PermissionDenied(f"relationships of {profile_id!r} are private")
+        return tuple(record.friends)
+
+    def get_followed(self, profile_id: str) -> tuple[str, ...]:
+        self._spend_request()
+        record = self._account(profile_id)
+        if not self._is_self(profile_id) and not record.privacy.relationships_visible:
+            raise PermissionDenied(f"relationships of {profile_id!r} are private")
+        return tuple(record.follows)
+
+    def get_resources(
+        self, profile_id: str, *, relation: str = "created", cursor: int = 0
+    ) -> Page:
+        """Page through a profile's resources; *relation* is one of
+        ``created`` / ``owned`` / ``annotated``."""
+        self._spend_request()
+        record = self._account(profile_id)
+        if not self._is_self(profile_id) and not record.privacy.resources_visible:
+            raise PermissionDenied(f"resources of {profile_id!r} are private")
+        try:
+            ids = {"created": record.created, "owned": record.owned,
+                   "annotated": record.annotated}[relation]
+        except KeyError:
+            raise ValueError(f"unknown relation {relation!r}") from None
+        return self._paginate([self._store.resources[rid] for rid in ids], cursor)
+
+    def get_containers(self, profile_id: str) -> tuple[ResourceContainer, ...]:
+        """Groups/pages the profile relates to; empty on container-less
+        platforms (Twitter)."""
+        self._spend_request()
+        if not self._caps.has_containers:
+            return ()
+        record = self._account(profile_id)
+        if not self._is_self(profile_id) and not record.privacy.relationships_visible:
+            raise PermissionDenied(f"memberships of {profile_id!r} are private")
+        return tuple(self._store.containers[cid].container for cid in record.containers)
+
+    def get_container_resources(self, container_id: str, *, cursor: int = 0) -> Page:
+        """Page through a container's resources, most recent first —
+        the paper retrieved "the most recent resources" per container."""
+        self._spend_request()
+        record = self._store.containers.get(container_id)
+        if record is None:
+            raise UnknownAccount(container_id)
+        return self._paginate(
+            [self._store.resources[rid] for rid in record.resource_ids], cursor
+        )

@@ -1,0 +1,40 @@
+"""Privacy settings of social accounts.
+
+The paper extracted resources "according to the privacy settings of the
+involved users and their contacts" and found that only ~0.6% of the
+candidates' Facebook friends exposed their profile and activities to a
+third-party application (Sec. 3.3.3). The policy model captures the
+three visibility surfaces that mattered there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PrivacyPolicy:
+    """What an account exposes to an authorized third-party app."""
+
+    #: profile text and display name readable
+    profile_visible: bool = True
+    #: created/owned/annotated resources readable
+    resources_visible: bool = True
+    #: friend/follow lists and group memberships readable
+    relationships_visible: bool = True
+
+    @classmethod
+    def open(cls) -> "PrivacyPolicy":
+        """Everything visible (a consenting experiment volunteer, or a
+        public Twitter account)."""
+        return cls(True, True, True)
+
+    @classmethod
+    def closed(cls) -> "PrivacyPolicy":
+        """Nothing visible beyond existence (a strict Facebook friend)."""
+        return cls(False, False, False)
+
+    @classmethod
+    def profile_only(cls) -> "PrivacyPolicy":
+        """Profile readable but activities hidden."""
+        return cls(True, False, False)

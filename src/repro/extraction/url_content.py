@@ -1,0 +1,88 @@
+"""Synthetic web + main-text extraction for linked pages.
+
+About 70% of the paper's resources contained a URL, whose page content
+was pulled with the Alchemy Text Extraction API and appended to the
+resource text (Sec. 2.3 / 3.1). Here a :class:`SyntheticWeb` maps every
+generated URL to a deterministic page with a title, the topical *main
+text*, and boilerplate (navigation, ads, footer); the
+:class:`UrlContentExtractor` plays Alchemy's role, returning the main
+text and discarding the boilerplate. Unknown URLs behave like dead
+links (empty content), as live crawls routinely encounter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WebPage:
+    """One page of the synthetic web."""
+
+    url: str
+    title: str
+    main_text: str
+    boilerplate: str = ""
+
+    def html(self) -> str:
+        """The raw document a fetch would return — title, chrome, body —
+        from which the extractor must recover ``main_text``."""
+        return (
+            f"<html><head><title>{self.title}</title></head><body>"
+            f"<nav>{self.boilerplate}</nav>"
+            f"<article>{self.main_text}</article>"
+            f"<footer>{self.boilerplate}</footer>"
+            "</body></html>"
+        )
+
+
+class SyntheticWeb:
+    """A registry of synthetic pages keyed by URL."""
+
+    def __init__(self) -> None:
+        self._pages: dict[str, WebPage] = {}
+
+    def publish(self, page: WebPage) -> None:
+        if page.url in self._pages:
+            raise ValueError(f"page already published at {page.url!r}")
+        self._pages[page.url] = page
+
+    def fetch(self, url: str) -> WebPage | None:
+        """The page at *url*, or None for a dead link."""
+        return self._pages.get(url)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._pages
+
+
+class UrlContentExtractor:
+    """Alchemy-style extraction: fetch a URL, return its main text.
+
+    Results are memoized — the same URL is shared by many resources
+    (retweets, wall shares) and must not be re-fetched each time.
+    """
+
+    def __init__(self, web: SyntheticWeb, *, max_chars: int = 2000):
+        if max_chars <= 0:
+            raise ValueError("max_chars must be positive")
+        self._web = web
+        self._max_chars = max_chars
+        self._cache: dict[str, str] = {}
+        self.fetch_count = 0
+
+    def extract(self, url: str) -> str:
+        """Main text of the page at *url*; '' for dead links."""
+        cached = self._cache.get(url)
+        if cached is not None:
+            return cached
+        self.fetch_count += 1
+        page = self._web.fetch(url)
+        text = "" if page is None else f"{page.title} {page.main_text}"[: self._max_chars]
+        self._cache[url] = text
+        return text
+
+    def __call__(self, url: str) -> str:
+        return self.extract(url)

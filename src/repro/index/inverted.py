@@ -1,0 +1,61 @@
+"""Term inverted index.
+
+Maps each stemmed term to its postings list — the documents containing
+it and the in-document term frequency. Postings are kept in document
+insertion order, which the append-only build makes deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One document entry in a term's postings list."""
+
+    doc_id: str
+    term_frequency: int
+
+    def __post_init__(self) -> None:
+        if self.term_frequency <= 0:
+            raise ValueError("term_frequency must be positive")
+
+
+class InvertedIndex:
+    """Append-only term → postings index."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, list[Posting]] = {}
+        self._doc_ids: set[str] = set()
+
+    def add_document(self, doc_id: str, term_counts: dict[str, int]) -> None:
+        """Index a document's term bag. Re-adding a doc id is an error —
+        the collection is immutable once built."""
+        if doc_id in self._doc_ids:
+            raise ValueError(f"document {doc_id!r} already indexed")
+        self._doc_ids.add(doc_id)
+        for term, count in term_counts.items():
+            if count > 0:
+                self._postings.setdefault(term, []).append(Posting(doc_id, count))
+
+    @property
+    def document_count(self) -> int:
+        return len(self._doc_ids)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._postings
+
+    def postings(self, term: str) -> tuple[Posting, ...]:
+        """The postings list for *term* (empty if unseen)."""
+        return tuple(self._postings.get(term, ()))
+
+    def document_frequency(self, term: str) -> int:
+        return len(self._postings.get(term, ()))
+
+    def terms(self) -> tuple[str, ...]:
+        return tuple(self._postings)

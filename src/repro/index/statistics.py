@@ -1,0 +1,68 @@
+"""Collection statistics: the frequency functions of paper Eq. 1.
+
+* ``tf(t, r)`` — term frequency of *t* in resource *r*;
+* ``irf(t)``  — inverse resource frequency of *t* over the collection;
+* ``ef(e, r)`` — entity frequency of *e* in *r*;
+* ``eirf(e)`` — inverse resource frequency of *e* over the entity
+  collection.
+
+Both inverse frequencies use the smoothed logarithmic form
+``log(1 + N / df)``, which is strictly positive for any indexed item
+(an unseen item scores 0). The paper squares these values in Eq. 1;
+the squaring lives in :mod:`repro.index.vsm`, keeping the statistics
+reusable by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.index.entity_index import EntityIndex
+from repro.index.inverted import InvertedIndex
+
+
+class CollectionStatistics:
+    """Frequency statistics over one indexed resource collection."""
+
+    def __init__(self, term_index: InvertedIndex, entity_index: EntityIndex):
+        if term_index.document_count != entity_index.document_count:
+            raise ValueError(
+                "term and entity indexes must cover the same documents: "
+                f"{term_index.document_count} != {entity_index.document_count}"
+            )
+        self._terms = term_index
+        self._entities = entity_index
+        self._irf_cache: dict[str, float] = {}
+        self._eirf_cache: dict[str, float] = {}
+
+    @property
+    def resource_count(self) -> int:
+        return self._terms.document_count
+
+    def invalidate(self) -> None:
+        """Drop the cached irf/eirf values. Must be called after new
+        documents are appended to the underlying indexes (streaming
+        updates change every document frequency ratio)."""
+        self._irf_cache.clear()
+        self._eirf_cache.clear()
+
+    def irf(self, term: str) -> float:
+        """Inverse resource frequency of *term*; 0 for unseen terms."""
+        cached = self._irf_cache.get(term)
+        if cached is not None:
+            return cached
+        df = self._terms.document_frequency(term)
+        value = math.log(1.0 + self.resource_count / df) if df else 0.0
+        self._irf_cache[term] = value
+        return value
+
+    def eirf(self, entity_uri: str) -> float:
+        """Inverse resource frequency of *entity_uri*; 0 for unseen
+        entities."""
+        cached = self._eirf_cache.get(entity_uri)
+        if cached is not None:
+            return cached
+        df = self._entities.document_frequency(entity_uri)
+        value = math.log(1.0 + self.resource_count / df) if df else 0.0
+        self._eirf_cache[entity_uri] = value
+        return value

@@ -1,0 +1,37 @@
+"""Social graph substrate (paper Fig. 2 and Table 1).
+
+A platform-independent meta-model of social networks — user profiles,
+resources, resource containers, URLs, and the relations among them — plus
+a typed in-memory graph store and the distance-based resource gathering
+that drives expert ranking.
+"""
+
+from repro.socialgraph.distance import RelatedResource, ResourceGatherer
+from repro.socialgraph.graph import SocialGraph
+from repro.socialgraph.metamodel import (
+    Annotation,
+    Platform,
+    RelationKind,
+    Resource,
+    ResourceContainer,
+    SocialRelation,
+    Url,
+    UserProfile,
+)
+from repro.socialgraph.platforms import PlatformCapabilities, capabilities_for
+
+__all__ = [
+    "Annotation",
+    "Platform",
+    "PlatformCapabilities",
+    "RelatedResource",
+    "RelationKind",
+    "Resource",
+    "ResourceContainer",
+    "ResourceGatherer",
+    "SocialGraph",
+    "SocialRelation",
+    "Url",
+    "UserProfile",
+    "capabilities_for",
+]

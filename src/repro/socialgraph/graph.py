@@ -1,0 +1,275 @@
+"""Typed in-memory store for the social meta-model.
+
+``SocialGraph`` holds the nodes and edges of one platform's graph (or a
+merged multi-platform graph) and answers the adjacency queries needed by
+the distance traversal: who does a profile follow, which resources does
+it own/create/annotate, which containers is it related to, and what does
+a container contain.
+
+The store is append-only — the extraction crawler builds it once, the
+indexer and ranker then only read — so all query methods return stable
+tuples and the internal dictionaries never shrink.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+
+from repro.socialgraph.metamodel import (
+    Annotation,
+    Platform,
+    RelationKind,
+    Resource,
+    ResourceContainer,
+    SocialRelation,
+    UserProfile,
+)
+
+
+class DuplicateNodeError(ValueError):
+    """Raised when a node id is registered twice with different content."""
+
+
+class UnknownNodeError(KeyError):
+    """Raised when an edge references a node that was never added."""
+
+
+class SocialGraph:
+    """Append-only typed graph of profiles, resources, and containers."""
+
+    def __init__(self, platform: Platform | None = None):
+        #: the platform this graph models; None for a merged graph
+        self.platform = platform
+        self._profiles: dict[str, UserProfile] = {}
+        self._resources: dict[str, Resource] = {}
+        self._containers: dict[str, ResourceContainer] = {}
+        # adjacency, all keyed by source node id
+        self._follows: dict[str, list[str]] = defaultdict(list)
+        self._followers: dict[str, list[str]] = defaultdict(list)
+        self._friends: dict[str, list[str]] = defaultdict(list)
+        self._direct: dict[str, dict[RelationKind, list[str]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        self._resource_related_profiles: dict[str, list[tuple[str, RelationKind]]] = (
+            defaultdict(list)
+        )
+        self._member_of: dict[str, list[str]] = defaultdict(list)
+        self._container_members: dict[str, list[str]] = defaultdict(list)
+        self._container_resources: dict[str, list[str]] = defaultdict(list)
+        self._resource_container: dict[str, str] = {}
+
+    # -- node registration ---------------------------------------------------
+
+    def add_profile(self, profile: UserProfile) -> None:
+        existing = self._profiles.get(profile.profile_id)
+        if existing is not None and existing != profile:
+            raise DuplicateNodeError(f"profile {profile.profile_id!r} already present")
+        self._profiles[profile.profile_id] = profile
+
+    def add_resource(self, resource: Resource) -> None:
+        existing = self._resources.get(resource.resource_id)
+        if existing is not None and existing != resource:
+            raise DuplicateNodeError(f"resource {resource.resource_id!r} already present")
+        self._resources[resource.resource_id] = resource
+
+    def add_container(self, container: ResourceContainer) -> None:
+        existing = self._containers.get(container.container_id)
+        if existing is not None and existing != container:
+            raise DuplicateNodeError(f"container {container.container_id!r} already present")
+        self._containers[container.container_id] = container
+
+    # -- edge registration -----------------------------------------------------
+
+    def add_social_relation(self, relation: SocialRelation) -> None:
+        """Register a social edge. ``FRIENDSHIP`` is stored symmetrically;
+        ``FOLLOWS`` is directed. If two opposite FOLLOWS edges are added,
+        they are automatically promoted to a friendship (paper Sec. 2.2:
+        mutual follows on Twitter ≡ friends)."""
+        self._require_profile(relation.source)
+        self._require_profile(relation.target)
+        if relation.kind is RelationKind.FRIENDSHIP:
+            self._add_friendship(relation.source, relation.target)
+            return
+        if relation.source in self._follows[relation.target]:
+            # reciprocal follow: promote to friendship
+            self._follows[relation.target].remove(relation.source)
+            self._followers[relation.source].remove(relation.target)
+            self._add_friendship(relation.source, relation.target)
+            return
+        if relation.target not in self._follows[relation.source]:
+            self._follows[relation.source].append(relation.target)
+            self._followers[relation.target].append(relation.source)
+
+    def _add_friendship(self, a: str, b: str) -> None:
+        if b not in self._friends[a]:
+            self._friends[a].append(b)
+            self._friends[b].append(a)
+
+    def link_resource(self, profile_id: str, resource_id: str, kind: RelationKind) -> None:
+        """Register a direct profile → resource relation (owns / creates /
+        annotates)."""
+        if kind not in (RelationKind.OWNS, RelationKind.CREATES, RelationKind.ANNOTATES):
+            raise ValueError(f"{kind} is not a profile→resource relation")
+        self._require_profile(profile_id)
+        self._require_resource(resource_id)
+        bucket = self._direct[profile_id][kind]
+        if resource_id not in bucket:
+            bucket.append(resource_id)
+            self._resource_related_profiles[resource_id].append((profile_id, kind))
+
+    def add_annotation(self, annotation: Annotation) -> None:
+        self.link_resource(annotation.profile_id, annotation.resource_id, RelationKind.ANNOTATES)
+
+    def relate_to_container(self, profile_id: str, container_id: str) -> None:
+        """Register membership/interest: profile ``relatesTo`` container."""
+        self._require_profile(profile_id)
+        self._require_container(container_id)
+        if container_id not in self._member_of[profile_id]:
+            self._member_of[profile_id].append(container_id)
+            self._container_members[container_id].append(profile_id)
+
+    def put_in_container(self, container_id: str, resource_id: str) -> None:
+        """Register containment: container ``contains`` resource."""
+        self._require_container(container_id)
+        self._require_resource(resource_id)
+        if self._resource_container.get(resource_id) not in (None, container_id):
+            raise ValueError(f"resource {resource_id!r} already in another container")
+        if self._resource_container.get(resource_id) is None:
+            self._container_resources[container_id].append(resource_id)
+            self._resource_container[resource_id] = container_id
+
+    # -- lookups ---------------------------------------------------------------
+
+    def profile(self, profile_id: str) -> UserProfile:
+        self._require_profile(profile_id)
+        return self._profiles[profile_id]
+
+    def resource(self, resource_id: str) -> Resource:
+        self._require_resource(resource_id)
+        return self._resources[resource_id]
+
+    def container(self, container_id: str) -> ResourceContainer:
+        self._require_container(container_id)
+        return self._containers[container_id]
+
+    def has_profile(self, profile_id: str) -> bool:
+        return profile_id in self._profiles
+
+    # -- queries -----------------------------------------------------------------
+
+    def profiles(self) -> Iterator[UserProfile]:
+        yield from self._profiles.values()
+
+    def resources(self) -> Iterator[Resource]:
+        yield from self._resources.values()
+
+    def containers(self) -> Iterator[ResourceContainer]:
+        yield from self._containers.values()
+
+    def followed_by(self, profile_id: str) -> tuple[str, ...]:
+        """Profiles that *profile_id* follows (unidirectional only)."""
+        self._require_profile(profile_id)
+        return tuple(self._follows.get(profile_id, ()))
+
+    def followers_of(self, profile_id: str) -> tuple[str, ...]:
+        self._require_profile(profile_id)
+        return tuple(self._followers.get(profile_id, ()))
+
+    def friends_of(self, profile_id: str) -> tuple[str, ...]:
+        self._require_profile(profile_id)
+        return tuple(self._friends.get(profile_id, ()))
+
+    def direct_resources(
+        self, profile_id: str, kinds: Iterable[RelationKind] | None = None
+    ) -> tuple[tuple[str, RelationKind], ...]:
+        """(resource_id, relation) pairs directly related to the profile."""
+        self._require_profile(profile_id)
+        wanted = (
+            tuple(kinds)
+            if kinds is not None
+            else (RelationKind.OWNS, RelationKind.CREATES, RelationKind.ANNOTATES)
+        )
+        buckets = self._direct.get(profile_id, {})
+        return tuple(
+            (rid, kind) for kind in wanted for rid in buckets.get(kind, ())
+        )
+
+    def related_profiles(self, resource_id: str) -> tuple[tuple[str, RelationKind], ...]:
+        """Profiles directly related to a resource (inverse of
+        :meth:`direct_resources`)."""
+        self._require_resource(resource_id)
+        return tuple(self._resource_related_profiles.get(resource_id, ()))
+
+    def containers_of(self, profile_id: str) -> tuple[str, ...]:
+        self._require_profile(profile_id)
+        return tuple(self._member_of.get(profile_id, ()))
+
+    def members_of(self, container_id: str) -> tuple[str, ...]:
+        self._require_container(container_id)
+        return tuple(self._container_members.get(container_id, ()))
+
+    def resources_in(self, container_id: str) -> tuple[str, ...]:
+        self._require_container(container_id)
+        return tuple(self._container_resources.get(container_id, ()))
+
+    def container_of(self, resource_id: str) -> str | None:
+        self._require_resource(resource_id)
+        return self._resource_container.get(resource_id)
+
+    # -- statistics ---------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """Node counts, used by the Fig.-5a dataset report."""
+        return {
+            "profiles": len(self._profiles),
+            "resources": len(self._resources),
+            "containers": len(self._containers),
+        }
+
+    def __len__(self) -> int:
+        return len(self._profiles) + len(self._resources) + len(self._containers)
+
+    # -- guards -------------------------------------------------------------------
+
+    def _require_profile(self, profile_id: str) -> None:
+        if profile_id not in self._profiles:
+            raise UnknownNodeError(f"unknown profile {profile_id!r}")
+
+    def _require_resource(self, resource_id: str) -> None:
+        if resource_id not in self._resources:
+            raise UnknownNodeError(f"unknown resource {resource_id!r}")
+
+    def _require_container(self, container_id: str) -> None:
+        if container_id not in self._containers:
+            raise UnknownNodeError(f"unknown container {container_id!r}")
+
+
+def merge_graphs(graphs: Iterable[SocialGraph]) -> SocialGraph:
+    """Merge per-platform graphs into one cross-platform graph ("All" in
+    the paper's tables). Node ids are expected to be globally unique
+    (platform-prefixed), which the extraction layer guarantees."""
+    merged = SocialGraph(platform=None)
+    for g in graphs:
+        for p in g.profiles():
+            merged.add_profile(p)
+        for r in g.resources():
+            merged.add_resource(r)
+        for c in g.containers():
+            merged.add_container(c)
+    for g in graphs:
+        for p in g.profiles():
+            for friend in g.friends_of(p.profile_id):
+                merged._add_friendship(p.profile_id, friend)
+            for followed in g.followed_by(p.profile_id):
+                merged.add_social_relation(
+                    SocialRelation(p.profile_id, followed, RelationKind.FOLLOWS)
+                )
+            for rid, kind in g.direct_resources(p.profile_id):
+                merged.link_resource(p.profile_id, rid, kind)
+            for cid in g.containers_of(p.profile_id):
+                merged.relate_to_container(p.profile_id, cid)
+        for c in g.containers():
+            for rid in g.resources_in(c.container_id):
+                merged.put_in_container(c.container_id, rid)
+    return merged

@@ -1,0 +1,152 @@
+"""The simplified social-network meta-model of paper Fig. 2.
+
+Node kinds: :class:`UserProfile`, :class:`Resource`,
+:class:`ResourceContainer`, :class:`Url`.
+
+Edge kinds (:class:`RelationKind`): social relationships between profiles
+(``FRIENDSHIP`` when bidirectional, ``FOLLOWS`` when unidirectional — the
+paper stresses this distinction in Sec. 2.2), ``OWNS`` / ``CREATES`` /
+``ANNOTATES`` between a profile and a resource, ``RELATES_TO`` between a
+profile and a container, ``CONTAINS`` between a container and a resource,
+and ``LINKS_TO`` from any content node to a URL.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Platform(enum.Enum):
+    """The social platforms considered by the paper."""
+
+    FACEBOOK = "facebook"
+    TWITTER = "twitter"
+    LINKEDIN = "linkedin"
+
+    @property
+    def short(self) -> str:
+        """Two-letter code used in the paper's tables (FB/TW/LI)."""
+        return {"facebook": "FB", "twitter": "TW", "linkedin": "LI"}[self.value]
+
+
+class RelationKind(enum.Enum):
+    """Typed edges of the meta-model."""
+
+    FRIENDSHIP = "friendship"  # bidirectional social relationship
+    FOLLOWS = "follows"  # unidirectional social relationship
+    OWNS = "owns"
+    CREATES = "creates"
+    ANNOTATES = "annotates"  # Facebook Like, Twitter Favorite, ...
+    RELATES_TO = "relatesTo"  # profile ↔ container (group membership, page like)
+    CONTAINS = "contains"  # container → resource
+    LINKS_TO = "linksTo"  # content → url
+
+    @property
+    def is_social(self) -> bool:
+        return self in (RelationKind.FRIENDSHIP, RelationKind.FOLLOWS)
+
+
+@dataclass(frozen=True)
+class Url:
+    """An external web page linked from a profile, resource, or container."""
+
+    url: str
+
+    def __post_init__(self) -> None:
+        if not self.url:
+            raise ValueError("Url.url must be non-empty")
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """A social-network account.
+
+    *text* holds whatever self-description the platform exposes — a short
+    bio on Twitter, hobby/interest fields on Facebook, a detailed career
+    description on LinkedIn. Its richness varies by platform, which is
+    exactly what the distance-0 experiments measure.
+    """
+
+    profile_id: str
+    platform: Platform
+    display_name: str
+    text: str = ""
+    urls: tuple[str, ...] = ()
+    #: the real person behind the account (one person may hold several
+    #: profiles across platforms); None for non-candidate accounts such as
+    #: followed celebrities or organizations.
+    person_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.profile_id:
+            raise ValueError("UserProfile.profile_id must be non-empty")
+
+
+@dataclass(frozen=True)
+class Resource:
+    """An informative item inside a platform: a wall post, tweet, status
+    update, or group post."""
+
+    resource_id: str
+    platform: Platform
+    text: str
+    urls: tuple[str, ...] = ()
+    language: str | None = None
+    #: epoch-like ordering key; newer resources have larger values.
+    timestamp: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.resource_id:
+            raise ValueError("Resource.resource_id must be non-empty")
+
+
+@dataclass(frozen=True)
+class ResourceContainer:
+    """A logical aggregator of resources — a Facebook group/page or a
+    LinkedIn group — typically focused on a topic or real-world entity.
+    Described at least by a short text."""
+
+    container_id: str
+    platform: Platform
+    name: str
+    text: str = ""
+    urls: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.container_id:
+            raise ValueError("ResourceContainer.container_id must be non-empty")
+
+
+@dataclass(frozen=True)
+class SocialRelation:
+    """A social edge between two profiles on the same platform."""
+
+    source: str
+    target: str
+    kind: RelationKind
+
+    def __post_init__(self) -> None:
+        if not self.kind.is_social:
+            raise ValueError(f"{self.kind} is not a social relation kind")
+        if self.source == self.target:
+            raise ValueError("self-relations are not allowed")
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """A profile → resource annotation (Like / Favorite), kept distinct
+    from authorship because annotated resources are still distance-1
+    evidence (paper Table 1)."""
+
+    profile_id: str
+    resource_id: str
+    kind: str = "like"
+
+
+#: relations that make a resource *directly related* to a profile
+DIRECT_RESOURCE_RELATIONS: tuple[RelationKind, ...] = (
+    RelationKind.OWNS,
+    RelationKind.CREATES,
+    RelationKind.ANNOTATES,
+)

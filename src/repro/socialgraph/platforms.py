@@ -1,0 +1,78 @@
+"""Platform capability descriptors.
+
+The three platforms differ in the features they expose (paper Sec. 2.2):
+Facebook and LinkedIn have groups/pages, Twitter does not (followed users
+play that role); profile richness and API openness also differ. These
+descriptors centralize those differences so the extraction layer and the
+synthetic generator agree on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.socialgraph.metamodel import Platform
+
+
+@dataclass(frozen=True)
+class PlatformCapabilities:
+    """Static description of what a platform offers."""
+
+    platform: Platform
+    #: groups/pages exist (Facebook, LinkedIn) or not (Twitter)
+    has_containers: bool
+    #: social edges are bidirectional by construction (Facebook friendship,
+    #: LinkedIn connections) vs. unidirectional follows (Twitter)
+    bidirectional_relations: bool
+    #: relative richness of profile self-description in [0, 1]
+    #: (LinkedIn career pages ≫ Facebook about ≫ Twitter bio)
+    profile_richness: float
+    #: fraction of a member's friends whose activities are visible to a
+    #: third-party app (paper Sec. 3.3.3: ~0.6% on Facebook)
+    friend_visibility: float
+    #: resources fetched per API page
+    page_size: int
+    #: API requests allowed per rate window
+    rate_limit: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.profile_richness <= 1.0:
+            raise ValueError("profile_richness must be in [0, 1]")
+        if not 0.0 <= self.friend_visibility <= 1.0:
+            raise ValueError("friend_visibility must be in [0, 1]")
+
+
+_CAPABILITIES: dict[Platform, PlatformCapabilities] = {
+    Platform.FACEBOOK: PlatformCapabilities(
+        platform=Platform.FACEBOOK,
+        has_containers=True,
+        bidirectional_relations=True,
+        profile_richness=0.35,
+        friend_visibility=0.006,
+        page_size=25,
+        rate_limit=600,
+    ),
+    Platform.TWITTER: PlatformCapabilities(
+        platform=Platform.TWITTER,
+        has_containers=False,
+        bidirectional_relations=False,
+        profile_richness=0.15,
+        friend_visibility=1.0,  # public timelines: the most open platform
+        page_size=200,
+        rate_limit=350,
+    ),
+    Platform.LINKEDIN: PlatformCapabilities(
+        platform=Platform.LINKEDIN,
+        has_containers=True,
+        bidirectional_relations=True,
+        profile_richness=0.9,
+        friend_visibility=0.02,
+        page_size=50,
+        rate_limit=300,
+    ),
+}
+
+
+def capabilities_for(platform: Platform) -> PlatformCapabilities:
+    """The capability descriptor for *platform*."""
+    return _CAPABILITIES[platform]

@@ -1,0 +1,32 @@
+"""Persistence layer.
+
+Social graphs, analyzed corpora, and whole evaluation datasets can be
+serialized to a compact JSON-lines format (optionally gzipped) and
+loaded back bit-identically. This serves two needs:
+
+* **caching** — the SMALL dataset takes ~40 s to generate and analyze;
+  a cached copy loads in a fraction of that (see
+  :func:`repro.storage.cache.load_or_build`);
+* **interchange** — downstream users can export real crawled data into
+  the same format and run the finder on it without touching the
+  generator.
+
+Format: one JSON object per line, first line is a header with a record
+``kind`` and format version; subsequent lines are typed records
+(``profile``, ``resource``, ``container``, edges, analyses…).
+"""
+
+from repro.storage.cache import load_or_build
+from repro.storage.corpus_io import load_corpus, save_corpus
+from repro.storage.dataset_io import load_dataset, save_dataset
+from repro.storage.graph_io import load_graph, save_graph
+
+__all__ = [
+    "load_corpus",
+    "load_dataset",
+    "load_graph",
+    "load_or_build",
+    "save_corpus",
+    "save_dataset",
+    "save_graph",
+]

@@ -1,0 +1,43 @@
+"""Dataset caching: build once, load from disk afterwards.
+
+``load_or_build`` keys the cache directory by (scale, seed), so every
+distinct configuration gets its own copy; a corrupted or
+version-incompatible cache is rebuilt, never trusted.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+
+from repro.storage.dataset_io import load_dataset, save_dataset
+from repro.storage.jsonl import StorageFormatError
+from repro.synthetic.dataset import DatasetScale, EvaluationDataset, build_dataset
+
+
+def cache_path(root: str | pathlib.Path, scale: DatasetScale, seed: int) -> pathlib.Path:
+    """The cache directory for one (scale, seed) configuration."""
+    return pathlib.Path(root) / f"dataset_{scale.value}_seed{seed}"
+
+
+def load_or_build(
+    root: str | pathlib.Path,
+    scale: DatasetScale = DatasetScale.SMALL,
+    seed: int = 7,
+    *,
+    refresh: bool = False,
+) -> EvaluationDataset:
+    """Return the (scale, seed) dataset, from cache when possible.
+
+    *refresh* forces a rebuild. A cache that fails to load (partial
+    write, format change) is discarded and rebuilt.
+    """
+    directory = cache_path(root, scale, seed)
+    if not refresh and directory.is_dir():
+        try:
+            return load_dataset(directory)
+        except (StorageFormatError, FileNotFoundError, KeyError, ValueError):
+            shutil.rmtree(directory, ignore_errors=True)
+    dataset = build_dataset(scale, seed)
+    save_dataset(dataset, directory)
+    return dataset

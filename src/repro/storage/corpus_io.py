@@ -1,0 +1,52 @@
+"""Serialize/deserialize analyzed corpora (node id → AnalyzedResource).
+
+The corpus is the most expensive artifact of a dataset build (stemming
+and entity annotation over every node), so caching it pays the most.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections.abc import Mapping
+
+from repro.index.analyzer import AnalyzedResource
+from repro.storage.jsonl import read_records, write_records
+
+KIND = "analyzed-corpus"
+
+
+def save_corpus(
+    corpus: Mapping[str, AnalyzedResource], path: str | pathlib.Path
+) -> int:
+    """Write *corpus* to *path*; returns the record count."""
+
+    def records():
+        for node_id, analysis in corpus.items():
+            yield {
+                "id": node_id,
+                "lang": analysis.language,
+                "terms": analysis.term_counts,
+                # JSON has no tuples: store count and dScore as a pair
+                "entities": {
+                    uri: [count, d_score]
+                    for uri, (count, d_score) in analysis.entity_counts.items()
+                },
+            }
+
+    return write_records(path, KIND, records())
+
+
+def load_corpus(path: str | pathlib.Path) -> dict[str, AnalyzedResource]:
+    """Load a corpus previously written by :func:`save_corpus`."""
+    corpus: dict[str, AnalyzedResource] = {}
+    for record in read_records(path, KIND):
+        corpus[record["id"]] = AnalyzedResource(
+            doc_id=record["id"],
+            language=record["lang"],
+            term_counts={t: int(c) for t, c in record["terms"].items()},
+            entity_counts={
+                uri: (int(pair[0]), float(pair[1]))
+                for uri, pair in record["entities"].items()
+            },
+        )
+    return corpus

@@ -1,0 +1,134 @@
+"""Serialize/deserialize whole evaluation datasets.
+
+A dataset directory holds:
+
+* ``meta.jsonl`` — scale, seed, population (with latent state), and the
+  person → platform-profile mapping;
+* ``graph_<platform>.jsonl.gz`` — the three crawled platform graphs;
+* ``graph_all.jsonl.gz`` — the merged graph;
+* ``corpus.jsonl.gz`` — the analyzed corpus.
+
+Loading rebuilds the remaining pieces (knowledge base, analyzer, ground
+truth, queries) deterministically from code — they are functions of the
+stored state, not state themselves. Platform stores and the synthetic
+web are not persisted: they are only needed to *generate* the graphs,
+which are stored already crawled.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.entity.annotator import EntityAnnotator
+from repro.index.analyzer import ResourceAnalyzer
+from repro.socialgraph.metamodel import Platform
+from repro.synthetic.dataset import DatasetScale, EvaluationDataset
+from repro.synthetic.ground_truth import GroundTruth
+from repro.synthetic.network_builder import BuiltNetworks
+from repro.synthetic.population import Person
+from repro.synthetic.queries import paper_queries
+from repro.synthetic.seeds import build_knowledge_base
+from repro.storage.corpus_io import load_corpus, save_corpus
+from repro.storage.graph_io import load_graph, save_graph
+from repro.storage.jsonl import StorageFormatError, read_records, write_records
+from repro.textproc.pipeline import TextPipeline
+
+META_KIND = "dataset-meta"
+
+
+def _person_record(person: Person) -> dict:
+    return {
+        "type": "person",
+        "id": person.person_id,
+        "name": person.name,
+        "expertise": person.expertise,
+        "interest": person.interest,
+        "exposure": person.exposure,
+        "activity": person.activity,
+    }
+
+
+def save_dataset(dataset: EvaluationDataset, directory: str | pathlib.Path) -> None:
+    """Write *dataset* under *directory* (created if missing)."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    def meta_records():
+        yield {
+            "type": "dataset",
+            "scale": dataset.scale.value,
+            "seed": dataset.seed,
+        }
+        for person in dataset.people:
+            yield _person_record(person)
+        for person_id, platforms in dataset.networks.profile_ids.items():
+            yield {
+                "type": "profiles",
+                "person": person_id,
+                "map": {p.value: pid for p, pid in platforms.items()},
+            }
+
+    write_records(directory / "meta.jsonl", META_KIND, meta_records())
+    for platform, graph in dataset.graphs.items():
+        save_graph(graph, directory / f"graph_{platform.value}.jsonl.gz")
+    save_graph(dataset.merged_graph, directory / "graph_all.jsonl.gz")
+    save_corpus(dataset.corpus, directory / "corpus.jsonl.gz")
+
+
+def load_dataset(directory: str | pathlib.Path) -> EvaluationDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    directory = pathlib.Path(directory)
+    scale: DatasetScale | None = None
+    seed: int | None = None
+    people: list[Person] = []
+    profile_ids: dict[str, dict[Platform, str]] = {}
+    for record in read_records(directory / "meta.jsonl", META_KIND):
+        rtype = record.get("type")
+        if rtype == "dataset":
+            scale = DatasetScale(record["scale"])
+            seed = record["seed"]
+        elif rtype == "person":
+            people.append(
+                Person(
+                    person_id=record["id"],
+                    name=record["name"],
+                    expertise={d: int(v) for d, v in record["expertise"].items()},
+                    interest=record["interest"],
+                    exposure=record["exposure"],
+                    activity=record["activity"],
+                )
+            )
+        elif rtype == "profiles":
+            profile_ids[record["person"]] = {
+                Platform(p): pid for p, pid in record["map"].items()
+            }
+        else:
+            raise StorageFormatError(f"unknown meta record type {rtype!r}")
+    if scale is None or seed is None:
+        raise StorageFormatError(f"{directory}: meta.jsonl missing dataset record")
+
+    graphs = {
+        platform: load_graph(directory / f"graph_{platform.value}.jsonl.gz")
+        for platform in Platform
+    }
+    merged = load_graph(directory / "graph_all.jsonl.gz")
+    corpus = load_corpus(directory / "corpus.jsonl.gz")
+
+    kb = build_knowledge_base()
+    analyzer = ResourceAnalyzer(TextPipeline(), EntityAnnotator(kb))
+    # platform stores/web are generation-time artifacts; a loaded dataset
+    # carries the crawled graphs only
+    networks = BuiltNetworks(stores={}, web=None, profile_ids=profile_ids, people=people)
+    return EvaluationDataset(
+        scale=scale,
+        seed=seed,
+        people=people,
+        networks=networks,
+        graphs=graphs,
+        merged_graph=merged,
+        knowledge_base=kb,
+        analyzer=analyzer,
+        corpus=corpus,
+        ground_truth=GroundTruth(people),
+        queries=paper_queries(),
+    )

@@ -1,0 +1,148 @@
+"""Serialize/deserialize :class:`SocialGraph` instances.
+
+Record kinds, in write order (nodes strictly before edges so the loader
+can validate references as it goes):
+
+* ``meta`` — platform of the graph (or null for a merged graph);
+* ``profile`` / ``resource`` / ``container`` — nodes;
+* ``friend`` / ``follows`` — social edges;
+* ``direct`` — profile → resource relations with their kind;
+* ``member`` — profile → container membership;
+* ``contains`` — container → resource containment.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.socialgraph.graph import SocialGraph
+from repro.socialgraph.metamodel import (
+    Platform,
+    RelationKind,
+    Resource,
+    ResourceContainer,
+    SocialRelation,
+    UserProfile,
+)
+from repro.storage.jsonl import StorageFormatError, read_records, write_records
+
+KIND = "social-graph"
+
+
+def _graph_records(graph: SocialGraph):
+    yield {
+        "type": "meta",
+        "platform": graph.platform.value if graph.platform else None,
+    }
+    for profile in graph.profiles():
+        yield {
+            "type": "profile",
+            "id": profile.profile_id,
+            "platform": profile.platform.value,
+            "name": profile.display_name,
+            "text": profile.text,
+            "urls": list(profile.urls),
+            "person": profile.person_id,
+        }
+    for resource in graph.resources():
+        yield {
+            "type": "resource",
+            "id": resource.resource_id,
+            "platform": resource.platform.value,
+            "text": resource.text,
+            "urls": list(resource.urls),
+            "language": resource.language,
+            "ts": resource.timestamp,
+        }
+    for container in graph.containers():
+        yield {
+            "type": "container",
+            "id": container.container_id,
+            "platform": container.platform.value,
+            "name": container.name,
+            "text": container.text,
+            "urls": list(container.urls),
+        }
+    for profile in graph.profiles():
+        pid = profile.profile_id
+        for friend in graph.friends_of(pid):
+            if pid < friend:  # each friendship once
+                yield {"type": "friend", "a": pid, "b": friend}
+        for followed in graph.followed_by(pid):
+            yield {"type": "follows", "a": pid, "b": followed}
+        for rid, kind in graph.direct_resources(pid):
+            yield {"type": "direct", "p": pid, "r": rid, "kind": kind.value}
+        for cid in graph.containers_of(pid):
+            yield {"type": "member", "p": pid, "c": cid}
+    for container in graph.containers():
+        for rid in graph.resources_in(container.container_id):
+            yield {"type": "contains", "c": container.container_id, "r": rid}
+
+
+def save_graph(graph: SocialGraph, path: str | pathlib.Path) -> int:
+    """Write *graph* to *path*; returns the record count."""
+    return write_records(path, KIND, _graph_records(graph))
+
+
+def load_graph(path: str | pathlib.Path) -> SocialGraph:
+    """Load a graph previously written by :func:`save_graph`."""
+    graph: SocialGraph | None = None
+    for record in read_records(path, KIND):
+        rtype = record.get("type")
+        if rtype == "meta":
+            platform = Platform(record["platform"]) if record["platform"] else None
+            graph = SocialGraph(platform)
+            continue
+        if graph is None:
+            raise StorageFormatError(f"{path}: records before meta header")
+        if rtype == "profile":
+            graph.add_profile(
+                UserProfile(
+                    profile_id=record["id"],
+                    platform=Platform(record["platform"]),
+                    display_name=record["name"],
+                    text=record["text"],
+                    urls=tuple(record["urls"]),
+                    person_id=record["person"],
+                )
+            )
+        elif rtype == "resource":
+            graph.add_resource(
+                Resource(
+                    resource_id=record["id"],
+                    platform=Platform(record["platform"]),
+                    text=record["text"],
+                    urls=tuple(record["urls"]),
+                    language=record["language"],
+                    timestamp=record["ts"],
+                )
+            )
+        elif rtype == "container":
+            graph.add_container(
+                ResourceContainer(
+                    container_id=record["id"],
+                    platform=Platform(record["platform"]),
+                    name=record["name"],
+                    text=record["text"],
+                    urls=tuple(record["urls"]),
+                )
+            )
+        elif rtype == "friend":
+            graph.add_social_relation(
+                SocialRelation(record["a"], record["b"], RelationKind.FRIENDSHIP)
+            )
+        elif rtype == "follows":
+            graph.add_social_relation(
+                SocialRelation(record["a"], record["b"], RelationKind.FOLLOWS)
+            )
+        elif rtype == "direct":
+            graph.link_resource(record["p"], record["r"], RelationKind(record["kind"]))
+        elif rtype == "member":
+            graph.relate_to_container(record["p"], record["c"])
+        elif rtype == "contains":
+            graph.put_in_container(record["c"], record["r"])
+        else:
+            raise StorageFormatError(f"{path}: unknown record type {rtype!r}")
+    if graph is None:
+        raise StorageFormatError(f"{path}: missing meta record")
+    return graph

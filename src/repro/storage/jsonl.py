@@ -1,0 +1,71 @@
+"""JSON-lines files with a typed header, transparent gzip, and strict
+version checking."""
+
+from __future__ import annotations
+
+import gzip
+import json
+import pathlib
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+FORMAT_VERSION = 1
+
+
+class StorageFormatError(ValueError):
+    """The file is not a repro storage file, or its version/kind is
+    incompatible."""
+
+
+def _open(path: pathlib.Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def write_records(
+    path: str | pathlib.Path, kind: str, records: Iterable[dict[str, Any]]
+) -> int:
+    """Write a header line plus one JSON object per record; returns the
+    number of records written. ``.gz`` paths are gzip-compressed."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with _open(path, "w") as fh:
+        header = {"format": "repro-jsonl", "version": FORMAT_VERSION, "kind": kind}
+        fh.write(json.dumps(header, separators=(",", ":")) + "\n")
+        for record in records:
+            fh.write(json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_records(path: str | pathlib.Path, kind: str) -> Iterator[dict[str, Any]]:
+    """Yield the records of a storage file, validating the header."""
+    path = pathlib.Path(path)
+    with _open(path, "r") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise StorageFormatError(f"{path}: empty file")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise StorageFormatError(f"{path}: malformed header") from exc
+        if header.get("format") != "repro-jsonl":
+            raise StorageFormatError(f"{path}: not a repro storage file")
+        if header.get("version") != FORMAT_VERSION:
+            raise StorageFormatError(
+                f"{path}: unsupported version {header.get('version')!r}"
+            )
+        if header.get("kind") != kind:
+            raise StorageFormatError(
+                f"{path}: expected kind {kind!r}, found {header.get('kind')!r}"
+            )
+        for line_number, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise StorageFormatError(f"{path}:{line_number}: malformed record") from exc

@@ -1,0 +1,40 @@
+"""Synthetic evaluation dataset (substitutes the paper's 40 volunteers).
+
+The paper recruited 40 people active on Facebook, Twitter, and LinkedIn
+and crawled ~330k of their resources; neither the people nor the data
+are available. This package generates a structurally faithful stand-in:
+
+* a population of 40 candidates with latent 7-domain expertise on the
+  paper's 7-point Likert scale (:mod:`population`);
+* three platform stores with platform-specific biases — Facebook has the
+  most resources and leans to entertainment, Twitter has the most
+  distance-1 resources and topical followed accounts, LinkedIn has rich
+  work profiles and 95% of its resources in groups
+  (:mod:`network_builder`);
+* resource texts whose topicality is conditioned on the author's latent
+  expertise (:mod:`text_gen`), so the behavioural trace genuinely encodes
+  who knows what;
+* the 30 expertise needs over 7 domains (:mod:`queries`) and the
+  self-assessment ground truth (:mod:`ground_truth`).
+
+Everything is seeded and deterministic.
+"""
+
+from repro.synthetic.dataset import DatasetScale, EvaluationDataset, build_dataset
+from repro.synthetic.ground_truth import GroundTruth
+from repro.synthetic.population import Person, generate_population
+from repro.synthetic.queries import paper_queries
+from repro.synthetic.seeds import build_knowledge_base
+from repro.synthetic.vocab import DOMAINS
+
+__all__ = [
+    "DOMAINS",
+    "DatasetScale",
+    "EvaluationDataset",
+    "GroundTruth",
+    "Person",
+    "build_dataset",
+    "build_knowledge_base",
+    "generate_population",
+    "paper_queries",
+]

@@ -1,0 +1,97 @@
+"""Ground truth from the self-assessment questionnaire (paper Sec. 3.1).
+
+The paper asked the 40 candidates to rate their expertise on each of the
+30 needs on a 7-point Likert scale, derived per-domain expertise levels,
+and considered *domain experts* "only those having a level of expertise
+higher than the average expertise of that domain" — a boolean relevance
+function. We replicate the derivation from the population's latent
+Likert scores (which *are* the questionnaire answers in this synthetic
+setting; exposure noise affects behaviour, not self-assessment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.synthetic.population import Person
+from repro.synthetic.vocab import DOMAINS
+
+
+@dataclass(frozen=True)
+class DomainStats:
+    """Fig.-5b statistics for one domain."""
+
+    domain: str
+    expert_count: int
+    average_expertise: float
+    average_domain_expertise: float  # average over the experts only
+
+
+class GroundTruth:
+    """Expert labels and graded relevance derived from the questionnaire."""
+
+    def __init__(self, people: list[Person]):
+        if not people:
+            raise ValueError("ground truth needs a non-empty population")
+        self._people = {p.person_id: p for p in people}
+        self._averages = {
+            d: sum(p.expertise[d] for p in people) / len(people) for d in DOMAINS
+        }
+        self._experts = {
+            d: frozenset(
+                p.person_id for p in people if p.expertise[d] > self._averages[d]
+            )
+            for d in DOMAINS
+        }
+
+    @property
+    def person_ids(self) -> tuple[str, ...]:
+        return tuple(self._people)
+
+    def experts(self, domain: str) -> frozenset[str]:
+        """The domain-expert set (expertise above the domain average)."""
+        self._check(domain)
+        return self._experts[domain]
+
+    def is_expert(self, person_id: str, domain: str) -> bool:
+        self._check(domain)
+        return person_id in self._experts[domain]
+
+    def likert(self, person_id: str, domain: str) -> int:
+        """Graded relevance: the questionnaire's 1..7 answer — the gain
+        used by the DCG/NDCG curves."""
+        self._check(domain)
+        return self._people[person_id].expertise[domain]
+
+    def average_expertise(self, domain: str) -> float:
+        self._check(domain)
+        return self._averages[domain]
+
+    def domain_stats(self, domain: str) -> DomainStats:
+        """The per-domain numbers plotted in Fig. 5b."""
+        self._check(domain)
+        experts = self._experts[domain]
+        expert_avg = (
+            sum(self._people[pid].expertise[domain] for pid in experts) / len(experts)
+            if experts
+            else 0.0
+        )
+        return DomainStats(
+            domain=domain,
+            expert_count=len(experts),
+            average_expertise=self._averages[domain],
+            average_domain_expertise=expert_avg,
+        )
+
+    def overall_stats(self) -> dict[str, float]:
+        """Population-level summary (paper: "on average, each domain
+        featured 17 experts, with an average expertise level of 3.57")."""
+        stats = [self.domain_stats(d) for d in DOMAINS]
+        return {
+            "avg_experts_per_domain": sum(s.expert_count for s in stats) / len(stats),
+            "avg_expertise": sum(s.average_expertise for s in stats) / len(stats),
+        }
+
+    def _check(self, domain: str) -> None:
+        if domain not in self._averages:
+            raise ValueError(f"unknown domain {domain!r}")

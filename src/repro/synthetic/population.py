@@ -1,0 +1,157 @@
+"""The synthetic volunteer population.
+
+Each of the 40 people carries latent state that drives everything
+downstream:
+
+* ``expertise`` — the 7-point Likert self-assessment per domain (this is
+  also what the ground truth is derived from, exactly as the paper
+  derives domain expertise from the questionnaire);
+* ``exposure`` — how much of that expertise the person actually shows on
+  social networks. The paper's trustworthiness analysis (Sec. 3.7, Fig.
+  10) found that several self-declared experts never post about their
+  domain — some accounts exist for "flagship or promotional reasons",
+  others are privacy-restricted — making them unrecoverable by any
+  resource-based method. A fraction of the population therefore gets a
+  very low exposure factor;
+* ``activity`` — posting volume multiplier, heavy-tailed like the
+  observed per-user resource counts (tens to tens of thousands).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.synthetic.vocab import DOMAINS, PERSON_NAMES
+
+#: domains whose expertise LinkedIn-style career profiles describe well
+WORK_DOMAINS: tuple[str, ...] = ("computer_engineering", "technology_games", "science")
+
+#: relative probability that a domain is one of a person's focus domains.
+#: Location gets a low weight: the paper observed that "few expert
+#: candidates considered themselves sufficiently skilled in the domain"
+#: although location-related content was widespread.
+_FOCUS_WEIGHTS: dict[str, float] = {
+    "computer_engineering": 1.3,
+    "location": 0.3,
+    "movies_tv": 1.1,
+    "music": 1.0,
+    "science": 1.0,
+    "sport": 1.3,
+    "technology_games": 1.15,
+}
+
+
+@dataclass(frozen=True)
+class Person:
+    """One synthetic volunteer."""
+
+    person_id: str
+    name: str
+    #: domain → Likert 1..7 self-assessed expertise
+    expertise: dict[str, int] = field(repr=False)
+    #: domain → [0, 1] *interest*: what the person talks about. Correlated
+    #: with expertise but not identical — fans post about football without
+    #: being experts, and experts may rarely mention their field. This gap
+    #: is the main reason resource-based expert finding is imperfect
+    #: (paper Sec. 3.7).
+    interest: dict[str, float] = field(repr=False)
+    #: domain → [0, 1] share of the interest visible in social activity
+    exposure: dict[str, float] = field(repr=False)
+    #: posting-volume multiplier (heavy-tailed across the population)
+    activity: float = 1.0
+
+    def __post_init__(self) -> None:
+        for attribute in ("expertise", "interest", "exposure"):
+            missing = [d for d in DOMAINS if d not in getattr(self, attribute)]
+            if missing:
+                raise ValueError(f"{attribute} missing domains: {missing}")
+        bad = {d: v for d, v in self.expertise.items() if not 1 <= v <= 7}
+        if bad:
+            raise ValueError(f"Likert scores outside 1..7: {bad}")
+        if self.activity <= 0:
+            raise ValueError("activity must be positive")
+
+    def likert(self, domain: str) -> int:
+        """Self-assessed expertise for *domain* (1..7)."""
+        return self.expertise[domain]
+
+    def visible_interest(self, domain: str) -> float:
+        """How strongly the person's *observable* behaviour reflects the
+        domain: interest scaled by exposure, in [0, 1]."""
+        return self.interest[domain] * self.exposure[domain]
+
+    def expertise_signal(self, domain: str) -> float:
+        """Observable behaviour that genuinely tracks expertise (e.g.
+        following specialized accounts), scaled by exposure, in [0, 1]."""
+        return (self.expertise[domain] / 7.0) * self.exposure[domain]
+
+
+def _clip_likert(value: float) -> int:
+    return max(1, min(7, round(value)))
+
+
+def generate_population(
+    seed: int, *, size: int = 40, low_exposure_fraction: float = 0.2
+) -> list[Person]:
+    """Generate *size* people with seeded, reproducible latent state.
+
+    ``low_exposure_fraction`` of the population barely exposes its
+    expertise (the Fig.-10 "completely unreliable" users).
+    """
+    if size <= 0:
+        raise ValueError("size must be positive")
+    if not 0.0 <= low_exposure_fraction <= 1.0:
+        raise ValueError("low_exposure_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    people: list[Person] = []
+    domains = list(DOMAINS)
+    weights = [_FOCUS_WEIGHTS[d] for d in domains]
+    low_exposure_count = round(size * low_exposure_fraction)
+    low_exposure_ids = set(rng.sample(range(size), low_exposure_count))
+
+    for i in range(size):
+        name = PERSON_NAMES[i % len(PERSON_NAMES)]
+        suffix = "" if i < len(PERSON_NAMES) else f" {i // len(PERSON_NAMES) + 1}"
+        n_focus = rng.choice((1, 2, 2, 3))
+        focus: set[str] = set()
+        while len(focus) < n_focus:
+            focus.add(rng.choices(domains, weights=weights, k=1)[0])
+        expertise: dict[str, int] = {}
+        interest: dict[str, float] = {}
+        for domain in domains:
+            if domain in focus:
+                expertise[domain] = _clip_likert(rng.gauss(5.6, 0.9))
+            elif domain == "location":
+                # right-skewed: most people rate themselves plainly low,
+                # so few cross the domain average — the paper's Location
+                # domain had markedly fewer self-declared experts
+                expertise[domain] = _clip_likert(rng.gauss(2.0, 0.45))
+            else:
+                expertise[domain] = _clip_likert(rng.gauss(2.7, 1.1))
+            # interest tracks expertise only partially (r ≈ 0.5)
+            interest[domain] = min(
+                1.0,
+                max(0.0, 0.5 * expertise[domain] / 7.0 + 0.5 * rng.random()),
+            )
+        if i in low_exposure_ids:
+            # flagship/promotional accounts: near-silent AND off-topic —
+            # the paper's Fig.-10 users that no resource-based method can
+            # assess
+            exposure = {d: rng.uniform(0.02, 0.15) for d in domains}
+            activity = rng.uniform(0.08, 0.3)
+        else:
+            exposure = {d: rng.uniform(0.65, 1.0) for d in domains}
+            # lognormal activity: median 1x, a few prolific 10x+ posters
+            activity = rng.lognormvariate(0.0, 0.8)
+        people.append(
+            Person(
+                person_id=f"person:{i:02d}",
+                name=f"{name}{suffix}",
+                expertise=expertise,
+                interest=interest,
+                exposure=exposure,
+                activity=max(0.15, activity),
+            )
+        )
+    return people

@@ -1,0 +1,90 @@
+"""The 30 expertise needs (paper Sec. 3.1).
+
+The paper devised 30 textual queries spanning its seven domains and
+gives one example per domain; those seven appear here verbatim, and the
+remaining 23 are constructed in the same style (factual questions and
+recommendation requests that name domain terms and real-world entities).
+"""
+
+from __future__ import annotations
+
+from repro.core.need import ExpertiseNeed
+
+_QUERIES: tuple[tuple[str, str], ...] = (
+    # -- computer engineering (5) --------------------------------------------
+    ("computer_engineering",
+     "Which PHP function can I use in order to obtain the length of a string?"),
+    ("computer_engineering",
+     "How do I write a SQL query to join two tables in a MySQL database?"),
+    ("computer_engineering",
+     "What is the best Python framework to build the backend of a web application, maybe Django?"),
+    ("computer_engineering",
+     "How can I merge a branch in Git without losing my commits?"),
+    ("computer_engineering",
+     "Why does my Java code throw a null pointer exception inside this loop?"),
+    # -- location (4) ------------------------------------------------------------
+    ("location", "Can you list some restaurants in Milan?"),
+    ("location",
+     "Which museums and landmarks should I visit during a weekend trip to Rome?"),
+    ("location",
+     "I am planning a vacation to Paris, is the Eiffel Tower area a good district for a hotel?"),
+    ("location",
+     "What is the best neighborhood in New York for a walking tour near Central Park?"),
+    # -- movies & tv (4) --------------------------------------------------------------
+    ("movies_tv", "Can you list some famous actors in how I met your mother?"),
+    ("movies_tv",
+     "Is Breaking Bad worth watching, and how many seasons does the series have?"),
+    ("movies_tv",
+     "Which Christopher Nolan movie should I watch first, maybe Inception?"),
+    ("movies_tv",
+     "Can you recommend a drama series on Netflix with a great finale?"),
+    # -- music (4) ------------------------------------------------------------------------
+    ("music", "Can you list some famous songs of Michael Jackson?"),
+    ("music",
+     "Which album of The Beatles should I listen to first on vinyl?"),
+    ("music",
+     "Can you suggest a rock band similar to Radiohead for my playlist?"),
+    ("music",
+     "Who wrote the best classical symphony, was it Mozart?"),
+    # -- science (4) ---------------------------------------------------------------------------
+    ("science", "Why is copper a good conductor?"),
+    ("science",
+     "Can someone explain the theory of relativity of Albert Einstein in simple words?"),
+    ("science",
+     "What exactly is the Higgs boson particle discovered at CERN?"),
+    ("science",
+     "How does DNA store the genetic information of a cell?"),
+    # -- sport (5) ---------------------------------------------------------------------------------
+    ("sport", "Can you list some famous European football teams?"),
+    ("sport", "Who is the best freestyle swimmer, is it Michael Phelps?"),
+    ("sport",
+     "How many goals did Lionel Messi score for FC Barcelona this season?"),
+    ("sport",
+     "Which team has won the most Champions League titles, Real Madrid or AC Milan?"),
+    ("sport",
+     "What training plan should I follow to improve my marathon race time?"),
+    # -- technology & games (4) -----------------------------------------------------------------------
+    ("technology_games",
+     "I am looking for a graphic card to play Diablo 3 but I don't want to spend too much. What do you suggest?"),
+    ("technology_games",
+     "Should I buy an iPhone or an Android smartphone for gaming?"),
+    ("technology_games",
+     "Is the new Nvidia gpu worth the upgrade for World of Warcraft raids?"),
+    ("technology_games",
+     "Which console has the better exclusive games, PlayStation or Xbox?"),
+)
+
+
+def paper_queries() -> list[ExpertiseNeed]:
+    """The 30 expertise needs, ids ``q01``..``q30`` in paper order.
+
+    >>> needs = paper_queries()
+    >>> len(needs)
+    30
+    >>> needs[0].domain
+    'computer_engineering'
+    """
+    return [
+        ExpertiseNeed(need_id=f"q{i + 1:02d}", text=text, domain=domain)
+        for i, (domain, text) in enumerate(_QUERIES)
+    ]

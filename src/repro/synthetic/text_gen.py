@@ -1,0 +1,188 @@
+"""Expertise-conditioned text generation.
+
+All resource, profile, container, and web-page texts come from here.
+The central property — the one the paper's whole method relies on — is
+that text topicality reflects the author's latent expertise: a resource
+about a domain mixes that domain's content words with entity mentions
+and general filler, while chit-chat carries no topical signal at all.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.extraction.url_content import WebPage
+from repro.synthetic.population import Person, WORK_DOMAINS
+from repro.synthetic.vocab import (
+    CAREER_WORDS,
+    DOMAIN_WORDS,
+    DOMAINS,
+    ENTITY_SEEDS,
+    FUNCTION_WORDS,
+    GENERAL_WORDS,
+    NON_ENGLISH_SENTENCES,
+    EntitySeed,
+)
+
+#: per-domain entity seeds, precomputed once
+_DOMAIN_ENTITIES: dict[str, tuple[EntitySeed, ...]] = {
+    d: tuple(s for s in ENTITY_SEEDS if s.domain == d) for d in DOMAINS
+}
+
+
+class TextGenerator:
+    """Seeded generator for every kind of text in the dataset."""
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+
+    # -- building blocks -----------------------------------------------------
+
+    def _words(self, pool: tuple[str, ...], n: int) -> list[str]:
+        return self._rng.choices(pool, k=n)
+
+    def _glue(self, words: list[str]) -> str:
+        """Interleave English function words so generated text reads (and
+        language-identifies) as English rather than as a bare word bag."""
+        out: list[str] = []
+        for word in words:
+            if self._rng.random() < 0.4:
+                out.append(self._rng.choice(FUNCTION_WORDS))
+            out.append(word)
+        return " ".join(out)
+
+    def entity_mention(self, domain: str) -> str:
+        """The primary surface form of a random entity of *domain*."""
+        seed = self._rng.choice(_DOMAIN_ENTITIES[domain])
+        # the highest-count anchor is the canonical surface
+        return max(seed.anchors, key=lambda a: a[1])[0]
+
+    def topical_sentence(self, domain: str, *, length: int | None = None) -> str:
+        """One sentence about *domain*: domain words, an entity mention
+        with probability 0.55, general glue."""
+        rng = self._rng
+        n = length if length is not None else rng.randint(8, 18)
+        n_domain = max(2, round(n * 0.45))
+        n_general = max(1, n - n_domain)
+        words = self._words(DOMAIN_WORDS[domain], n_domain)
+        words += self._words(GENERAL_WORDS, n_general)
+        rng.shuffle(words)
+        if rng.random() < 0.55:
+            mention = self.entity_mention(domain)
+            words.insert(rng.randrange(len(words) + 1), mention)
+        return self._glue(words)
+
+    def chitchat_sentence(self, *, length: int | None = None) -> str:
+        """Everyday filler with no topical signal."""
+        n = length if length is not None else self._rng.randint(6, 14)
+        return self._glue(self._words(GENERAL_WORDS, n))
+
+    def non_english_text(self) -> tuple[str, str]:
+        """(language, text) drawn from the Italian/Spanish filler pool."""
+        lang = self._rng.choice(tuple(NON_ENGLISH_SENTENCES))
+        sentences = NON_ENGLISH_SENTENCES[lang]
+        k = self._rng.randint(1, 2)
+        return lang, " ".join(self._rng.choices(sentences, k=k))
+
+    # -- resources ----------------------------------------------------------------
+
+    def resource_text(self, domain: str | None) -> str:
+        """A post/tweet: topical for a domain, or chit-chat when None."""
+        if domain is None:
+            return self.chitchat_sentence()
+        text = self.topical_sentence(domain)
+        if self._rng.random() < 0.25:
+            text += " " + self.chitchat_sentence(length=self._rng.randint(3, 7))
+        return text
+
+    def pick_domain(self, person: Person, *, platform_bias: dict[str, float]) -> str | None:
+        """Choose what a person posts about: a domain proportional to
+        their *visible* interest times the platform's topical bias, or
+        None (chit-chat) when the total interest mass is low."""
+        rng = self._rng
+        weights = {
+            d: person.visible_interest(d) * platform_bias.get(d, 1.0) for d in DOMAINS
+        }
+        total = sum(weights.values())
+        # the lower the visible interest, the more chit-chat; the pivot
+        # makes even a fully exposed single-focus expert post off-topic
+        # most of the time, as real feeds do
+        chitchat_mass = 1.2
+        if rng.random() < chitchat_mass / (chitchat_mass + total):
+            return None
+        r = rng.uniform(0.0, total)
+        acc = 0.0
+        for domain, w in weights.items():
+            acc += w
+            if r <= acc:
+                return domain
+        return None
+
+    # -- profiles ------------------------------------------------------------------
+
+    def facebook_profile_text(self, person: Person) -> str:
+        """Sparse 'about' section: a hobby line for some interests, often
+        nothing at all — most members "give the smallest amount of
+        information which is required for registering" (paper Sec. 1)."""
+        rng = self._rng
+        if rng.random() < 0.45:
+            return ""
+        hobbies = [
+            d.replace("_", " ")
+            for d in DOMAINS
+            if person.visible_interest(d) > 0.5 and rng.random() < 0.5
+        ]
+        if not hobbies:
+            return ""
+        return "hobbies " + " ".join(hobbies)
+
+    def twitter_profile_text(self, person: Person) -> str:
+        """One-line bio; occasionally names a strong interest."""
+        rng = self._rng
+        if rng.random() < 0.4:
+            return self.chitchat_sentence(length=4)
+        strong = [d for d in DOMAINS if person.visible_interest(d) > 0.55]
+        if strong and rng.random() < 0.6:
+            domain = rng.choice(strong)
+            return (
+                f"{rng.choice(DOMAIN_WORDS[domain])} "
+                f"{rng.choice(DOMAIN_WORDS[domain])} enthusiast"
+            )
+        return self.chitchat_sentence(length=4)
+
+    def linkedin_profile_text(self, person: Person) -> str:
+        """Detailed career description — rich for work domains, which is
+        why LinkedIn distance-0 shines on computer engineering (paper
+        Sec. 3.7) — plus generic career filler."""
+        rng = self._rng
+        parts: list[str] = [self._glue(self._words(CAREER_WORDS, rng.randint(10, 16)))]
+        for domain in WORK_DOMAINS:
+            # career pages describe work-domain skills more faithfully
+            # than feeds do, but strict privacy/flagship accounts keep
+            # even their CV thin
+            visibility = 0.4 + 0.6 * person.exposure[domain]
+            skill = person.expertise[domain] / 7.0 * visibility
+            if skill > 0.45:
+                n = round(6 * skill) + rng.randint(0, 3)
+                parts.append(self._glue(self._words(DOMAIN_WORDS[domain], n)))
+                if rng.random() < 0.5:
+                    parts.append(self.entity_mention(domain))
+        return " ".join(parts)
+
+    # -- containers and the synthetic web ---------------------------------------------
+
+    def container_description(self, domain: str, name: str) -> str:
+        return f"{name} {self.topical_sentence(domain, length=10)}"
+
+    def celebrity_profile_text(self, seed: EntitySeed) -> str:
+        """Bio of a followed topical account (athlete, band, company)."""
+        return f"{seed.name} official {seed.description} {self.topical_sentence(seed.domain, length=6)}"
+
+    def web_page(self, url: str, domain: str) -> WebPage:
+        """A topical article for the synthetic web."""
+        title = self.topical_sentence(domain, length=5)
+        body = " ".join(
+            self.topical_sentence(domain) for _ in range(self._rng.randint(2, 4))
+        )
+        boilerplate = "home login subscribe cookie policy advertisement contact"
+        return WebPage(url=url, title=title, main_text=body, boilerplate=boilerplate)

@@ -1,0 +1,463 @@
+"""Domain vocabularies and entity seed data.
+
+The seven expertise domains are the paper's (Sec. 3.1): computer
+engineering, location, movies & tv, music, science, sport, and
+technology & videogames. Each domain carries a content-word vocabulary
+used by the text generator and a set of seed entities for the synthetic
+knowledge base, including deliberately ambiguous anchors ("python",
+"milan", "java", "apple", "mercury") that exercise the disambiguator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: the paper's seven domains, in its presentation order
+DOMAINS: tuple[str, ...] = (
+    "computer_engineering",
+    "location",
+    "movies_tv",
+    "music",
+    "science",
+    "sport",
+    "technology_games",
+)
+
+#: pretty names used in reports (paper Table 4 row labels)
+DOMAIN_LABELS: dict[str, str] = {
+    "computer_engineering": "Computer engineering",
+    "location": "Location",
+    "movies_tv": "Movies & TV",
+    "music": "Music",
+    "science": "Science",
+    "sport": "Sport",
+    "technology_games": "Technology & games",
+}
+
+DOMAIN_WORDS: dict[str, tuple[str, ...]] = {
+    "computer_engineering": (
+        "code", "function", "string", "length", "array", "variable", "loop",
+        "compile", "debug", "algorithm", "database", "query", "server",
+        "deploy", "framework", "library", "class", "method", "object",
+        "interface", "bug", "patch", "commit", "branch", "merge", "syntax",
+        "runtime", "exception", "thread", "memory", "pointer", "recursion",
+        "script", "backend", "frontend", "regex", "integer", "boolean",
+        "parameter", "refactor", "compiler", "repository", "unittest",
+        "deployment", "scalability", "microservice", "endpoint", "schema",
+    ),
+    "location": (
+        "restaurant", "city", "travel", "hotel", "museum", "street",
+        "square", "cathedral", "district", "neighborhood", "map", "tour",
+        "flight", "airport", "station", "monument", "landmark", "cafe",
+        "bistro", "cuisine", "vacation", "trip", "sightseeing", "gallery",
+        "bridge", "river", "downtown", "piazza", "guide", "itinerary",
+        "hostel", "boulevard", "harbor", "skyline", "alley", "terrace",
+        "rooftop", "local", "trattoria", "panorama", "excursion", "ferry",
+    ),
+    "movies_tv": (
+        "movie", "film", "actor", "actress", "episode", "season", "series",
+        "director", "plot", "scene", "trailer", "cinema", "sitcom", "drama",
+        "comedy", "thriller", "premiere", "screenplay", "cast", "character",
+        "finale", "binge", "oscar", "blockbuster", "sequel", "documentary",
+        "screening", "spoiler", "subtitle", "remake", "pilot", "casting",
+        "cliffhanger", "protagonist", "villain", "soundtrack", "cameo",
+    ),
+    "music": (
+        "song", "album", "band", "concert", "guitar", "piano", "melody",
+        "lyrics", "singer", "playlist", "chorus", "rhythm", "bass",
+        "drummer", "vinyl", "festival", "hit", "single", "record", "studio",
+        "acoustic", "jazz", "rock", "pop", "symphony", "orchestra", "tune",
+        "gig", "encore", "riff", "ballad", "harmony", "tempo", "remix",
+        "setlist", "verse", "falsetto", "soundcheck", "discography",
+    ),
+    "science": (
+        "copper", "conductor", "electron", "atom", "molecule", "physics",
+        "chemistry", "biology", "experiment", "theory", "hypothesis",
+        "laboratory", "research", "particle", "energy", "quantum", "cell",
+        "protein", "enzyme", "evolution", "gravity", "relativity",
+        "element", "reaction", "microscope", "telescope", "genome",
+        "neuron", "electromagnetism", "thermodynamics", "isotope",
+        "catalyst", "photon", "synthesis", "conductivity", "voltage",
+        "membrane", "chromosome", "antibody", "spectrum",
+    ),
+    "sport": (
+        "football", "team", "match", "goal", "league", "player",
+        "championship", "swimming", "freestyle", "swimmer", "medal",
+        "olympic", "tournament", "coach", "stadium", "race", "marathon",
+        "tennis", "basketball", "training", "fitness", "score", "transfer",
+        "striker", "goalkeeper", "podium", "sprint", "backstroke",
+        "butterfly", "relay", "derby", "penalty", "midfielder", "defender",
+        "qualifier", "fixture", "lap", "workout", "gold",
+    ),
+    "technology_games": (
+        "graphic", "card", "game", "console", "gamer", "gpu", "processor",
+        "laptop", "smartphone", "tablet", "gadget", "hardware", "screen",
+        "battery", "wireless", "gaming", "quest", "raid", "multiplayer",
+        "level", "achievement", "pixel", "resolution", "benchmark",
+        "overclock", "firmware", "headset", "controller", "upgrade",
+        "unboxing", "specs", "framerate", "loot", "expansion", "patch",
+        "leaderboard", "keyboard", "motherboard", "cooling", "chipset",
+    ),
+}
+
+#: high-frequency English function words interleaved into generated
+#: sentences — real posts contain them, and the language identifier
+#: depends on them to recognize English text
+FUNCTION_WORDS: tuple[str, ...] = (
+    "the", "and", "to", "of", "in", "a", "is", "for", "with", "on", "at",
+    "this", "that", "my", "we", "it", "as", "be", "are", "was", "have",
+    "from", "by", "or", "an", "so", "about", "you", "very",
+)
+
+#: everyday filler words for chit-chat and padding — deliberately
+#: domain-neutral
+GENERAL_WORDS: tuple[str, ...] = (
+    "today", "great", "love", "time", "day", "week", "friend", "happy",
+    "good", "new", "best", "really", "thing", "people", "life", "home",
+    "work", "morning", "night", "weekend", "lunch", "coffee", "birthday",
+    "party", "photo", "fun", "nice", "awesome", "thanks", "hope", "see",
+    "going", "made", "feel", "little", "big", "year", "beautiful", "sunny",
+    "dinner", "walk", "finally", "tomorrow", "amazing", "funny", "busy",
+    "relax", "enjoy", "moment", "family", "together", "favorite", "story",
+)
+
+#: work/career words for LinkedIn profiles and professional groups
+CAREER_WORDS: tuple[str, ...] = (
+    "engineer", "manager", "consultant", "experience", "skills", "project",
+    "company", "team", "development", "senior", "analyst", "director",
+    "responsible", "designed", "delivered", "led", "degree", "university",
+    "certified", "professional", "industry", "solutions", "architecture",
+    "strategy", "product", "startup", "enterprise", "innovation",
+)
+
+#: non-English filler sentences; the language identifier must route these
+#: out of the English index (paper: 330k collected, 230k English kept)
+NON_ENGLISH_SENTENCES: dict[str, tuple[str, ...]] = {
+    "it": (
+        "oggi una bella giornata per stare con gli amici in centro",
+        "questa sera andiamo a mangiare la pizza vicino al duomo",
+        "che bella partita ieri sera non vedo l'ora della prossima",
+        "buongiorno a tutti un caffe e si comincia la settimana",
+        "il fine settimana al mare con la famiglia è sempre il migliore",
+        "grazie mille a tutti per gli auguri di compleanno siete fantastici",
+    ),
+    "es": (
+        "hoy es un dia precioso para pasear por el centro con amigos",
+        "esta noche vamos a cenar a un restaurante cerca de la plaza",
+        "que gran partido el de ayer no puedo esperar al proximo",
+        "buenos dias a todos un cafe y empezamos la semana",
+        "el fin de semana en la playa con la familia siempre es lo mejor",
+        "muchas gracias a todos por las felicitaciones de cumpleanos",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class EntitySeed:
+    """Seed data for one knowledge-base entity."""
+
+    uri: str
+    name: str
+    entity_type: str
+    domain: str
+    #: (surface form, anchor count) — counts shape the commonness prior
+    anchors: tuple[tuple[str, int], ...]
+    description: str = ""
+    #: URIs this entity's page links to (within the synthetic wiki)
+    links: tuple[str, ...] = ()
+
+
+def _e(
+    uri: str,
+    name: str,
+    entity_type: str,
+    domain: str,
+    anchors: tuple[tuple[str, int], ...],
+    description: str = "",
+    links: tuple[str, ...] = (),
+) -> EntitySeed:
+    return EntitySeed(
+        uri=f"wiki/{uri}",
+        name=name,
+        entity_type=entity_type,
+        domain=domain,
+        anchors=anchors,
+        description=description,
+        links=tuple(f"wiki/{l}" for l in links),
+    )
+
+
+ENTITY_SEEDS: tuple[EntitySeed, ...] = (
+    # -- computer engineering -------------------------------------------------
+    _e("PHP", "PHP", "ProgrammingLanguage", "computer_engineering",
+       (("php", 50),), "server side scripting language for web development",
+       ("MySQL", "Apache_HTTP_Server")),
+    _e("Python_(programming_language)", "Python", "ProgrammingLanguage",
+       "computer_engineering", (("python", 70),),
+       "high level general purpose programming language",
+       ("Django_(web_framework)", "Linux")),
+    _e("Java_(programming_language)", "Java", "ProgrammingLanguage",
+       "computer_engineering", (("java", 65),),
+       "object oriented programming language for the enterprise",
+       ("Linux", "MySQL")),
+    _e("JavaScript", "JavaScript", "ProgrammingLanguage", "computer_engineering",
+       (("javascript", 55), ("js", 20)), "scripting language of the web browser",
+       ("PHP", "Python_(programming_language)")),
+    _e("SQL", "SQL", "ProgrammingLanguage", "computer_engineering",
+       (("sql", 45),), "structured query language for relational databases",
+       ("MySQL",)),
+    _e("MySQL", "MySQL", "Software", "computer_engineering",
+       (("mysql", 40),), "open source relational database management system",
+       ("SQL", "PHP")),
+    _e("Linux", "Linux", "OperatingSystem", "computer_engineering",
+       (("linux", 50),), "open source unix like operating system kernel",
+       ("Git",)),
+    _e("Git", "Git", "Software", "computer_engineering",
+       (("git", 35), ("github", 25)), "distributed version control system",
+       ("Linux",)),
+    _e("Stack_Overflow", "Stack Overflow", "Website", "computer_engineering",
+       (("stack overflow", 30), ("stackoverflow", 15)),
+       "question and answer site for programmers",
+       ("PHP", "Java_(programming_language)")),
+    _e("Apache_HTTP_Server", "Apache HTTP Server", "Software",
+       "computer_engineering", (("apache", 25),), "open source web server",
+       ("PHP", "Linux")),
+    _e("Django_(web_framework)", "Django", "Software", "computer_engineering",
+       (("django", 20),), "python web framework for rapid development",
+       ("Python_(programming_language)",)),
+    _e("Cplusplus", "C++", "ProgrammingLanguage", "computer_engineering",
+       (("c++", 30), ("cpp", 10)), "systems programming language",
+       ("Linux", "Java_(programming_language)")),
+    # -- location ----------------------------------------------------------------
+    _e("Milan", "Milan", "City", "location",
+       (("milan", 60), ("milano", 20)), "city in northern italy famous for fashion and design",
+       ("Duomo_di_Milano", "Italy", "Navigli")),
+    _e("Rome", "Rome", "City", "location",
+       (("rome", 55), ("roma", 15)), "capital city of italy with ancient monuments",
+       ("Italy", "Colosseum")),
+    _e("Paris", "Paris", "City", "location",
+       (("paris", 55),), "capital of france known for art and cuisine",
+       ("Eiffel_Tower",)),
+    _e("London", "London", "City", "location",
+       (("london", 55),), "capital of the united kingdom on the thames",
+       ("Italy",)),
+    _e("New_York_City", "New York City", "City", "location",
+       (("new york", 50), ("new york city", 25), ("nyc", 15)),
+       "most populous city in the united states",
+       ("Central_Park",)),
+    _e("Tokyo", "Tokyo", "City", "location",
+       (("tokyo", 40),), "capital of japan and largest metropolitan area",
+       ()),
+    _e("Italy", "Italy", "Country", "location",
+       (("italy", 50), ("italia", 10)), "southern european country shaped like a boot",
+       ("Milan", "Rome")),
+    _e("Eiffel_Tower", "Eiffel Tower", "Landmark", "location",
+       (("eiffel tower", 30),), "wrought iron lattice tower in paris",
+       ("Paris",)),
+    _e("Colosseum", "Colosseum", "Landmark", "location",
+       (("colosseum", 25),), "ancient roman amphitheatre in the centre of rome",
+       ("Rome",)),
+    _e("Central_Park", "Central Park", "Landmark", "location",
+       (("central park", 25),), "urban park in manhattan new york city",
+       ("New_York_City",)),
+    _e("Duomo_di_Milano", "Duomo di Milano", "Landmark", "location",
+       (("duomo", 20), ("duomo di milano", 10)), "gothic cathedral of milan",
+       ("Milan",)),
+    _e("Navigli", "Navigli", "Landmark", "location",
+       (("navigli", 12),), "canal district of milan with restaurants and nightlife",
+       ("Milan",)),
+    # -- movies & tv -----------------------------------------------------------------
+    _e("How_I_Met_Your_Mother", "How I Met Your Mother", "TVShow", "movies_tv",
+       (("how i met your mother", 35), ("himym", 15)),
+       "american sitcom about ted and his friends in new york",
+       ("Netflix",)),
+    _e("Breaking_Bad", "Breaking Bad", "TVShow", "movies_tv",
+       (("breaking bad", 35),), "crime drama about a chemistry teacher",
+       ("Netflix",)),
+    _e("Game_of_Thrones", "Game of Thrones", "TVShow", "movies_tv",
+       (("game of thrones", 40), ("got", 10)),
+       "fantasy drama adapted from george martin novels",
+       ("HBO",)),
+    _e("The_Godfather", "The Godfather", "Film", "movies_tv",
+       (("the godfather", 25), ("godfather", 10)),
+       "crime film directed by francis ford coppola", ()),
+    _e("Inception", "Inception", "Film", "movies_tv",
+       (("inception", 25),), "science fiction heist film about dreams",
+       ("Christopher_Nolan", "Leonardo_DiCaprio")),
+    _e("Christopher_Nolan", "Christopher Nolan", "Person", "movies_tv",
+       (("christopher nolan", 20), ("nolan", 12)),
+       "british american film director", ("Inception",)),
+    _e("Leonardo_DiCaprio", "Leonardo DiCaprio", "Person", "movies_tv",
+       (("leonardo dicaprio", 22), ("dicaprio", 12)),
+       "american actor and film producer", ("Inception",)),
+    _e("Netflix", "Netflix", "Company", "movies_tv",
+       (("netflix", 35),), "streaming service for films and series",
+       ("Breaking_Bad", "How_I_Met_Your_Mother")),
+    _e("HBO", "HBO", "Company", "movies_tv",
+       (("hbo", 20),), "american premium television network",
+       ("Game_of_Thrones",)),
+    _e("Quentin_Tarantino", "Quentin Tarantino", "Person", "movies_tv",
+       (("quentin tarantino", 18), ("tarantino", 12)),
+       "american film director and screenwriter", ()),
+    # -- music --------------------------------------------------------------------------
+    _e("Michael_Jackson", "Michael Jackson", "Person", "music",
+       (("michael jackson", 45), ("mj", 8)),
+       "american singer known as the king of pop",
+       ("Thriller_(album)",)),
+    _e("The_Beatles", "The Beatles", "Band", "music",
+       (("the beatles", 35), ("beatles", 20)),
+       "english rock band from liverpool", ()),
+    _e("Thriller_(album)", "Thriller", "Album", "music",
+       (("thriller", 18),), "best selling studio album by michael jackson",
+       ("Michael_Jackson",)),
+    _e("Mozart", "Wolfgang Amadeus Mozart", "Person", "music",
+       (("mozart", 25),), "prolific classical era composer", ()),
+    _e("Rolling_Stones", "The Rolling Stones", "Band", "music",
+       (("rolling stones", 25),), "english rock band formed in 1962", ()),
+    _e("Spotify", "Spotify", "Company", "music",
+       (("spotify", 25),), "audio streaming platform",
+       ("Michael_Jackson", "The_Beatles")),
+    _e("Bob_Dylan", "Bob Dylan", "Person", "music",
+       (("bob dylan", 20), ("dylan", 10)), "american singer songwriter", ()),
+    _e("Lady_Gaga", "Lady Gaga", "Person", "music",
+       (("lady gaga", 22),), "american pop singer and performer", ()),
+    _e("Radiohead", "Radiohead", "Band", "music",
+       (("radiohead", 18),), "english alternative rock band", ()),
+    _e("Freddie_Mercury", "Freddie Mercury", "Person", "music",
+       (("freddie mercury", 18), ("mercury", 10)),
+       "lead vocalist of the rock band queen", ()),
+    # -- science -----------------------------------------------------------------------------
+    _e("Copper", "Copper", "ChemicalElement", "science",
+       (("copper", 30),), "ductile metal with very high electrical conductivity",
+       ("Electrical_conductivity",)),
+    _e("Electrical_conductivity", "Electrical conductivity", "Concept", "science",
+       (("conductivity", 15), ("electrical conductivity", 10)),
+       "measure of how well a material conducts electric current",
+       ("Copper",)),
+    _e("Albert_Einstein", "Albert Einstein", "Person", "science",
+       (("albert einstein", 30), ("einstein", 20)),
+       "physicist who developed the theory of relativity",
+       ("Theory_of_relativity",)),
+    _e("Theory_of_relativity", "Theory of relativity", "Concept", "science",
+       (("relativity", 15), ("theory of relativity", 8)),
+       "physics of space time and gravitation",
+       ("Albert_Einstein",)),
+    _e("DNA", "DNA", "Concept", "science",
+       (("dna", 25),), "molecule carrying genetic instructions", ()),
+    _e("CERN", "CERN", "Organization", "science",
+       (("cern", 20),), "european laboratory for particle physics",
+       ("Higgs_boson",)),
+    _e("Higgs_boson", "Higgs boson", "Concept", "science",
+       (("higgs boson", 15), ("higgs", 10)),
+       "elementary particle discovered at the large hadron collider",
+       ("CERN",)),
+    _e("Isaac_Newton", "Isaac Newton", "Person", "science",
+       (("isaac newton", 18), ("newton", 12)),
+       "mathematician who formulated the laws of motion", ()),
+    _e("Marie_Curie", "Marie Curie", "Person", "science",
+       (("marie curie", 15), ("curie", 8)),
+       "physicist and chemist pioneer of radioactivity research", ()),
+    _e("Mercury_(element)", "Mercury", "ChemicalElement", "science",
+       (("mercury", 8),), "heavy silvery liquid metal element", ("Copper",)),
+    _e("Python_(snake)", "Python", "Animal", "science",
+       (("python", 10),), "large nonvenomous constricting snake", ("DNA",)),
+    # -- sport -----------------------------------------------------------------------------------
+    _e("Michael_Phelps", "Michael Phelps", "Athlete", "sport",
+       (("michael phelps", 40), ("phelps", 15)),
+       "american swimmer and most decorated olympian",
+       ("Freestyle_swimming", "Olympic_Games")),
+    _e("Freestyle_swimming", "Freestyle swimming", "SportDiscipline", "sport",
+       (("freestyle", 25), ("freestyle swimming", 10)),
+       "swimming competition category with unregulated stroke",
+       ("Michael_Phelps",)),
+    _e("Olympic_Games", "Olympic Games", "Event", "sport",
+       (("olympics", 25), ("olympic games", 15)),
+       "international multi sport event",
+       ("Michael_Phelps", "Usain_Bolt")),
+    _e("Lionel_Messi", "Lionel Messi", "Athlete", "sport",
+       (("lionel messi", 30), ("messi", 25)),
+       "argentine footballer and record goalscorer",
+       ("FC_Barcelona",)),
+    _e("FC_Barcelona", "FC Barcelona", "SportsTeam", "sport",
+       (("fc barcelona", 20), ("barcelona", 18), ("barca", 10)),
+       "spanish professional football club",
+       ("Lionel_Messi", "Champions_League")),
+    _e("Real_Madrid", "Real Madrid", "SportsTeam", "sport",
+       (("real madrid", 25),), "spanish football club with most european cups",
+       ("Champions_League",)),
+    _e("AC_Milan", "AC Milan", "SportsTeam", "sport",
+       (("ac milan", 20), ("milan", 12)),
+       "italian professional football club based in milan",
+       ("Champions_League", "Juventus")),
+    _e("Juventus", "Juventus", "SportsTeam", "sport",
+       (("juventus", 20), ("juve", 10)), "italian football club from turin",
+       ("AC_Milan", "Champions_League")),
+    _e("Champions_League", "UEFA Champions League", "Event", "sport",
+       (("champions league", 25),), "annual european club football competition",
+       ("Real_Madrid", "FC_Barcelona")),
+    _e("Usain_Bolt", "Usain Bolt", "Athlete", "sport",
+       (("usain bolt", 20), ("bolt", 10)),
+       "jamaican sprinter and world record holder",
+       ("Olympic_Games",)),
+    _e("Roger_Federer", "Roger Federer", "Athlete", "sport",
+       (("roger federer", 18), ("federer", 12)),
+       "swiss tennis champion", ()),
+    # -- technology & games --------------------------------------------------------------------------
+    _e("Diablo_III", "Diablo III", "VideoGame", "technology_games",
+       (("diablo 3", 25), ("diablo iii", 10), ("diablo", 12)),
+       "action role playing game by blizzard entertainment",
+       ("Blizzard_Entertainment",)),
+    _e("Blizzard_Entertainment", "Blizzard Entertainment", "Company",
+       "technology_games", (("blizzard", 18),),
+       "american video game developer",
+       ("Diablo_III", "World_of_Warcraft")),
+    _e("World_of_Warcraft", "World of Warcraft", "VideoGame", "technology_games",
+       (("world of warcraft", 20), ("wow", 12)),
+       "massively multiplayer online role playing game",
+       ("Blizzard_Entertainment",)),
+    _e("PlayStation", "PlayStation", "Product", "technology_games",
+       (("playstation", 25), ("ps3", 8)), "sony video game console brand", ()),
+    _e("Xbox", "Xbox", "Product", "technology_games",
+       (("xbox", 22),), "microsoft video game console brand", ()),
+    _e("Nvidia", "Nvidia", "Company", "technology_games",
+       (("nvidia", 20), ("geforce", 12)),
+       "designer of graphics processing units",
+       ("Diablo_III",)),
+    _e("IPhone", "iPhone", "Product", "technology_games",
+       (("iphone", 30),), "smartphone line designed by apple",
+       ("Apple_Inc",)),
+    _e("Android_(operating_system)", "Android", "OperatingSystem",
+       "technology_games", (("android", 25),),
+       "mobile operating system developed by google", ()),
+    _e("Apple_Inc", "Apple Inc.", "Company", "technology_games",
+       (("apple", 30),), "consumer electronics company from cupertino",
+       ("IPhone",)),
+    _e("Samsung", "Samsung", "Company", "technology_games",
+       (("samsung", 20), ("galaxy", 10)),
+       "south korean electronics manufacturer",
+       ("Android_(operating_system)",)),
+    _e("Java_(island)", "Java", "Island", "location",
+       (("java", 8),), "indonesian island with more than half the population",
+       ("Tokyo",)),
+    _e("Apple_(fruit)", "Apple", "Plant", "science",
+       (("apple", 7),), "edible fruit of the apple tree", ("DNA",)),
+)
+
+
+def entities_in_domain(domain: str) -> tuple[EntitySeed, ...]:
+    """Seed entities whose primary domain is *domain*."""
+    if domain not in DOMAINS:
+        raise ValueError(f"unknown domain {domain!r}")
+    return tuple(s for s in ENTITY_SEEDS if s.domain == domain)
+
+
+#: first names for the synthetic volunteers (the paper's examples use the
+#: classic crypto cast: Alice, Bob, Charlie, Chuck, Peggy, Anna...)
+PERSON_NAMES: tuple[str, ...] = (
+    "Alice", "Bob", "Charlie", "Chuck", "Peggy", "Anna", "David", "Elena",
+    "Frank", "Giulia", "Henry", "Irene", "Jack", "Kate", "Luca", "Marta",
+    "Nico", "Olivia", "Paolo", "Quinn", "Rita", "Sam", "Teresa", "Ugo",
+    "Vera", "Walter", "Xenia", "Yuri", "Zoe", "Andrea", "Bruno", "Carla",
+    "Dario", "Emma", "Fabio", "Greta", "Hugo", "Ivan", "Julia", "Kevin",
+    "Laura", "Marco", "Nadia", "Oscar", "Piera", "Remo", "Sara", "Tom",
+)

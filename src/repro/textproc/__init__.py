@@ -1,0 +1,26 @@
+"""Text analysis substrate (paper Fig. 4).
+
+Implements, from scratch, the language-dependent steps of the resource
+analysis flow: sanitization, tokenization, stop-word removal, Porter
+stemming, and character-n-gram language identification.
+
+The composed flow lives in :mod:`repro.textproc.pipeline`.
+"""
+
+from repro.textproc.langid import LanguageIdentifier, LanguageProfile
+from repro.textproc.pipeline import AnalyzedText, TextPipeline
+from repro.textproc.sanitizer import sanitize
+from repro.textproc.stemmer import PorterStemmer
+from repro.textproc.stopwords import stopwords_for
+from repro.textproc.tokenizer import tokenize
+
+__all__ = [
+    "AnalyzedText",
+    "LanguageIdentifier",
+    "LanguageProfile",
+    "PorterStemmer",
+    "TextPipeline",
+    "sanitize",
+    "stopwords_for",
+    "tokenize",
+]

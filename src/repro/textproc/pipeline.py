@@ -1,0 +1,75 @@
+"""The composed text-analysis flow of paper Fig. 4 (language-dependent part).
+
+``TextPipeline`` takes raw resource text and produces an ``AnalyzedText``:
+the identified language, the normalized (sanitized) text used downstream
+by the entity annotator, and the stemmed, stop-word-free term list used
+by the term index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.textproc.langid import LanguageIdentifier
+from repro.textproc.sanitizer import sanitize
+from repro.textproc.stemmer import PorterStemmer
+from repro.textproc.stopwords import stopwords_for
+from repro.textproc.tokenizer import tokenize
+
+
+@dataclass(frozen=True)
+class AnalyzedText:
+    """Output of the text pipeline for one resource (or one query)."""
+
+    language: str
+    clean_text: str
+    tokens: tuple[str, ...]
+    terms: tuple[str, ...]
+
+    @property
+    def is_english(self) -> bool:
+        return self.language == "en"
+
+
+class TextPipeline:
+    """Sanitize → identify language → tokenize → stop-words → stem.
+
+    Only English gets stemmed (Porter is English-specific); other
+    languages get stop-word removal only, which is enough because the
+    system drops non-English resources before indexing (paper Sec. 3.1).
+
+    >>> pipe = TextPipeline()
+    >>> out = pipe.analyze("Just finished 30min freestyle training at the swimming pool!")
+    >>> out.language
+    'en'
+    >>> 'swim' in out.terms
+    True
+    """
+
+    def __init__(self, identifier: LanguageIdentifier | None = None):
+        self._identifier = identifier or LanguageIdentifier()
+        self._stemmer = PorterStemmer()
+        # Short texts repeat heavily across a social corpus; memoize stems.
+        self._stem = lru_cache(maxsize=65536)(self._stemmer.stem)
+
+    def analyze(self, text: str, *, language: str | None = None) -> AnalyzedText:
+        """Run the full flow on raw *text*.
+
+        Pass *language* to skip identification (used when the platform
+        already annotates the resource language).
+        """
+        clean = sanitize(text)
+        lang = language if language is not None else self._identifier.identify(clean)
+        tokens = tuple(tokenize(clean))
+        # texts too short to identify ("und") are processed as English:
+        # the indexed corpus is English-only, and unstemmed fragments
+        # would otherwise never match stemmed query terms
+        processing_lang = "en" if lang == LanguageIdentifier.UNKNOWN else lang
+        stop = stopwords_for(processing_lang)
+        content = (t for t in tokens if t not in stop)
+        if processing_lang == "en":
+            terms = tuple(self._stem(t) for t in content)
+        else:
+            terms = tuple(content)
+        return AnalyzedText(language=lang, clean_text=clean, tokens=tokens, terms=terms)

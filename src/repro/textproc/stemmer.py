@@ -1,0 +1,198 @@
+"""The Porter stemming algorithm (Porter, 1980), implemented from scratch.
+
+This is the classic 5-step suffix-stripping stemmer used by the paper's
+"Text Processing" stage. The implementation follows the original paper's
+rule tables and measure definition exactly; behaviour is pinned by the
+unit tests against the published examples.
+"""
+
+from __future__ import annotations
+
+_VOWELS = frozenset("aeiou")
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer; one instance can be shared freely.
+
+    >>> stem = PorterStemmer().stem
+    >>> stem("caresses")
+    'caress'
+    >>> stem("relational")
+    'relat'
+    >>> stem("swimming")
+    'swim'
+    """
+
+    def stem(self, word: str) -> str:
+        """Return the stem of *word* (expected lowercase)."""
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        return self._step5b(word)
+
+    # -- Porter's (m, *v*, *d, *o) conditions ------------------------------
+
+    @staticmethod
+    def _is_consonant(word: str, i: int) -> bool:
+        ch = word[i]
+        if ch in _VOWELS:
+            return False
+        if ch == "y":
+            return i == 0 or not PorterStemmer._is_consonant(word, i - 1)
+        return True
+
+    @classmethod
+    def _measure(cls, stem: str) -> int:
+        """The measure m of a stem: the number of VC sequences."""
+        m = 0
+        prev_vowel = False
+        for i in range(len(stem)):
+            consonant = cls._is_consonant(stem, i)
+            if consonant and prev_vowel:
+                m += 1
+            prev_vowel = not consonant
+        return m
+
+    @classmethod
+    def _contains_vowel(cls, stem: str) -> bool:
+        return any(not cls._is_consonant(stem, i) for i in range(len(stem)))
+
+    @classmethod
+    def _ends_double_consonant(cls, word: str) -> bool:
+        return (
+            len(word) >= 2
+            and word[-1] == word[-2]
+            and cls._is_consonant(word, len(word) - 1)
+        )
+
+    @classmethod
+    def _ends_cvc(cls, word: str) -> bool:
+        """*o: stem ends consonant-vowel-consonant, final cons. not w/x/y."""
+        if len(word) < 3:
+            return False
+        return (
+            cls._is_consonant(word, len(word) - 3)
+            and not cls._is_consonant(word, len(word) - 2)
+            and cls._is_consonant(word, len(word) - 1)
+            and word[-1] not in "wxy"
+        )
+
+    # -- rule application ---------------------------------------------------
+
+    @classmethod
+    def _replace(cls, word: str, suffix: str, repl: str, m_min: int) -> str | None:
+        """If *word* ends with *suffix* and the stem measure > m_min,
+        return the replaced word; None if the suffix does not match."""
+        if not word.endswith(suffix):
+            return None
+        stem = word[: len(word) - len(suffix)]
+        if cls._measure(stem) > m_min:
+            return stem + repl
+        return word
+
+    # -- steps --------------------------------------------------------------
+
+    @staticmethod
+    def _step1a(word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    @classmethod
+    def _step1b(cls, word: str) -> str:
+        if word.endswith("eed"):
+            stem = word[:-3]
+            return word[:-1] if cls._measure(stem) > 0 else word
+        flag = False
+        if word.endswith("ed") and cls._contains_vowel(word[:-2]):
+            word, flag = word[:-2], True
+        elif word.endswith("ing") and cls._contains_vowel(word[:-3]):
+            word, flag = word[:-3], True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if cls._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if cls._measure(word) == 1 and cls._ends_cvc(word):
+                return word + "e"
+        return word
+
+    @classmethod
+    def _step1c(cls, word: str) -> str:
+        if word.endswith("y") and cls._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_RULES = (
+        ("ational", "ate"), ("tional", "tion"), ("enci", "ence"),
+        ("anci", "ance"), ("izer", "ize"), ("abli", "able"),
+        ("alli", "al"), ("entli", "ent"), ("eli", "e"), ("ousli", "ous"),
+        ("ization", "ize"), ("ation", "ate"), ("ator", "ate"),
+        ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+        ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"),
+        ("biliti", "ble"),
+    )
+
+    @classmethod
+    def _step2(cls, word: str) -> str:
+        for suffix, repl in cls._STEP2_RULES:
+            result = cls._replace(word, suffix, repl, 0)
+            if result is not None:
+                return result
+        return word
+
+    _STEP3_RULES = (
+        ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+        ("ical", "ic"), ("ful", ""), ("ness", ""),
+    )
+
+    @classmethod
+    def _step3(cls, word: str) -> str:
+        for suffix, repl in cls._STEP3_RULES:
+            result = cls._replace(word, suffix, repl, 0)
+            if result is not None:
+                return result
+        return word
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    @classmethod
+    def _step4(cls, word: str) -> str:
+        if word.endswith("ion") and len(word) > 3 and word[-4] in "st":
+            stem = word[:-3]
+            return stem if cls._measure(stem) > 1 else word
+        for suffix in cls._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: len(word) - len(suffix)]
+                return stem if cls._measure(stem) > 1 else word
+        return word
+
+    @classmethod
+    def _step5a(cls, word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            m = cls._measure(stem)
+            if m > 1 or (m == 1 and not cls._ends_cvc(stem)):
+                return stem
+        return word
+
+    @classmethod
+    def _step5b(cls, word: str) -> str:
+        if word.endswith("ll") and cls._measure(word) > 1:
+            return word[:-1]
+        return word

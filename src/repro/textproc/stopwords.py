@@ -1,0 +1,85 @@
+"""Stop-word lists for the languages handled by the analysis pipeline.
+
+Lists are intentionally compact (high-frequency function words only):
+the paper's pipeline uses stop-word removal as standard IR preprocessing,
+not as a linguistic resource.
+"""
+
+from __future__ import annotations
+
+_ENGLISH = frozenset(
+    """a about above after again against all am an and any are aren as at be
+    because been before being below between both but by can cannot could
+    couldn did didn do does doesn doing don down during each few for from
+    further had hadn has hasn have haven having he her here hers herself him
+    himself his how i if in into is isn it its itself just me more most
+    mustn my myself no nor not now of off on once only or other our ours
+    ourselves out over own same shan she should shouldn so some such than
+    that the their theirs them themselves then there these they this those
+    through to too under until up very was wasn we were weren what when
+    where which while who whom why will with won would wouldn you your yours
+    yourself yourselves""".split()
+)
+
+_ITALIAN = frozenset(
+    """a ad al alla alle allo anche avere aveva c che chi ci come con cosa
+    cui da dal dalla de degli dei del della delle dello di dove e ed era
+    essere fa fra gli ha hanno ho i il in io l la le lei li lo loro lui ma
+    mi mia mio ne nei nel nella no noi non nostro o per perche piu quale
+    quando quello questa questo qui se sei si sia sono su sua sue sui sul
+    sulla suo te ti tra tu tua tuo un una uno vi voi""".split()
+)
+
+_SPANISH = frozenset(
+    """a al algo ante antes como con contra cual cuando de del desde donde
+    durante e el ella ellas ellos en entre era es esa ese eso esta este
+    esto estos fue ha han hasta hay la las le les lo los mas me mi mientras
+    muy nada ni no nos nosotros o os otra otro para pero poco por porque
+    que quien se ser si sin sobre son su sus te tiene todo tu tus un una
+    uno unos vosotros y ya yo""".split()
+)
+
+_FRENCH = frozenset(
+    """a au aux avec ce ces dans de des du elle elles en est et eux il ils
+    je la le les leur lui ma mais me meme mes moi mon ne nos notre nous on
+    ou par pas pour qu que qui sa se ses son sur ta te tes toi ton tu un
+    une vos votre vous c d j l m n s t y etre avoir fait plus tout""".split()
+)
+
+_GERMAN = frozenset(
+    """aber alle als also am an auch auf aus bei bin bis bist da damit dann
+    das dass dein deine dem den der des dessen die dies diese dir doch dort
+    du durch ein eine einem einen einer eines er es euer eure fur hatte
+    hatten hattest hier hinter ich ihr ihre im in ist ja jede jedem jeden
+    jeder jedes jener kann kein konnen machen mein meine mit muss nach
+    nicht nichts noch nun nur ob oder ohne sehr sein seine sich sie sind
+    so und uns unser unter vom von vor wann warum was weiter weitere wenn
+    wer werde werden wie wieder will wir wird wirst wo zu zum zur""".split()
+)
+
+_BY_LANGUAGE: dict[str, frozenset[str]] = {
+    "en": _ENGLISH,
+    "it": _ITALIAN,
+    "es": _SPANISH,
+    "fr": _FRENCH,
+    "de": _GERMAN,
+}
+
+
+def stopwords_for(language: str) -> frozenset[str]:
+    """Return the stop-word set for an ISO-639-1 *language* code.
+
+    Unknown languages get an empty set (no removal) rather than an error,
+    because the pipeline must degrade gracefully on misidentified text.
+
+    >>> "the" in stopwords_for("en")
+    True
+    >>> stopwords_for("zz")
+    frozenset()
+    """
+    return _BY_LANGUAGE.get(language, frozenset())
+
+
+def supported_languages() -> tuple[str, ...]:
+    """Languages with a stop-word list, in stable order."""
+    return tuple(sorted(_BY_LANGUAGE))

@@ -1,0 +1,49 @@
+"""Tokenization of sanitized text.
+
+The tokenizer is deliberately simple and language-agnostic: lowercased
+word tokens built from letter/digit runs, with apostrophe handling for
+English clitics ("don't" → "don", "t" would lose information, so we keep
+the leading part only when the suffix is a known clitic).
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(r"[^\W_]+(?:'[^\W_]+)?", re.UNICODE)
+_CLITICS = {"s", "t", "re", "ve", "ll", "d", "m"}
+
+
+def tokenize(text: str, *, min_length: int = 1, max_length: int = 64) -> list[str]:
+    """Split *text* into lowercase word tokens.
+
+    Tokens shorter than *min_length* or longer than *max_length* are
+    dropped (over-long tokens are almost always junk: hashes, DNA-like
+    strings, concatenation artifacts).
+
+    >>> tokenize("Michael Phelps is the best! Great freestyle gold medal")
+    ['michael', 'phelps', 'is', 'the', 'best', 'great', 'freestyle', 'gold', 'medal']
+    >>> tokenize("don't")
+    ['don']
+    """
+    tokens: list[str] = []
+    for match in _TOKEN_RE.finditer(text.lower()):
+        token = match.group(0)
+        if "'" in token:
+            head, _, tail = token.partition("'")
+            token = head if tail in _CLITICS else head + tail
+        if min_length <= len(token) <= max_length:
+            tokens.append(token)
+    return tokens
+
+
+def ngrams(tokens: list[str], n: int) -> list[tuple[str, ...]]:
+    """Return the contiguous *n*-grams over *tokens* (used by the entity
+    spotter for multi-word anchor matching).
+
+    >>> ngrams(["a", "b", "c"], 2)
+    [('a', 'b'), ('b', 'c')]
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]

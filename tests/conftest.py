@@ -1,0 +1,51 @@
+"""Shared fixtures.
+
+The TINY dataset (12 people, ~800 resources) takes ~1 s to build and is
+shared session-wide; tests must treat it as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entity.annotator import EntityAnnotator
+from repro.experiments.context import ExperimentContext
+from repro.index.analyzer import ResourceAnalyzer
+from repro.synthetic.dataset import DatasetScale, build_dataset
+from repro.synthetic.seeds import build_knowledge_base
+from repro.textproc.pipeline import TextPipeline
+
+
+@pytest.fixture(scope="session")
+def kb():
+    """The synthetic knowledge base."""
+    return build_knowledge_base()
+
+
+@pytest.fixture(scope="session")
+def pipeline():
+    return TextPipeline()
+
+
+@pytest.fixture(scope="session")
+def annotator(kb):
+    return EntityAnnotator(kb)
+
+
+@pytest.fixture(scope="session")
+def analyzer(pipeline, annotator):
+    return ResourceAnalyzer(pipeline, annotator)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """The shared TINY evaluation dataset (read-only)."""
+    return build_dataset(DatasetScale.TINY, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_context(tiny_dataset):
+    """An experiment context over the shared TINY dataset."""
+    from repro.evaluation.runner import ExperimentRunner
+
+    return ExperimentContext(dataset=tiny_dataset, runner=ExperimentRunner(tiny_dataset))

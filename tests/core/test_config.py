@@ -1,0 +1,73 @@
+"""Unit tests for FinderConfig."""
+
+import pytest
+
+from repro.core.config import PAPER_CONFIG, FinderConfig
+
+
+class TestDefaults:
+    def test_paper_setting(self):
+        config = FinderConfig()
+        assert config.alpha == 0.6
+        assert config.window == 100
+        assert config.max_distance == 2
+        assert config.weight_interval == (0.5, 1.0)
+        assert not config.include_friends
+        assert config.idf_exponent == 2.0
+        assert not config.normalize
+
+    def test_paper_config_constant(self):
+        assert PAPER_CONFIG == FinderConfig()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("alpha", [-0.1, 1.1])
+    def test_alpha_bounds(self, alpha):
+        with pytest.raises(ValueError):
+            FinderConfig(alpha=alpha)
+
+    @pytest.mark.parametrize("distance", [-1, 3])
+    def test_distance_bounds(self, distance):
+        with pytest.raises(ValueError):
+            FinderConfig(max_distance=distance)
+
+    def test_integer_window_positive(self):
+        with pytest.raises(ValueError):
+            FinderConfig(window=0)
+
+    @pytest.mark.parametrize("window", [0.0, 1.5])
+    def test_fraction_window_bounds(self, window):
+        with pytest.raises(ValueError):
+            FinderConfig(window=window)
+
+    def test_window_none_allowed(self):
+        assert FinderConfig(window=None).window is None
+
+    def test_window_bool_rejected(self):
+        with pytest.raises(ValueError):
+            FinderConfig(window=True)
+
+    def test_weight_interval_order(self):
+        with pytest.raises(ValueError):
+            FinderConfig(weight_interval=(1.0, 0.5))
+
+    def test_idf_exponent_positive(self):
+        with pytest.raises(ValueError):
+            FinderConfig(idf_exponent=0.0)
+
+
+class TestWith:
+    def test_with_changes(self):
+        config = FinderConfig().with_(alpha=0.3, max_distance=1)
+        assert config.alpha == 0.3
+        assert config.max_distance == 1
+        assert config.window == 100  # untouched
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            FinderConfig().with_(alpha=5.0)
+
+    def test_original_unchanged(self):
+        base = FinderConfig()
+        base.with_(alpha=0.1)
+        assert base.alpha == 0.6

@@ -1,0 +1,65 @@
+"""Tests for expertise-need domain classification."""
+
+import pytest
+
+from repro.core.need_analysis import NeedAnalyzer
+from repro.synthetic.queries import paper_queries
+from repro.synthetic.vocab import DOMAINS
+
+
+@pytest.fixture(scope="module")
+def need_analyzer(pipeline, annotator):
+    return NeedAnalyzer(pipeline, annotator)
+
+
+class TestClassify:
+    def test_sport_query(self, need_analyzer):
+        assert need_analyzer.classify(
+            "Who is the best freestyle swimmer, is it Michael Phelps?"
+        ) == "sport"
+
+    def test_computer_query(self, need_analyzer):
+        assert need_analyzer.classify(
+            "Which PHP function can I use in order to obtain the length of a string?"
+        ) == "computer_engineering"
+
+    def test_science_query(self, need_analyzer):
+        assert need_analyzer.classify("Why is copper a good conductor?") == "science"
+
+    def test_no_signal(self, need_analyzer):
+        assert need_analyzer.classify("hello there how are you today") is None
+
+    def test_all_thirty_paper_queries(self, need_analyzer):
+        """The 30 labeled needs are the self-test: classification must
+        be highly accurate on them."""
+        needs = paper_queries()
+        correct = sum(
+            1 for need in needs if need_analyzer.classify(need) == need.domain
+        )
+        assert correct >= 26  # ≥ ~87% accuracy
+
+    def test_scores_sorted_and_complete(self, need_analyzer):
+        scores = need_analyzer.scores("famous european football teams")
+        assert [s.domain for s in scores][0] == "sport"
+        assert {s.domain for s in scores} == set(DOMAINS)
+        values = [s.score for s in scores]
+        assert values == sorted(values, reverse=True)
+
+    def test_scores_normalized(self, need_analyzer):
+        scores = need_analyzer.scores("famous songs of michael jackson")
+        assert sum(s.score for s in scores) == pytest.approx(1.0, abs=1e-9)
+
+    def test_entity_weight_validation(self, pipeline, annotator):
+        with pytest.raises(ValueError):
+            NeedAnalyzer(pipeline, annotator, entity_weight=1.5)
+
+    def test_need_object_accepted(self, need_analyzer):
+        needs = paper_queries()
+        assert need_analyzer.classify(needs[0]) == needs[0].domain
+
+    def test_ambiguous_entity_uses_context(self, need_analyzer):
+        # "milan" alone → the city; with football context → sport
+        assert need_analyzer.classify("restaurants in milan near the duomo") == "location"
+        assert need_analyzer.classify(
+            "milan against juventus in the champions league match"
+        ) == "sport"

@@ -1,0 +1,82 @@
+"""Tests for contact-platform recommendation."""
+
+import pytest
+
+from repro.core.config import FinderConfig
+from repro.core.expert_finder import ExpertFinder
+from repro.core.platform_choice import PlatformChooser
+from repro.socialgraph.metamodel import Platform
+
+
+@pytest.fixture(scope="module")
+def chooser(tiny_dataset):
+    finders = {
+        platform: ExpertFinder.build(
+            tiny_dataset.graphs[platform],
+            tiny_dataset.candidates_for(platform),
+            tiny_dataset.analyzer,
+            FinderConfig(),
+            corpus=tiny_dataset.corpus,
+        )
+        for platform in Platform
+    }
+    return PlatformChooser(finders)
+
+
+class TestPlatformChooser:
+    def test_requires_all_platforms(self, tiny_dataset):
+        finder = ExpertFinder.build(
+            tiny_dataset.graphs[Platform.TWITTER],
+            tiny_dataset.candidates_for(Platform.TWITTER),
+            tiny_dataset.analyzer,
+            FinderConfig(),
+            corpus=tiny_dataset.corpus,
+        )
+        with pytest.raises(ValueError):
+            PlatformChooser({Platform.TWITTER: finder})
+
+    def test_recommendation_structure(self, chooser, tiny_dataset):
+        need = next(q for q in tiny_dataset.queries if q.domain == "sport")
+        candidate = tiny_dataset.person_ids[0]
+        rec = chooser.recommend(need, candidate)
+        assert rec.candidate_id == candidate
+        assert set(rec.scores) == set(Platform)
+        assert all(s >= 0.0 for s in rec.scores.values())
+
+    def test_platform_is_argmax(self, chooser, tiny_dataset):
+        need = next(q for q in tiny_dataset.queries if q.domain == "music")
+        for candidate in tiny_dataset.person_ids[:4]:
+            rec = chooser.recommend(need, candidate)
+            if rec.platform is not None:
+                assert rec.scores[rec.platform] == max(rec.scores.values())
+
+    def test_confidence_bounds(self, chooser, tiny_dataset):
+        need = tiny_dataset.queries[0]
+        for candidate in tiny_dataset.person_ids[:6]:
+            rec = chooser.recommend(need, candidate)
+            assert 0.0 <= rec.confidence <= 1.0
+
+    def test_none_when_no_evidence(self, chooser):
+        rec = chooser.recommend("zzzz qqqq xxww vvkk", "person:00")
+        assert rec.platform is None
+        assert rec.confidence == 0.0
+
+    def test_best_network(self, chooser, tiny_dataset):
+        need = next(q for q in tiny_dataset.queries if q.domain == "sport")
+        best = chooser.best_network(need)
+        assert best in tuple(Platform)
+
+    def test_best_network_none_for_nonsense(self, chooser):
+        assert chooser.best_network("zzzz qqqq xxww vvkk") is None
+
+    def test_work_domain_prefers_linkedin_like_evidence(self, chooser, tiny_dataset):
+        """For computer-engineering needs, LinkedIn must carry nonzero
+        mass for at least some candidates (career profiles + groups)."""
+        need = next(
+            q for q in tiny_dataset.queries if q.domain == "computer_engineering"
+        )
+        li_mass = sum(
+            chooser.recommend(need, pid).scores[Platform.LINKEDIN]
+            for pid in tiny_dataset.person_ids
+        )
+        assert li_mass > 0.0

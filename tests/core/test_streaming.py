@@ -1,0 +1,94 @@
+"""Tests for streaming (incremental) resource ingestion."""
+
+import pytest
+
+from repro.core.config import FinderConfig
+from repro.core.expert_finder import ExpertFinder
+from repro.socialgraph.graph import SocialGraph
+from repro.socialgraph.metamodel import Platform, RelationKind, Resource, UserProfile
+
+
+@pytest.fixture
+def finder(analyzer):
+    g = SocialGraph(Platform.TWITTER)
+    for pid in ("alice", "bob"):
+        g.add_profile(
+            UserProfile(profile_id=pid, platform=Platform.TWITTER, display_name=pid)
+        )
+    g.add_resource(
+        Resource(resource_id="t1", platform=Platform.TWITTER,
+                 text="guitar chords and a new rock song", language="en")
+    )
+    g.link_resource("alice", "t1", RelationKind.CREATES)
+    return ExpertFinder.build(
+        g, ("alice", "bob"), analyzer, FinderConfig(window=None)
+    )
+
+
+class TestObserve:
+    def test_new_resource_changes_ranking(self, finder):
+        assert finder.find_experts("freestyle swimming") == []
+        indexed = finder.observe(
+            "t2",
+            "just finished freestyle swimming training at the pool",
+            [("bob", 1)],
+            language="en",
+        )
+        assert indexed
+        ranked = finder.find_experts("freestyle swimming")
+        assert [e.candidate_id for e in ranked] == ["bob"]
+
+    def test_statistics_updated(self, finder):
+        before = finder.indexed_resources
+        n_before = finder._retriever.statistics.resource_count
+        finder.observe("t2", "a brand new post about the gold medal race",
+                       [("alice", 1)], language="en")
+        assert finder.indexed_resources == before + 1
+        assert finder._retriever.statistics.resource_count == n_before + 1
+
+    def test_irf_reflects_new_document(self, finder):
+        stats = finder._retriever.statistics
+        irf_before = stats.irf("guitar")
+        finder.observe("t2", "more guitar practice with the band tonight",
+                       [("alice", 1)], language="en")
+        # "guitar" now appears in 2 of 3 docs → its irf must drop
+        assert stats.irf("guitar") < irf_before
+
+    def test_evidence_count_updated(self, finder):
+        before = finder.evidence_count("bob")
+        finder.observe("t2", "swimming laps", [("bob", 1)], language="en")
+        assert finder.evidence_count("bob") == before + 1
+
+    def test_multi_supporter(self, finder):
+        finder.observe(
+            "shared", "a freestyle swimming discussion in the group",
+            [("alice", 2), ("bob", 2)], language="en",
+        )
+        ranked = finder.find_experts("freestyle swimming")
+        assert {e.candidate_id for e in ranked} == {"alice", "bob"}
+
+    def test_non_english_not_indexed_but_counted(self, finder):
+        indexed = finder.observe(
+            "it1",
+            "questa e una bella giornata per andare in piscina con gli amici",
+            [("alice", 1)],
+        )
+        assert not indexed
+        assert finder.evidence_count("alice") == 3  # profile + t1 + it1
+
+    def test_duplicate_rejected(self, finder):
+        finder.observe("t2", "hello hello", [("alice", 1)], language="en")
+        with pytest.raises(ValueError):
+            finder.observe("t2", "again", [("alice", 1)], language="en")
+
+    def test_unknown_candidate_rejected(self, finder):
+        with pytest.raises(KeyError):
+            finder.observe("t9", "text", [("ghost", 1)], language="en")
+
+    def test_invalid_distance_rejected(self, finder):
+        with pytest.raises(ValueError):
+            finder.observe("t9", "text", [("alice", 7)], language="en")
+
+    def test_empty_supporters_rejected(self, finder):
+        with pytest.raises(ValueError):
+            finder.observe("t9", "text", [], language="en")

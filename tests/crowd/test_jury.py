@@ -1,0 +1,127 @@
+"""Unit tests for the Jury Selection Problem module."""
+
+import itertools
+
+import pytest
+
+from repro.crowd.jury import JurorProfile, JurySelector, majority_error_rate
+
+
+class TestMajorityErrorRate:
+    def test_single_juror(self):
+        assert majority_error_rate([0.3]) == pytest.approx(0.3)
+
+    def test_three_identical(self):
+        # P(≥2 wrong of 3 at ε=0.3) = 3·0.09·0.7 + 0.027
+        assert majority_error_rate([0.3, 0.3, 0.3]) == pytest.approx(0.216)
+
+    def test_perfect_jurors(self):
+        assert majority_error_rate([0.0, 0.0, 0.0]) == 0.0
+
+    def test_coin_flippers(self):
+        assert majority_error_rate([0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_even_jury_tie_counts_half(self):
+        # two jurors ε=0.5: P(2 wrong)=0.25 + 0.5·P(tie)=0.25 → 0.5
+        assert majority_error_rate([0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_adding_good_jurors_helps(self):
+        base = majority_error_rate([0.2])
+        bigger = majority_error_rate([0.2, 0.2, 0.2])
+        assert bigger < base
+
+    def test_adding_bad_jurors_hurts(self):
+        base = majority_error_rate([0.1])
+        polluted = majority_error_rate([0.1, 0.45, 0.45])
+        assert polluted > base
+
+    def test_matches_bruteforce(self):
+        rates = [0.1, 0.25, 0.4]
+        expected = 0.0
+        for outcome in itertools.product([0, 1], repeat=3):
+            p = 1.0
+            for wrong, rate in zip(outcome, rates):
+                p *= rate if wrong else (1 - rate)
+            if sum(outcome) * 2 > 3:
+                expected += p
+        assert majority_error_rate(rates) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            majority_error_rate([])
+        with pytest.raises(ValueError):
+            majority_error_rate([1.2])
+
+
+class TestJurySelector:
+    def test_selects_best_odd_prefix(self):
+        selector = JurySelector(
+            [
+                JurorProfile("good1", 0.05),
+                JurorProfile("good2", 0.1),
+                JurorProfile("good3", 0.1),
+                JurorProfile("bad", 0.45),
+            ]
+        )
+        decision = selector.select()
+        assert "bad" not in decision.members
+        assert len(decision.members) % 2 == 1
+        assert decision.jury_error_rate < 0.05
+
+    def test_budget_limits_size(self):
+        selector = JurySelector([JurorProfile(f"j{i}", 0.2) for i in range(9)])
+        decision = selector.select(budget=3.0)
+        assert len(decision.members) <= 3
+        assert decision.total_cost <= 3.0
+
+    def test_max_size(self):
+        selector = JurySelector([JurorProfile(f"j{i}", 0.2) for i in range(9)])
+        decision = selector.select(max_size=5)
+        assert len(decision.members) <= 5
+
+    def test_impossible_budget(self):
+        selector = JurySelector([JurorProfile("j", 0.2, cost=5.0)])
+        with pytest.raises(ValueError):
+            selector.select(budget=1.0)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            JurySelector([])
+
+    def test_from_expertise_mapping(self):
+        selector = JurySelector.from_expertise({"expert": 7, "novice": 1})
+        decision = selector.select(max_size=1)
+        assert decision.members == ("expert",)
+        assert decision.jury_error_rate == pytest.approx(0.05)
+
+    def test_from_expertise_interpolation(self):
+        selector = JurySelector.from_expertise({"mid": 4}, best_error=0.1, worst_error=0.4)
+        decision = selector.select()
+        assert decision.jury_error_rate == pytest.approx(0.25)
+
+    def test_from_expertise_validation(self):
+        with pytest.raises(ValueError):
+            JurySelector.from_expertise({"x": 4}, best_error=0.4, worst_error=0.1)
+
+    def test_bigger_jury_of_equals_always_helps(self):
+        # with ε < 0.5 for everyone, growing the (odd) jury lowers JER
+        selector = JurySelector([JurorProfile(f"j{i}", 0.3) for i in range(7)])
+        decision = selector.select()
+        assert len(decision.members) == 7
+
+    def test_jury_on_dataset_ground_truth(self, tiny_dataset):
+        """Select the sport-decision jury from the questionnaire: all
+        members must be sport experts when enough exist."""
+        likert = {
+            pid: tiny_dataset.ground_truth.likert(pid, "sport")
+            for pid in tiny_dataset.person_ids
+        }
+        selector = JurySelector.from_expertise(likert)
+        decision = selector.select(max_size=3)
+        experts = tiny_dataset.ground_truth.experts("sport")
+        assert set(decision.members) <= set(likert)
+        top3 = sorted(likert, key=likert.get, reverse=True)[:3]
+        assert set(decision.members) == set(
+            sorted(top3, key=lambda pid: (-likert[pid], pid))
+        ) or all(likert[m] >= 4 for m in decision.members)
+        assert len(set(decision.members) & experts) >= 2

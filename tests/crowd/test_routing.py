@@ -1,0 +1,134 @@
+"""Unit tests for crowd-search question routing."""
+
+import pytest
+
+from repro.core.ranking import ExpertScore
+from repro.crowd.routing import (
+    ContactModel,
+    QuestionRouter,
+    RoutingStrategy,
+    default_contact_models,
+)
+
+
+def _ranked(*ids):
+    return [
+        ExpertScore(candidate_id=cid, score=float(10 - i), supporting_resources=1)
+        for i, cid in enumerate(ids)
+    ]
+
+
+@pytest.fixture
+def router():
+    return QuestionRouter(
+        {
+            "alice": ContactModel(answer_probability=0.8, response_time=2.0),
+            "bob": ContactModel(answer_probability=0.5, response_time=1.0),
+            "carol": ContactModel(answer_probability=0.3, response_time=4.0),
+            "dave": ContactModel(answer_probability=0.0, response_time=5.0),
+        }
+    )
+
+
+class TestPlans:
+    def test_parallel_single_wave(self, router):
+        plan = router.plan(_ranked("alice", "bob", "carol"), RoutingStrategy.PARALLEL)
+        assert len(plan.waves) == 1
+        assert plan.contacts == 3
+
+    def test_sequential_one_per_wave(self, router):
+        plan = router.plan(_ranked("alice", "bob"), RoutingStrategy.SEQUENTIAL)
+        assert plan.waves == (("alice",), ("bob",))
+
+    def test_hybrid_stops_at_target(self, router):
+        plan = router.plan(
+            _ranked("alice", "bob", "carol"),
+            RoutingStrategy.HYBRID,
+            wave_size=2,
+            target_probability=0.85,
+        )
+        # alice+bob already give 1 − 0.2·0.5 = 0.9 ≥ 0.85
+        assert plan.waves == (("alice", "bob"),)
+
+    def test_hybrid_adds_waves_for_high_target(self, router):
+        plan = router.plan(
+            _ranked("alice", "bob", "carol"),
+            RoutingStrategy.HYBRID,
+            wave_size=1,
+            target_probability=0.95,
+        )
+        assert len(plan.waves) >= 2
+
+    def test_answer_probability_combination(self, router):
+        plan = router.plan(_ranked("alice", "bob"), RoutingStrategy.PARALLEL)
+        assert plan.answer_probability == pytest.approx(1 - 0.2 * 0.5)
+
+    def test_same_contacts_same_probability_across_strategies(self, router):
+        ranked = _ranked("alice", "bob", "carol")
+        par = router.plan(ranked, RoutingStrategy.PARALLEL, top_k=3)
+        seq = router.plan(ranked, RoutingStrategy.SEQUENTIAL, top_k=3)
+        assert par.answer_probability == pytest.approx(seq.answer_probability)
+
+    def test_parallel_faster_than_sequential(self, router):
+        ranked = _ranked("alice", "bob", "carol")
+        par = router.plan(ranked, RoutingStrategy.PARALLEL, top_k=3)
+        seq = router.plan(ranked, RoutingStrategy.SEQUENTIAL, top_k=3)
+        assert par.expected_latency < seq.expected_latency
+
+    def test_never_answering_contact(self, router):
+        plan = router.plan(_ranked("dave"), RoutingStrategy.PARALLEL)
+        assert plan.answer_probability == 0.0
+        assert plan.expected_latency is None
+
+    def test_compare_covers_all_strategies(self, router):
+        plans = router.compare(_ranked("alice", "bob"))
+        assert set(plans) == set(RoutingStrategy)
+
+
+class TestValidation:
+    def test_empty_models_rejected(self):
+        with pytest.raises(ValueError):
+            QuestionRouter({})
+
+    def test_unknown_candidate(self, router):
+        with pytest.raises(KeyError):
+            router.plan(_ranked("ghost"), RoutingStrategy.PARALLEL)
+
+    def test_empty_ranking(self, router):
+        with pytest.raises(ValueError):
+            router.plan([], RoutingStrategy.PARALLEL)
+
+    def test_bad_parameters(self, router):
+        with pytest.raises(ValueError):
+            router.plan(_ranked("alice"), RoutingStrategy.HYBRID, top_k=0)
+        with pytest.raises(ValueError):
+            router.plan(_ranked("alice"), RoutingStrategy.HYBRID, target_probability=1.5)
+
+    def test_contact_model_validation(self):
+        with pytest.raises(ValueError):
+            ContactModel(answer_probability=1.5, response_time=1.0)
+        with pytest.raises(ValueError):
+            ContactModel(answer_probability=0.5, response_time=0.0)
+
+
+class TestDefaultModels:
+    def test_deterministic(self):
+        a = default_contact_models(["x", "y"], seed=3)
+        b = default_contact_models(["x", "y"], seed=3)
+        assert a == b
+
+    def test_ranges(self):
+        models = default_contact_models([f"c{i}" for i in range(50)], seed=1)
+        for model in models.values():
+            assert 0.3 <= model.answer_probability <= 0.9
+            assert 1.0 <= model.response_time <= 12.0
+
+    def test_end_to_end_with_finder(self, tiny_dataset, tiny_context):
+        from repro.core.config import FinderConfig
+
+        finder = tiny_context.runner.finder(None, FinderConfig())
+        ranked = finder.find_experts("famous european football teams", top_k=5)
+        router = QuestionRouter(default_contact_models(tiny_dataset.person_ids, seed=7))
+        plans = router.compare(ranked, top_k=3)
+        for plan in plans.values():
+            assert plan.answer_probability > 0

@@ -1,0 +1,136 @@
+"""Unit tests for the Expert Team Formation module."""
+
+import networkx as nx
+import pytest
+
+from repro.crowd.team_formation import SkillCoverageError, Team, TeamFormation
+
+
+@pytest.fixture
+def formation():
+    """Pool:  a{py,db}  b{py}  c{web}  d{db,web}  e{ml}
+    Graph:  a—b—c—d (path), e isolated."""
+    skills = {
+        "a": {"py", "db"},
+        "b": {"py"},
+        "c": {"web"},
+        "d": {"db", "web"},
+        "e": {"ml"},
+    }
+    graph = nx.Graph()
+    graph.add_edges_from([("a", "b"), ("b", "c"), ("c", "d")])
+    graph.add_node("e")
+    return TeamFormation(skills, graph)
+
+
+class TestDistance:
+    def test_self_distance_zero(self, formation):
+        assert formation.distance("a", "a") == 0.0
+
+    def test_path_distance(self, formation):
+        assert formation.distance("a", "d") == 3.0
+
+    def test_disconnected_penalty(self, formation):
+        assert formation.distance("a", "e") == TeamFormation.DISCONNECTED_PENALTY
+
+    def test_symmetric(self, formation):
+        assert formation.distance("a", "c") == formation.distance("c", "a")
+
+
+class TestRarestFirst:
+    def test_covers_all_skills(self, formation):
+        team = formation.rarest_first(["py", "db", "web"])
+        covered = set()
+        for member in team.members:
+            covered |= formation._skills[member]
+        assert {"py", "db", "web"} <= covered
+
+    def test_single_member_team_when_possible(self, formation):
+        team = formation.rarest_first(["db", "web"])
+        # d holds both skills → a one-person team with zero cost
+        assert team.members == frozenset({"d"})
+        assert team.diameter_cost == 0.0
+
+    def test_prefers_close_holders(self, formation):
+        team = formation.rarest_first(["py", "web"])
+        # py: {a, b}, web: {c, d}; the closest pair is (b, c), distance 1
+        assert team.diameter_cost <= 2.0
+
+    def test_uncoverable_skill_raises(self, formation):
+        with pytest.raises(SkillCoverageError):
+            formation.rarest_first(["py", "quantum"])
+
+    def test_empty_requirements_rejected(self, formation):
+        with pytest.raises(ValueError):
+            formation.rarest_first([])
+
+
+class TestGreedyCover:
+    def test_covers_all_skills(self, formation):
+        team = formation.greedy_cover(["py", "db", "web", "ml"])
+        covered = set()
+        for member in team.members:
+            covered |= formation._skills[member]
+        assert {"py", "db", "web", "ml"} <= covered
+
+    def test_prefers_multi_skill_members(self, formation):
+        team = formation.greedy_cover(["db", "web"])
+        assert team.members == frozenset({"d"})
+
+    def test_mst_cost_reported(self, formation):
+        team = formation.greedy_cover(["py", "ml"])
+        assert team.mst_cost >= 0.0
+        assert "e" in team.members  # only ml holder
+
+    def test_costs_zero_for_singleton(self, formation):
+        team = formation.greedy_cover(["ml"])
+        assert team.mst_cost == 0.0
+        assert team.diameter_cost == 0.0
+
+
+class TestTeamValidation:
+    def test_empty_team_rejected(self):
+        with pytest.raises(ValueError):
+            Team(
+                members=frozenset(),
+                required_skills=frozenset({"x"}),
+                diameter_cost=0.0,
+                mst_cost=0.0,
+            )
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            TeamFormation({}, nx.Graph())
+
+
+class TestOnDataset:
+    def test_team_from_expert_rankings(self, tiny_dataset, tiny_context):
+        """Skills = domains a candidate ranks top-5 for; the formed team
+        covers a multi-domain task."""
+        from repro.core.config import FinderConfig
+
+        finder = tiny_context.runner.finder(None, FinderConfig())
+        skills: dict[str, set[str]] = {}
+        for domain in ("sport", "music", "computer_engineering"):
+            queries = [q for q in tiny_dataset.queries if q.domain == domain]
+            for expert in finder.find_experts(queries[0], top_k=5):
+                skills.setdefault(expert.candidate_id, set()).add(domain)
+        graph = nx.Graph()
+        for pid in skills:
+            graph.add_node(pid)
+        # friendship edges among volunteers (Facebook graph)
+        from repro.socialgraph.metamodel import Platform
+
+        fb = tiny_dataset.graphs[Platform.FACEBOOK]
+        mapping = {
+            profiles[Platform.FACEBOOK]: person_id
+            for person_id, profiles in tiny_dataset.networks.profile_ids.items()
+        }
+        for fb_id, person_id in mapping.items():
+            for friend in fb.friends_of(fb_id):
+                friend_person = mapping.get(friend)
+                if friend_person and person_id in skills and friend_person in skills:
+                    graph.add_edge(person_id, friend_person)
+        formation = TeamFormation(skills, graph)
+        team = formation.greedy_cover(["sport", "music", "computer_engineering"])
+        assert len(team.members) <= 3

@@ -1,0 +1,58 @@
+"""Unit tests for the end-to-end entity annotator."""
+
+import pytest
+
+from repro.entity.annotator import Annotation, EntityAnnotator
+from repro.synthetic.seeds import build_knowledge_base
+
+
+@pytest.fixture(scope="module")
+def annotator():
+    return EntityAnnotator(build_knowledge_base())
+
+
+class TestAnnotate:
+    def test_finds_phelps(self, annotator):
+        anns = annotator.annotate("Michael Phelps is the best freestyle swimmer")
+        uris = {a.entity_uri for a in anns}
+        assert "wiki/Michael_Phelps" in uris
+        assert "wiki/Freestyle_swimming" in uris
+
+    def test_annotation_has_confidence(self, annotator):
+        anns = annotator.annotate("Michael Phelps won a gold medal")
+        assert all(0.0 < a.d_score <= 1.0 for a in anns)
+
+    def test_sanitizes_input(self, annotator):
+        anns = annotator.annotate("RT @fan: #MichaelPhelps or michael phelps? http://x.y")
+        assert any(a.entity_uri == "wiki/Michael_Phelps" for a in anns)
+
+    def test_python_disambiguated_to_language_in_code_context(self, annotator):
+        anns = annotator.annotate("I love python and django for the backend")
+        python = [a for a in anns if a.surface == "python"]
+        assert python[0].entity_uri == "wiki/Python_(programming_language)"
+
+    def test_no_entities_in_plain_chitchat(self, annotator):
+        anns = annotator.annotate("what a lovely sunny morning for a walk")
+        assert anns == []
+
+    def test_empty_text(self, annotator):
+        assert annotator.annotate("") == []
+
+    def test_pruning_threshold(self):
+        strict = EntityAnnotator(build_knowledge_base(), epsilon=0.99)
+        loose = EntityAnnotator(build_knowledge_base(), epsilon=0.0)
+        text = "milan juventus and the champions league tonight"
+        assert len(strict.annotate(text)) <= len(loose.annotate(text))
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            EntityAnnotator(build_knowledge_base(), epsilon=2.0)
+
+    def test_spans_point_into_tokens(self, annotator):
+        anns = annotator.annotate("we watched michael phelps swim freestyle")
+        for a in anns:
+            assert a.end > a.start >= 0
+
+    def test_annotation_validation(self):
+        with pytest.raises(ValueError):
+            Annotation(entity_uri="wiki/X", surface="x", d_score=-0.1, start=0, end=1)

@@ -1,0 +1,72 @@
+"""Unit tests for the collective disambiguator."""
+
+import pytest
+
+from repro.entity.disambiguator import Disambiguated, Disambiguator
+from repro.entity.knowledge_base import Entity, KnowledgeBase
+from repro.entity.spotter import Spot, Spotter
+
+
+@pytest.fixture
+def kb():
+    """Ambiguous anchor 'milan': the city (commonness 0.6) vs AC Milan
+    (0.4). A sport context ('champions league') must flip the choice to
+    the football club."""
+    kb = KnowledgeBase()
+    kb.add_entity(Entity("wiki/Milan", "Milan", "City", "location"))
+    kb.add_entity(Entity("wiki/AC_Milan", "AC Milan", "SportsTeam", "sport"))
+    kb.add_entity(Entity("wiki/CL", "Champions League", "Event", "sport"))
+    kb.add_entity(Entity("wiki/Italy", "Italy", "Country", "location"))
+    kb.add_anchor("milan", "wiki/Milan", 6)
+    kb.add_anchor("milan", "wiki/AC_Milan", 4)
+    kb.add_anchor("champions league", "wiki/CL", 5)
+    kb.add_anchor("italy", "wiki/Italy", 5)
+    # link graph: sport entities share an inlink; location ones too
+    kb.add_entity(Entity("wiki/SportHub", "Sport hub", "Portal", "sport"))
+    kb.add_entity(Entity("wiki/GeoHub", "Geo hub", "Portal", "location"))
+    kb.add_link("wiki/SportHub", "wiki/AC_Milan")
+    kb.add_link("wiki/SportHub", "wiki/CL")
+    kb.add_link("wiki/GeoHub", "wiki/Milan")
+    kb.add_link("wiki/GeoHub", "wiki/Italy")
+    return kb
+
+
+class TestDisambiguator:
+    def test_prior_wins_without_context(self, kb):
+        spots = Spotter(kb).spot(["milan"])
+        chosen = Disambiguator(kb).disambiguate(spots)
+        assert chosen[0].entity_uri == "wiki/Milan"
+
+    def test_sport_context_flips_to_club(self, kb):
+        spots = Spotter(kb).spot(["milan", "won", "the", "champions", "league"])
+        chosen = Disambiguator(kb, prior_weight=0.3).disambiguate(spots)
+        by_surface = {d.spot.surface: d for d in chosen}
+        assert by_surface[("milan",)].entity_uri == "wiki/AC_Milan"
+
+    def test_location_context_keeps_city(self, kb):
+        spots = Spotter(kb).spot(["milan", "is", "in", "italy"])
+        chosen = Disambiguator(kb, prior_weight=0.3).disambiguate(spots)
+        by_surface = {d.spot.surface: d for d in chosen}
+        assert by_surface[("milan",)].entity_uri == "wiki/Milan"
+
+    def test_scores_in_unit_interval(self, kb):
+        spots = Spotter(kb).spot(["milan", "champions", "league", "italy"])
+        for d in Disambiguator(kb).disambiguate(spots):
+            assert 0.0 <= d.d_score <= 1.0
+
+    def test_unambiguous_single_spot_full_confidence(self, kb):
+        spots = Spotter(kb).spot(["italy"])
+        chosen = Disambiguator(kb).disambiguate(spots)
+        assert chosen[0].d_score == pytest.approx(1.0)
+
+    def test_empty_spots(self, kb):
+        assert Disambiguator(kb).disambiguate([]) == []
+
+    def test_invalid_prior_weight(self, kb):
+        with pytest.raises(ValueError):
+            Disambiguator(kb, prior_weight=1.5)
+
+    def test_disambiguated_validation(self, kb):
+        spot = Spot(start=0, end=1, surface=("x",), candidates=(("wiki/Milan", 1.0),))
+        with pytest.raises(ValueError):
+            Disambiguated(spot=spot, entity_uri="wiki/Milan", d_score=1.5)

@@ -1,0 +1,136 @@
+"""Unit tests for the knowledge base."""
+
+import pytest
+
+from repro.entity.knowledge_base import Entity, KnowledgeBase
+
+
+@pytest.fixture
+def kb():
+    kb = KnowledgeBase()
+    kb.add_entity(Entity("wiki/A", "A thing", "Thing", "sport"))
+    kb.add_entity(Entity("wiki/B", "B thing", "Thing", "sport"))
+    kb.add_entity(Entity("wiki/C", "C thing", "Thing", "music"))
+    kb.add_entity(Entity("wiki/Hub", "Hub", "Portal", "sport"))
+    return kb
+
+
+class TestEntities:
+    def test_add_and_lookup(self, kb):
+        assert kb.entity("wiki/A").name == "A thing"
+        assert kb.has_entity("wiki/A")
+        assert not kb.has_entity("wiki/Z")
+
+    def test_duplicate_rejected(self, kb):
+        with pytest.raises(ValueError):
+            kb.add_entity(Entity("wiki/A", "again", "Thing", "sport"))
+
+    def test_unknown_lookup_raises(self, kb):
+        with pytest.raises(KeyError):
+            kb.entity("wiki/Z")
+
+    def test_len(self, kb):
+        assert len(kb) == 4
+
+    def test_empty_uri_rejected(self):
+        with pytest.raises(ValueError):
+            Entity("", "x", "Thing", "sport")
+
+
+class TestAnchors:
+    def test_commonness_distribution(self, kb):
+        kb.add_anchor("thing", "wiki/A", 3)
+        kb.add_anchor("thing", "wiki/B", 1)
+        candidates = kb.anchor_candidates(("thing",))
+        assert candidates[0] == ("wiki/A", 0.75)
+        assert candidates[1] == ("wiki/B", 0.25)
+
+    def test_commonness_sums_to_one(self, kb):
+        kb.add_anchor("x", "wiki/A", 5)
+        kb.add_anchor("x", "wiki/B", 2)
+        kb.add_anchor("x", "wiki/C", 3)
+        total = sum(c for _, c in kb.anchor_candidates(("x",)))
+        assert total == pytest.approx(1.0)
+
+    def test_repeated_anchor_accumulates(self, kb):
+        kb.add_anchor("y", "wiki/A", 1)
+        kb.add_anchor("y", "wiki/A", 1)
+        assert kb.anchor_candidates(("y",)) == [("wiki/A", 1.0)]
+
+    def test_multiword_anchor(self, kb):
+        kb.add_anchor("big thing", "wiki/A", 1)
+        assert kb.is_anchor(("big", "thing"))
+        assert kb.max_anchor_length == 2
+
+    def test_not_an_anchor(self, kb):
+        assert kb.anchor_candidates(("nope",)) == []
+        assert not kb.is_anchor(("nope",))
+
+    def test_unknown_entity_rejected(self, kb):
+        with pytest.raises(KeyError):
+            kb.add_anchor("z", "wiki/Z", 1)
+
+    def test_invalid_count_rejected(self, kb):
+        with pytest.raises(ValueError):
+            kb.add_anchor("z", "wiki/A", 0)
+
+    def test_empty_surface_rejected(self, kb):
+        with pytest.raises(ValueError):
+            kb.add_anchor("   ", "wiki/A", 1)
+
+
+class TestRelatedness:
+    def test_identity_is_one(self, kb):
+        assert kb.relatedness("wiki/A", "wiki/A") == 1.0
+
+    def test_no_shared_inlinks_is_zero(self, kb):
+        assert kb.relatedness("wiki/A", "wiki/C") == 0.0
+
+    def test_shared_hub_gives_positive(self, kb):
+        kb.add_link("wiki/Hub", "wiki/A")
+        kb.add_link("wiki/Hub", "wiki/B")
+        assert kb.relatedness("wiki/A", "wiki/B") > 0.0
+
+    def test_symmetry(self, kb):
+        kb.add_link("wiki/Hub", "wiki/A")
+        kb.add_link("wiki/Hub", "wiki/B")
+        kb.add_link("wiki/C", "wiki/A")
+        assert kb.relatedness("wiki/A", "wiki/B") == pytest.approx(
+            kb.relatedness("wiki/B", "wiki/A")
+        )
+
+    def test_self_link_ignored(self, kb):
+        kb.add_link("wiki/A", "wiki/A")
+        assert kb.relatedness("wiki/A", "wiki/A") == 1.0
+
+    def test_bounded(self, kb):
+        kb.add_link("wiki/Hub", "wiki/A")
+        kb.add_link("wiki/Hub", "wiki/B")
+        kb.add_link("wiki/C", "wiki/A")
+        kb.add_link("wiki/C", "wiki/B")
+        value = kb.relatedness("wiki/A", "wiki/B")
+        assert 0.0 <= value <= 1.0
+
+
+class TestSeededKnowledgeBase:
+    def test_build(self, kb):
+        from repro.synthetic.seeds import build_knowledge_base
+
+        seeded = build_knowledge_base()
+        assert len(seeded) > 50
+
+    def test_ambiguous_python(self):
+        from repro.synthetic.seeds import build_knowledge_base
+
+        seeded = build_knowledge_base()
+        candidates = seeded.anchor_candidates(("python",))
+        assert len(candidates) == 2
+        assert candidates[0][0] == "wiki/Python_(programming_language)"
+
+    def test_same_domain_entities_related(self):
+        from repro.synthetic.seeds import build_knowledge_base
+
+        seeded = build_knowledge_base()
+        same = seeded.relatedness("wiki/Michael_Phelps", "wiki/Freestyle_swimming")
+        cross = seeded.relatedness("wiki/Michael_Phelps", "wiki/PHP")
+        assert same > cross

@@ -1,0 +1,66 @@
+"""Unit tests for the random baseline."""
+
+import pytest
+
+from repro.evaluation.baselines import random_baseline, random_curves
+from repro.synthetic.ground_truth import GroundTruth
+from repro.synthetic.population import generate_population
+from repro.synthetic.queries import paper_queries
+
+
+@pytest.fixture(scope="module")
+def setup():
+    people = generate_population(seed=7, size=40)
+    return [p.person_id for p in people], paper_queries(), GroundTruth(people)
+
+
+class TestRandomBaseline:
+    def test_metrics_in_unit_interval(self, setup):
+        ids, queries, truth = setup
+        summary = random_baseline(ids, queries, truth, seed=1)
+        for value in summary.as_row():
+            assert 0.0 <= value <= 1.0
+
+    def test_deterministic_per_seed(self, setup):
+        ids, queries, truth = setup
+        a = random_baseline(ids, queries, truth, seed=5)
+        b = random_baseline(ids, queries, truth, seed=5)
+        assert a == b
+
+    def test_seed_varies_result(self, setup):
+        ids, queries, truth = setup
+        a = random_baseline(ids, queries, truth, seed=5)
+        b = random_baseline(ids, queries, truth, seed=6)
+        assert a != b
+
+    def test_map_near_expert_density(self, setup):
+        # random MAP over 20-of-40 samples with ~17 experts per domain
+        # should hover near the paper's 0.26 region
+        ids, queries, truth = setup
+        summary = random_baseline(ids, queries, truth, seed=1)
+        assert 0.15 < summary.map < 0.4
+
+    def test_sample_capped_at_population(self, setup):
+        ids, queries, truth = setup
+        summary = random_baseline(ids[:5], queries, truth, sample_size=20, seed=1)
+        assert summary.map >= 0.0  # no crash, valid result
+
+    def test_validation(self, setup):
+        ids, queries, truth = setup
+        with pytest.raises(ValueError):
+            random_baseline(ids, queries, truth, runs=0)
+        with pytest.raises(ValueError):
+            random_baseline(ids, queries, truth, sample_size=0)
+
+
+class TestRandomCurves:
+    def test_shapes(self, setup):
+        ids, queries, truth = setup
+        eleven, dcg_curve = random_curves(ids, queries, truth, seed=1)
+        assert len(eleven) == 11
+        assert len(dcg_curve) == 4
+
+    def test_dcg_monotone_in_cutoff(self, setup):
+        ids, queries, truth = setup
+        _, dcg_curve = random_curves(ids, queries, truth, seed=1)
+        assert list(dcg_curve) == sorted(dcg_curve)

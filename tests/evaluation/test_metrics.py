@@ -1,0 +1,164 @@
+"""Unit tests for the retrieval metrics (paper Sec. 3.2)."""
+
+import math
+
+import pytest
+
+from repro.evaluation.metrics import (
+    average_precision,
+    dcg,
+    eleven_point_precision,
+    f1_score,
+    ideal_dcg,
+    mean,
+    ndcg,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+
+class TestPrecisionRecall:
+    def test_precision_at_k(self):
+        assert precision_at_k(["a", "b", "c"], {"a", "c"}, 2) == 0.5
+        assert precision_at_k(["a", "b", "c"], {"a", "c"}, 3) == pytest.approx(2 / 3)
+
+    def test_precision_counts_padding(self):
+        # k beyond the ranking length divides by k (missing = misses)
+        assert precision_at_k(["a"], {"a"}, 4) == 0.25
+
+    def test_recall_at_k(self):
+        assert recall_at_k(["a", "b"], {"a", "z"}, 2) == 0.5
+        assert recall_at_k(["a", "z"], {"a", "z"}, 2) == 1.0
+
+    def test_recall_empty_relevant(self):
+        assert recall_at_k(["a"], set(), 1) == 0.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k(["a"], {"a"}, 0)
+        with pytest.raises(ValueError):
+            recall_at_k(["a"], {"a"}, -1)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision(["a", "b", "x"], {"a", "b"}) == 1.0
+
+    def test_interleaved(self):
+        # hits at ranks 1 and 3: (1/1 + 2/3) / 2
+        assert average_precision(["a", "x", "b"], {"a", "b"}) == pytest.approx(5 / 6)
+
+    def test_missing_relevant_penalized(self):
+        assert average_precision(["a"], {"a", "b"}) == 0.5
+
+    def test_no_relevant(self):
+        assert average_precision(["a"], set()) == 0.0
+
+    def test_nothing_retrieved(self):
+        assert average_precision([], {"a"}) == 0.0
+
+
+class TestReciprocalRank:
+    def test_first(self):
+        assert reciprocal_rank(["a", "b"], {"a"}) == 1.0
+
+    def test_third(self):
+        assert reciprocal_rank(["x", "y", "a"], {"a"}) == pytest.approx(1 / 3)
+
+    def test_absent(self):
+        assert reciprocal_rank(["x"], {"a"}) == 0.0
+
+
+class TestDcg:
+    def test_single_item(self):
+        # gain 2^3-1 = 7, discount log2(2) = 1
+        assert dcg(["a"], {"a": 3.0}) == pytest.approx(7.0)
+
+    def test_discounting(self):
+        value = dcg(["a", "b"], {"a": 1.0, "b": 1.0})
+        assert value == pytest.approx(1.0 + 1.0 / math.log2(3))
+
+    def test_cutoff(self):
+        assert dcg(["x", "a"], {"a": 2.0}, k=1) == 0.0
+
+    def test_ideal_reorders(self):
+        gains = {"a": 1.0, "b": 3.0}
+        assert ideal_dcg(gains) == pytest.approx(dcg(["b", "a"], gains))
+
+    def test_likert_scale_magnitude(self):
+        # 20 users with likert 5-7 produce DCG in the paper's range
+        gains = {f"u{i}": 5.0 + (i % 3) for i in range(20)}
+        ranking = sorted(gains, key=gains.get, reverse=True)
+        assert 100 < dcg(ranking, gains, 20) < 800
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            dcg(["a"], {"a": 1.0}, k=0)
+
+
+class TestNdcg:
+    def test_perfect_is_one(self):
+        assert ndcg(["b", "a"], {"a": 1.0, "b": 3.0}) == 1.0
+
+    def test_reversed_less_than_one(self):
+        assert ndcg(["a", "b"], {"a": 1.0, "b": 3.0}) < 1.0
+
+    def test_no_gains(self):
+        assert ndcg(["a"], {}) == 0.0
+
+    def test_bounded(self):
+        value = ndcg(["x", "a", "y", "b"], {"a": 2.0, "b": 7.0})
+        assert 0.0 < value < 1.0
+
+    def test_at_k(self):
+        full = ndcg(["x", "a"], {"a": 1.0})
+        at_1 = ndcg(["x", "a"], {"a": 1.0}, k=1)
+        assert at_1 == 0.0 < full
+
+
+class TestElevenPoint:
+    def test_perfect_curve_flat_one(self):
+        curve = eleven_point_precision(["a", "b"], {"a", "b"})
+        assert curve == tuple([1.0] * 11)
+
+    def test_eleven_values(self):
+        curve = eleven_point_precision(["a", "x", "b"], {"a", "b"})
+        assert len(curve) == 11
+
+    def test_monotone_nonincreasing(self):
+        curve = eleven_point_precision(
+            ["a", "x", "b", "y", "c"], {"a", "b", "c"}
+        )
+        assert all(curve[i] >= curve[i + 1] for i in range(10))
+
+    def test_zero_at_unreachable_recall(self):
+        curve = eleven_point_precision(["a"], {"a", "b"})
+        assert curve[10] == 0.0  # recall 1.0 never reached
+        assert curve[0] == 1.0
+
+    def test_empty_relevant(self):
+        assert eleven_point_precision(["a"], set()) == tuple([0.0] * 11)
+
+
+class TestF1:
+    def test_balanced(self):
+        assert f1_score(0.5, 0.5) == 0.5
+
+    def test_zero(self):
+        assert f1_score(0.0, 0.0) == 0.0
+
+    def test_harmonic(self):
+        assert f1_score(1.0, 0.5) == pytest.approx(2 / 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            f1_score(-0.1, 0.5)
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty(self):
+        assert mean([]) == 0.0

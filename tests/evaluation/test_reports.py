@@ -1,0 +1,56 @@
+"""Unit tests for report rendering."""
+
+from repro.evaluation.reports import curve_series, domain_table, metrics_table
+from repro.evaluation.runner import MetricsSummary
+
+
+def _summary(v: float) -> MetricsSummary:
+    return MetricsSummary(map=v, mrr=v, ndcg=v, ndcg_at_10=v)
+
+
+class TestMetricsTable:
+    def test_contains_rows_and_header(self):
+        text = metrics_table({"Random": _summary(0.2), "TW d2": _summary(0.5)})
+        assert "Random" in text and "TW d2" in text
+        assert "MAP" in text and "NDCG@10" in text
+
+    def test_best_marked(self):
+        text = metrics_table({"low": _summary(0.2), "high": _summary(0.5)})
+        high_line = next(l for l in text.splitlines() if l.startswith("high"))
+        assert "*" in high_line
+
+    def test_title(self):
+        assert metrics_table({"a": _summary(0.1)}, title="T3").startswith("T3")
+
+    def test_empty(self):
+        assert metrics_table({}, title="x") == "x"
+
+
+class TestCurveSeries:
+    def test_layout(self):
+        text = curve_series(
+            {"d1": [0.1, 0.2], "d2": [0.3, 0.4]}, x_labels=["5", "10"], title="DCG"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "DCG"
+        assert "d1" in lines[2] and "0.1000" in lines[2]
+
+
+class TestDomainTable:
+    def test_layout(self):
+        rows = {
+            "sport": {
+                "All": {0: _summary(0.1), 1: _summary(0.2), 2: _summary(0.3)},
+                "FB": {0: _summary(0.1), 1: _summary(0.2), 2: _summary(0.3)},
+                "TW": {0: _summary(0.1), 1: _summary(0.2), 2: _summary(0.3)},
+                "LI": {0: _summary(0.1), 1: _summary(0.2), 2: _summary(0.3)},
+            }
+        }
+        text = domain_table(rows, metric="map")
+        assert "sport" in text
+        assert text.count("sport") == 3  # one row per distance
+
+    def test_missing_cell_nan(self):
+        rows = {"sport": {"All": {0: _summary(0.1)}, "FB": {}, "TW": {}, "LI": {}}}
+        text = domain_table(rows, metric="map", distances=(0,))
+        assert "nan" in text

@@ -1,0 +1,88 @@
+"""Tests for the experiment runner over the TINY dataset."""
+
+import pytest
+
+from repro.core.config import FinderConfig
+from repro.evaluation.runner import EvaluationResult, QueryOutcome
+from repro.socialgraph.metamodel import Platform
+
+
+@pytest.fixture(scope="module")
+def result(tiny_context):
+    return tiny_context.runner.run(None, FinderConfig())
+
+
+class TestRun:
+    def test_one_outcome_per_query(self, result, tiny_context):
+        assert len(result.outcomes) == len(tiny_context.dataset.queries)
+
+    def test_rankings_contain_only_candidates(self, result, tiny_context):
+        person_ids = set(tiny_context.dataset.person_ids)
+        for outcome in result.outcomes:
+            assert set(outcome.ranking) <= person_ids
+
+    def test_no_duplicate_candidates_in_ranking(self, result):
+        for outcome in result.outcomes:
+            assert len(outcome.ranking) == len(set(outcome.ranking))
+
+    def test_summary_bounds(self, result):
+        summary = result.summary()
+        for value in summary.as_row():
+            assert 0.0 <= value <= 1.0
+
+    def test_matched_resources_recorded(self, result):
+        assert any(o.matched_resources > 0 for o in result.outcomes)
+
+    def test_finder_cache_reused(self, tiny_context):
+        f1 = tiny_context.runner.finder(Platform.TWITTER, FinderConfig())
+        f2 = tiny_context.runner.finder(Platform.TWITTER, FinderConfig(alpha=0.2))
+        assert f1 is f2  # alpha does not affect the index
+        f3 = tiny_context.runner.finder(Platform.TWITTER, FinderConfig(max_distance=1))
+        assert f3 is not f1
+
+    def test_subset_of_queries(self, tiny_context):
+        queries = tiny_context.dataset.queries[:3]
+        result = tiny_context.runner.run(None, FinderConfig(), queries=queries)
+        assert len(result.outcomes) == 3
+
+
+class TestEvaluationResult:
+    def test_by_domain_partition(self, result):
+        by_domain = result.by_domain()
+        total = sum(len(r.outcomes) for r in by_domain.values())
+        assert total == len(result.outcomes)
+        assert set(by_domain) == {o.need.domain for o in result.outcomes}
+
+    def test_eleven_point_curve_shape(self, result):
+        curve = result.eleven_point_curve()
+        assert len(curve) == 11
+        assert all(0.0 <= v <= 1.0 for v in curve)
+
+    def test_dcg_curve_monotone(self, result):
+        curve = result.dcg_curve((5, 10, 15, 20))
+        assert list(curve) == sorted(curve)
+
+    def test_expert_deltas_length(self, result):
+        assert len(result.expert_deltas()) == len(result.outcomes)
+
+    def test_user_f1_bounds(self, result, tiny_context):
+        f1 = result.user_f1(tiny_context.dataset.person_ids)
+        assert set(f1) == set(tiny_context.dataset.person_ids)
+        assert all(0.0 <= v <= 1.0 for v in f1.values())
+
+    def test_empty_result(self):
+        empty = EvaluationResult(outcomes=[])
+        assert empty.summary().map == 0.0
+        assert empty.eleven_point_curve() == tuple([0.0] * 11)
+
+
+class TestQueryOutcome:
+    def test_retrieved_delta(self, result):
+        outcome = result.outcomes[0]
+        assert outcome.retrieved_delta == len(outcome.ranking) - len(outcome.relevant)
+
+    def test_metric_properties_consistent(self, result):
+        from repro.evaluation.metrics import average_precision
+
+        outcome = result.outcomes[0]
+        assert outcome.ap == average_precision(outcome.ranking, outcome.relevant)

@@ -1,0 +1,83 @@
+"""Tests for paired significance testing."""
+
+import pytest
+
+from repro.core.config import FinderConfig
+from repro.evaluation.significance import (
+    SignificanceReport,
+    compare_results,
+    paired_permutation_test,
+)
+
+
+class TestPermutationTest:
+    def test_identical_samples_p_one(self):
+        assert paired_permutation_test([0.5, 0.4], [0.5, 0.4]) == 1.0
+
+    def test_consistent_difference_significant(self):
+        a = [0.9] * 12
+        b = [0.1] * 12
+        assert paired_permutation_test(a, b) < 0.01
+
+    def test_symmetric(self):
+        a = [0.8, 0.6, 0.9, 0.4, 0.7, 0.5]
+        b = [0.5, 0.5, 0.6, 0.6, 0.4, 0.2]
+        assert paired_permutation_test(a, b) == pytest.approx(
+            paired_permutation_test(b, a)
+        )
+
+    def test_p_value_bounds(self):
+        a = [0.1, 0.9, 0.3, 0.7, 0.2]
+        b = [0.2, 0.8, 0.1, 0.9, 0.5]
+        p = paired_permutation_test(a, b)
+        assert 0.0 < p <= 1.0
+
+    def test_single_noisy_pair_not_significant(self):
+        assert paired_permutation_test([0.9], [0.1]) == 1.0  # sign flip covers it
+
+    def test_monte_carlo_path(self):
+        a = [0.9, 0.8] * 10  # 20 informative pairs → Monte-Carlo
+        b = [0.1, 0.2] * 10
+        p = paired_permutation_test(a, b, rounds=2000, seed=3)
+        assert p < 0.05
+
+    def test_monte_carlo_deterministic(self):
+        a = [0.9, 0.1, 0.8, 0.3] * 5
+        b = [0.5, 0.2, 0.6, 0.4] * 5
+        p1 = paired_permutation_test(a, b, rounds=500, seed=9)
+        p2 = paired_permutation_test(a, b, rounds=500, seed=9)
+        assert p1 == p2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_permutation_test([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            paired_permutation_test([], [])
+
+
+class TestCompareResults:
+    def test_distance2_beats_distance0_significantly(self, tiny_context):
+        d0 = tiny_context.runner.run(None, FinderConfig(max_distance=0))
+        d2 = tiny_context.runner.run(None, FinderConfig(max_distance=2))
+        report = compare_results(d2, d0, metric="ap")
+        assert report.mean_a > report.mean_b
+        assert report.significant(0.05)
+
+    def test_self_comparison_not_significant(self, tiny_context):
+        result = tiny_context.runner.run(None, FinderConfig())
+        report = compare_results(result, result)
+        assert report.p_value == 1.0
+        assert not report.significant()
+
+    def test_mismatched_queries_rejected(self, tiny_context):
+        full = tiny_context.runner.run(None, FinderConfig())
+        partial = tiny_context.runner.run(
+            None, FinderConfig(), queries=tiny_context.dataset.queries[:5]
+        )
+        with pytest.raises(ValueError):
+            compare_results(full, partial)
+
+    def test_report_fields(self):
+        report = SignificanceReport(metric="ap", mean_a=0.6, mean_b=0.4, p_value=0.01)
+        assert report.difference == pytest.approx(0.2)
+        assert report.significant()

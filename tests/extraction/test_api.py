@@ -1,0 +1,173 @@
+"""Unit tests for the simulated platform API clients."""
+
+import pytest
+
+from repro.extraction.api import (
+    AccountRecord,
+    AuthToken,
+    ContainerRecord,
+    PermissionDenied,
+    PlatformClient,
+    PlatformStore,
+    RateLimitExceeded,
+    UnknownAccount,
+)
+from repro.extraction.privacy import PrivacyPolicy
+from repro.socialgraph.metamodel import Platform, Resource, ResourceContainer, UserProfile
+from repro.socialgraph.platforms import PlatformCapabilities
+
+
+def _profile(pid, platform=Platform.TWITTER):
+    return UserProfile(profile_id=pid, platform=platform, display_name=pid)
+
+
+@pytest.fixture
+def store():
+    store = PlatformStore(Platform.TWITTER)
+    me = AccountRecord(profile=_profile("me"))
+    friend = AccountRecord(profile=_profile("friend"),
+                           privacy=PrivacyPolicy.closed())
+    star = AccountRecord(profile=_profile("star"))
+    store.add_account(me)
+    store.add_account(friend)
+    store.add_account(star)
+    me.follows.append("star")
+    me.friends.append("friend")
+    for i in range(5):
+        rid = f"r{i}"
+        store.add_resource(Resource(resource_id=rid, platform=Platform.TWITTER,
+                                    text=f"tweet {i}", timestamp=i))
+        me.created.append(rid)
+        me.owned.append(rid)
+    return store
+
+
+@pytest.fixture
+def client(store):
+    return PlatformClient(store, AuthToken("tok", "me"))
+
+
+class TestAuth:
+    def test_token_for_unknown_account_rejected(self, store):
+        with pytest.raises(UnknownAccount):
+            PlatformClient(store, AuthToken("tok", "ghost"))
+
+    def test_subject_id(self, client):
+        assert client.subject_id == "me"
+
+    def test_empty_token_rejected(self):
+        with pytest.raises(ValueError):
+            AuthToken("", "me")
+
+
+class TestPrivacy:
+    def test_own_profile_always_visible(self, store):
+        closed_client = PlatformClient(store, AuthToken("t", "friend"))
+        assert closed_client.get_profile("friend").profile_id == "friend"
+
+    def test_closed_profile_denied(self, client):
+        with pytest.raises(PermissionDenied):
+            client.get_profile("friend")
+
+    def test_closed_resources_denied(self, client):
+        with pytest.raises(PermissionDenied):
+            client.get_resources("friend")
+
+    def test_closed_relationships_denied(self, client):
+        with pytest.raises(PermissionDenied):
+            client.get_friends("friend")
+
+    def test_open_profile_visible(self, client):
+        assert client.get_profile("star").display_name == "star"
+
+
+class TestPagination:
+    def test_pages_respect_page_size(self, store):
+        caps = PlatformCapabilities(
+            platform=Platform.TWITTER, has_containers=False,
+            bidirectional_relations=False, profile_richness=0.1,
+            friend_visibility=1.0, page_size=2, rate_limit=100,
+        )
+        client = PlatformClient(store, AuthToken("t", "me"), capabilities=caps)
+        page1 = client.get_resources("me")
+        assert len(page1.items) == 2
+        assert page1.next_cursor == 2
+        page2 = client.get_resources("me", cursor=page1.next_cursor)
+        assert len(page2.items) == 2
+        page3 = client.get_resources("me", cursor=page2.next_cursor)
+        assert len(page3.items) == 1
+        assert page3.next_cursor is None
+
+    def test_relation_selector(self, client):
+        assert len(client.get_resources("me", relation="created").items) == 5
+        assert client.get_resources("me", relation="annotated").items == ()
+
+    def test_unknown_relation(self, client):
+        with pytest.raises(ValueError):
+            client.get_resources("me", relation="liked")
+
+
+class TestRateLimit:
+    def test_limit_enforced(self, store):
+        caps = PlatformCapabilities(
+            platform=Platform.TWITTER, has_containers=False,
+            bidirectional_relations=False, profile_richness=0.1,
+            friend_visibility=1.0, page_size=10, rate_limit=3,
+        )
+        client = PlatformClient(store, AuthToken("t", "me"), capabilities=caps)
+        for _ in range(3):
+            client.get_profile("me")
+        with pytest.raises(RateLimitExceeded):
+            client.get_profile("me")
+        assert client.rate_limit_hits == 1
+
+    def test_window_reset(self, store):
+        caps = PlatformCapabilities(
+            platform=Platform.TWITTER, has_containers=False,
+            bidirectional_relations=False, profile_richness=0.1,
+            friend_visibility=1.0, page_size=10, rate_limit=1,
+        )
+        client = PlatformClient(store, AuthToken("t", "me"), capabilities=caps)
+        client.get_profile("me")
+        client.wait_for_window_reset()
+        client.get_profile("me")  # no exception
+        assert client.request_count == 2
+
+
+class TestContainers:
+    def test_twitter_has_no_containers(self, client):
+        assert client.get_containers("me") == ()
+
+    def test_facebook_containers_and_contents(self):
+        store = PlatformStore(Platform.FACEBOOK)
+        store.add_account(AccountRecord(profile=_profile("me", Platform.FACEBOOK)))
+        container = ResourceContainer(
+            container_id="g1", platform=Platform.FACEBOOK, name="swimmers")
+        record = ContainerRecord(container=container)
+        store.add_container(record)
+        store.accounts["me"].containers.append("g1")
+        store.add_resource(Resource(resource_id="p1", platform=Platform.FACEBOOK,
+                                    text="post", timestamp=1))
+        record.resource_ids.append("p1")
+        client = PlatformClient(store, AuthToken("t", "me"))
+        assert client.get_containers("me")[0].name == "swimmers"
+        page = client.get_container_resources("g1")
+        assert [r.resource_id for r in page.items] == ["p1"]
+
+    def test_unknown_container(self, client):
+        with pytest.raises(UnknownAccount):
+            client.get_container_resources("nope")
+
+
+class TestStoreValidation:
+    def test_duplicate_account(self, store):
+        with pytest.raises(ValueError):
+            store.add_account(AccountRecord(profile=_profile("me")))
+
+    def test_platform_mismatch(self, store):
+        with pytest.raises(ValueError):
+            store.add_account(AccountRecord(profile=_profile("x", Platform.FACEBOOK)))
+
+    def test_duplicate_resource(self, store):
+        with pytest.raises(ValueError):
+            store.add_resource(Resource(resource_id="r0", platform=Platform.TWITTER, text="x"))

@@ -1,0 +1,32 @@
+"""Unit tests for privacy policies."""
+
+from repro.extraction.privacy import PrivacyPolicy
+
+
+class TestPrivacyPolicy:
+    def test_open(self):
+        policy = PrivacyPolicy.open()
+        assert policy.profile_visible
+        assert policy.resources_visible
+        assert policy.relationships_visible
+
+    def test_closed(self):
+        policy = PrivacyPolicy.closed()
+        assert not policy.profile_visible
+        assert not policy.resources_visible
+        assert not policy.relationships_visible
+
+    def test_profile_only(self):
+        policy = PrivacyPolicy.profile_only()
+        assert policy.profile_visible
+        assert not policy.resources_visible
+        assert not policy.relationships_visible
+
+    def test_default_is_open(self):
+        assert PrivacyPolicy() == PrivacyPolicy.open()
+
+    def test_frozen(self):
+        import pytest
+
+        with pytest.raises(AttributeError):
+            PrivacyPolicy().profile_visible = False

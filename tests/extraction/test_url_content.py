@@ -1,0 +1,71 @@
+"""Unit tests for the synthetic web and URL content extraction."""
+
+import pytest
+
+from repro.extraction.url_content import SyntheticWeb, UrlContentExtractor, WebPage
+
+
+@pytest.fixture
+def web():
+    web = SyntheticWeb()
+    web.publish(WebPage(
+        url="http://ex/1",
+        title="Swimming records",
+        main_text="phelps broke the freestyle record at the olympics",
+        boilerplate="home login subscribe",
+    ))
+    return web
+
+
+class TestSyntheticWeb:
+    def test_fetch(self, web):
+        page = web.fetch("http://ex/1")
+        assert page.title == "Swimming records"
+
+    def test_dead_link(self, web):
+        assert web.fetch("http://ex/404") is None
+
+    def test_duplicate_publish_rejected(self, web):
+        with pytest.raises(ValueError):
+            web.publish(WebPage(url="http://ex/1", title="x", main_text="y"))
+
+    def test_contains_and_len(self, web):
+        assert "http://ex/1" in web
+        assert len(web) == 1
+
+    def test_html_rendering(self, web):
+        html = web.fetch("http://ex/1").html()
+        assert "<article>" in html
+        assert "subscribe" in html
+
+
+class TestUrlContentExtractor:
+    def test_extracts_main_text_not_boilerplate(self, web):
+        extractor = UrlContentExtractor(web)
+        text = extractor.extract("http://ex/1")
+        assert "freestyle record" in text
+        assert "subscribe" not in text
+
+    def test_title_included(self, web):
+        assert "Swimming records" in UrlContentExtractor(web).extract("http://ex/1")
+
+    def test_dead_link_empty(self, web):
+        assert UrlContentExtractor(web).extract("http://ex/404") == ""
+
+    def test_caching_avoids_refetch(self, web):
+        extractor = UrlContentExtractor(web)
+        extractor.extract("http://ex/1")
+        extractor.extract("http://ex/1")
+        assert extractor.fetch_count == 1
+
+    def test_max_chars_truncation(self, web):
+        extractor = UrlContentExtractor(web, max_chars=10)
+        assert len(extractor.extract("http://ex/1")) == 10
+
+    def test_callable_interface(self, web):
+        extractor = UrlContentExtractor(web)
+        assert extractor("http://ex/1") == extractor.extract("http://ex/1")
+
+    def test_invalid_max_chars(self, web):
+        with pytest.raises(ValueError):
+            UrlContentExtractor(web, max_chars=0)

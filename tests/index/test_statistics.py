@@ -1,0 +1,51 @@
+"""Unit tests for collection statistics (irf/eirf)."""
+
+import math
+
+import pytest
+
+from repro.index.entity_index import EntityIndex
+from repro.index.inverted import InvertedIndex
+from repro.index.statistics import CollectionStatistics
+
+
+@pytest.fixture
+def stats():
+    terms = InvertedIndex()
+    entities = EntityIndex()
+    terms.add_document("d1", {"common": 1, "rare": 1})
+    terms.add_document("d2", {"common": 1})
+    terms.add_document("d3", {"common": 2})
+    entities.add_document("d1", {"wiki/E": (1, 0.8)})
+    entities.add_document("d2", {})
+    entities.add_document("d3", {})
+    return CollectionStatistics(terms, entities)
+
+
+class TestStatistics:
+    def test_resource_count(self, stats):
+        assert stats.resource_count == 3
+
+    def test_rare_term_weighs_more(self, stats):
+        assert stats.irf("rare") > stats.irf("common")
+
+    def test_irf_values(self, stats):
+        assert stats.irf("rare") == pytest.approx(math.log(1 + 3 / 1))
+        assert stats.irf("common") == pytest.approx(math.log(1 + 3 / 3))
+
+    def test_unseen_term_zero(self, stats):
+        assert stats.irf("ghost") == 0.0
+
+    def test_eirf(self, stats):
+        assert stats.eirf("wiki/E") == pytest.approx(math.log(1 + 3 / 1))
+        assert stats.eirf("wiki/Z") == 0.0
+
+    def test_cache_consistency(self, stats):
+        assert stats.irf("rare") == stats.irf("rare")
+
+    def test_mismatched_indexes_rejected(self):
+        terms = InvertedIndex()
+        terms.add_document("d1", {"a": 1})
+        entities = EntityIndex()
+        with pytest.raises(ValueError):
+            CollectionStatistics(terms, entities)

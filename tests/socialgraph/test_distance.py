@@ -1,0 +1,150 @@
+"""Unit tests for the Table-1 distance gathering."""
+
+import pytest
+
+from repro.socialgraph.distance import (
+    EvidenceKind,
+    RelatedResource,
+    ResourceGatherer,
+    evidence_text,
+    evidence_urls,
+)
+from repro.socialgraph.graph import SocialGraph
+from repro.socialgraph.metamodel import (
+    Platform,
+    RelationKind,
+    Resource,
+    ResourceContainer,
+    SocialRelation,
+    UserProfile,
+)
+
+
+@pytest.fixture
+def graph():
+    """candidate --creates--> r_own
+    candidate --annotates--> r_liked
+    candidate --relatesTo--> group {contains r_group}
+    candidate --follows--> star {creates r_star; relatesTo group2; follows star2}
+    candidate --friend--> buddy {creates r_buddy}
+    """
+    g = SocialGraph(Platform.TWITTER)
+    for pid in ("candidate", "star", "star2", "buddy"):
+        g.add_profile(
+            UserProfile(
+                profile_id=pid,
+                platform=Platform.TWITTER,
+                display_name=pid,
+                text=f"bio of {pid}",
+                urls=(f"http://home/{pid}",),
+            )
+        )
+    for rid in ("r_own", "r_liked", "r_group", "r_star", "r_buddy"):
+        g.add_resource(
+            Resource(resource_id=rid, platform=Platform.TWITTER, text=f"text {rid}",
+                     urls=(f"http://page/{rid}",))
+        )
+    for cid in ("group", "group2"):
+        g.add_container(
+            ResourceContainer(container_id=cid, platform=Platform.TWITTER, name=cid,
+                              text=f"about {cid}")
+        )
+    g.link_resource("candidate", "r_own", RelationKind.CREATES)
+    g.link_resource("candidate", "r_liked", RelationKind.ANNOTATES)
+    g.relate_to_container("candidate", "group")
+    g.put_in_container("group", "r_group")
+    g.add_social_relation(SocialRelation("candidate", "star", RelationKind.FOLLOWS))
+    g.link_resource("star", "r_star", RelationKind.CREATES)
+    g.relate_to_container("star", "group2")
+    g.add_social_relation(SocialRelation("star", "star2", RelationKind.FOLLOWS))
+    g.add_social_relation(SocialRelation("candidate", "buddy", RelationKind.FRIENDSHIP))
+    g.link_resource("buddy", "r_buddy", RelationKind.CREATES)
+    return g
+
+
+def _ids_at(items, distance):
+    return {i.node_id for i in items if i.distance == distance}
+
+
+class TestGatherWithoutFriends:
+    def test_distance_0_is_profile(self, graph):
+        items = ResourceGatherer(graph).gather("candidate", 0)
+        assert len(items) == 1
+        assert items[0].node_id == "candidate"
+        assert items[0].kind is EvidenceKind.PROFILE
+        assert items[0].via == "self"
+
+    def test_distance_1_contents(self, graph):
+        items = ResourceGatherer(graph).gather("candidate", 1)
+        assert _ids_at(items, 1) == {"r_own", "r_liked", "group", "star"}
+
+    def test_distance_2_contents(self, graph):
+        items = ResourceGatherer(graph).gather("candidate", 2)
+        assert _ids_at(items, 2) == {"r_group", "r_star", "group2", "star2"}
+
+    def test_friend_material_excluded_by_default(self, graph):
+        items = ResourceGatherer(graph).gather("candidate", 2)
+        ids = {i.node_id for i in items}
+        assert "buddy" not in ids
+        assert "r_buddy" not in ids
+
+    def test_each_node_once_at_min_distance(self, graph):
+        # r_own is both created and owned in other setups; here just
+        # assert global uniqueness
+        items = ResourceGatherer(graph).gather("candidate", 2)
+        ids = [i.node_id for i in items]
+        assert len(ids) == len(set(ids))
+
+    def test_via_paths(self, graph):
+        items = {i.node_id: i for i in ResourceGatherer(graph).gather("candidate", 2)}
+        assert items["r_star"].via == "follows→creates"
+        assert items["r_group"].via == "relatesTo→contains"
+        assert items["group2"].via == "follows→relatesTo"
+        assert items["star2"].via == "follows→follows"
+
+
+class TestGatherWithFriends:
+    def test_friend_profile_at_distance_1(self, graph):
+        items = ResourceGatherer(graph, include_friends=True).gather("candidate", 1)
+        assert "buddy" in _ids_at(items, 1)
+
+    def test_friend_resources_at_distance_2(self, graph):
+        items = ResourceGatherer(graph, include_friends=True).gather("candidate", 2)
+        assert "r_buddy" in _ids_at(items, 2)
+
+
+class TestGatherValidation:
+    def test_invalid_distance(self, graph):
+        with pytest.raises(ValueError):
+            ResourceGatherer(graph).gather("candidate", 3)
+
+    def test_unknown_candidate(self, graph):
+        with pytest.raises(KeyError):
+            ResourceGatherer(graph).gather("ghost", 1)
+
+    def test_gather_all(self, graph):
+        result = ResourceGatherer(graph).gather_all(["candidate", "star"], 1)
+        assert set(result) == {"candidate", "star"}
+        assert result["star"][0].node_id == "star"
+
+
+class TestEvidenceAccessors:
+    def test_profile_text(self, graph):
+        item = RelatedResource("candidate", "star", EvidenceKind.PROFILE, 1, "follows")
+        assert evidence_text(graph, item) == "star bio of star"
+
+    def test_resource_text(self, graph):
+        item = RelatedResource("candidate", "r_own", EvidenceKind.RESOURCE, 1, "creates")
+        assert evidence_text(graph, item) == "text r_own"
+
+    def test_container_text(self, graph):
+        item = RelatedResource("candidate", "group", EvidenceKind.CONTAINER, 1, "relatesTo")
+        assert "about group" in evidence_text(graph, item)
+
+    def test_urls(self, graph):
+        item = RelatedResource("candidate", "r_own", EvidenceKind.RESOURCE, 1, "creates")
+        assert evidence_urls(graph, item) == ("http://page/r_own",)
+
+    def test_invalid_distance_rejected(self):
+        with pytest.raises(ValueError):
+            RelatedResource("c", "n", EvidenceKind.RESOURCE, 5, "x")

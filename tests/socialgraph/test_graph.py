@@ -1,0 +1,180 @@
+"""Unit tests for the SocialGraph store."""
+
+import pytest
+
+from repro.socialgraph.graph import (
+    DuplicateNodeError,
+    SocialGraph,
+    UnknownNodeError,
+    merge_graphs,
+)
+from repro.socialgraph.metamodel import (
+    Platform,
+    RelationKind,
+    Resource,
+    ResourceContainer,
+    SocialRelation,
+    UserProfile,
+)
+
+
+def _profile(pid: str, platform=Platform.TWITTER) -> UserProfile:
+    return UserProfile(profile_id=pid, platform=platform, display_name=pid)
+
+
+def _resource(rid: str, platform=Platform.TWITTER) -> Resource:
+    return Resource(resource_id=rid, platform=platform, text=f"text of {rid}")
+
+
+def _container(cid: str, platform=Platform.FACEBOOK) -> ResourceContainer:
+    return ResourceContainer(container_id=cid, platform=platform, name=cid)
+
+
+@pytest.fixture
+def graph():
+    g = SocialGraph(Platform.TWITTER)
+    for pid in ("a", "b", "c"):
+        g.add_profile(_profile(pid))
+    for rid in ("r1", "r2"):
+        g.add_resource(_resource(rid))
+    g.add_container(_container("g1"))
+    return g
+
+
+class TestNodeRegistration:
+    def test_identical_re_add_is_noop(self, graph):
+        graph.add_profile(_profile("a"))
+        assert graph.counts()["profiles"] == 3
+
+    def test_conflicting_profile_rejected(self, graph):
+        other = UserProfile(profile_id="a", platform=Platform.TWITTER,
+                            display_name="different")
+        with pytest.raises(DuplicateNodeError):
+            graph.add_profile(other)
+
+    def test_conflicting_resource_rejected(self, graph):
+        with pytest.raises(DuplicateNodeError):
+            graph.add_resource(
+                Resource(resource_id="r1", platform=Platform.TWITTER, text="changed")
+            )
+
+    def test_lookup_unknown_raises(self, graph):
+        with pytest.raises(UnknownNodeError):
+            graph.profile("nope")
+        with pytest.raises(UnknownNodeError):
+            graph.resource("nope")
+        with pytest.raises(UnknownNodeError):
+            graph.container("nope")
+
+    def test_len_counts_all_nodes(self, graph):
+        assert len(graph) == 3 + 2 + 1
+
+    def test_has_profile(self, graph):
+        assert graph.has_profile("a")
+        assert not graph.has_profile("zz")
+
+
+class TestSocialRelations:
+    def test_follows_is_directed(self, graph):
+        graph.add_social_relation(SocialRelation("a", "b", RelationKind.FOLLOWS))
+        assert graph.followed_by("a") == ("b",)
+        assert graph.followed_by("b") == ()
+        assert graph.followers_of("b") == ("a",)
+
+    def test_friendship_is_symmetric(self, graph):
+        graph.add_social_relation(SocialRelation("a", "b", RelationKind.FRIENDSHIP))
+        assert "b" in graph.friends_of("a")
+        assert "a" in graph.friends_of("b")
+
+    def test_mutual_follow_promoted_to_friendship(self, graph):
+        graph.add_social_relation(SocialRelation("a", "b", RelationKind.FOLLOWS))
+        graph.add_social_relation(SocialRelation("b", "a", RelationKind.FOLLOWS))
+        assert "b" in graph.friends_of("a")
+        assert "a" in graph.friends_of("b")
+        assert graph.followed_by("a") == ()
+        assert graph.followed_by("b") == ()
+
+    def test_duplicate_follow_ignored(self, graph):
+        graph.add_social_relation(SocialRelation("a", "b", RelationKind.FOLLOWS))
+        graph.add_social_relation(SocialRelation("a", "b", RelationKind.FOLLOWS))
+        assert graph.followed_by("a") == ("b",)
+
+    def test_edge_requires_known_profiles(self, graph):
+        with pytest.raises(UnknownNodeError):
+            graph.add_social_relation(SocialRelation("a", "zz", RelationKind.FOLLOWS))
+
+
+class TestResourceRelations:
+    def test_link_resource_and_inverse(self, graph):
+        graph.link_resource("a", "r1", RelationKind.CREATES)
+        assert ("r1", RelationKind.CREATES) in graph.direct_resources("a")
+        assert ("a", RelationKind.CREATES) in graph.related_profiles("r1")
+
+    def test_direct_resources_filter_by_kind(self, graph):
+        graph.link_resource("a", "r1", RelationKind.CREATES)
+        graph.link_resource("a", "r2", RelationKind.ANNOTATES)
+        only_created = graph.direct_resources("a", kinds=(RelationKind.CREATES,))
+        assert only_created == (("r1", RelationKind.CREATES),)
+
+    def test_link_rejects_social_kind(self, graph):
+        with pytest.raises(ValueError):
+            graph.link_resource("a", "r1", RelationKind.FOLLOWS)
+
+    def test_duplicate_link_ignored(self, graph):
+        graph.link_resource("a", "r1", RelationKind.OWNS)
+        graph.link_resource("a", "r1", RelationKind.OWNS)
+        assert graph.direct_resources("a").count(("r1", RelationKind.OWNS)) == 1
+
+
+class TestContainers:
+    def test_membership(self, graph):
+        graph.relate_to_container("a", "g1")
+        assert graph.containers_of("a") == ("g1",)
+        assert graph.members_of("g1") == ("a",)
+
+    def test_containment(self, graph):
+        graph.put_in_container("g1", "r1")
+        assert graph.resources_in("g1") == ("r1",)
+        assert graph.container_of("r1") == "g1"
+
+    def test_resource_in_single_container(self, graph):
+        graph.add_container(_container("g2"))
+        graph.put_in_container("g1", "r1")
+        with pytest.raises(ValueError):
+            graph.put_in_container("g2", "r1")
+
+    def test_container_of_none_when_loose(self, graph):
+        assert graph.container_of("r2") is None
+
+
+class TestMergeGraphs:
+    def test_merge_two_platforms(self):
+        g1 = SocialGraph(Platform.TWITTER)
+        g1.add_profile(_profile("tw:a"))
+        g1.add_profile(_profile("tw:b"))
+        g1.add_resource(_resource("tw:r1"))
+        g1.link_resource("tw:a", "tw:r1", RelationKind.CREATES)
+        g1.add_social_relation(SocialRelation("tw:a", "tw:b", RelationKind.FOLLOWS))
+
+        g2 = SocialGraph(Platform.FACEBOOK)
+        g2.add_profile(_profile("fb:a", Platform.FACEBOOK))
+        g2.add_container(_container("fb:g1"))
+        g2.add_resource(_resource("fb:r1", Platform.FACEBOOK))
+        g2.relate_to_container("fb:a", "fb:g1")
+        g2.put_in_container("fb:g1", "fb:r1")
+
+        merged = merge_graphs([g1, g2])
+        assert merged.platform is None
+        assert merged.counts() == {"profiles": 3, "resources": 2, "containers": 1}
+        assert merged.followed_by("tw:a") == ("tw:b",)
+        assert merged.containers_of("fb:a") == ("fb:g1",)
+        assert merged.resources_in("fb:g1") == ("fb:r1",)
+        assert ("tw:r1", RelationKind.CREATES) in merged.direct_resources("tw:a")
+
+    def test_merge_preserves_friendships(self):
+        g = SocialGraph(Platform.FACEBOOK)
+        g.add_profile(_profile("x", Platform.FACEBOOK))
+        g.add_profile(_profile("y", Platform.FACEBOOK))
+        g.add_social_relation(SocialRelation("x", "y", RelationKind.FRIENDSHIP))
+        merged = merge_graphs([g])
+        assert "y" in merged.friends_of("x")

@@ -1,0 +1,95 @@
+"""Unit tests for the social meta-model (paper Fig. 2)."""
+
+import pytest
+
+from repro.socialgraph.metamodel import (
+    Annotation,
+    Platform,
+    RelationKind,
+    Resource,
+    ResourceContainer,
+    SocialRelation,
+    Url,
+    UserProfile,
+)
+
+
+class TestPlatform:
+    def test_short_codes(self):
+        assert Platform.FACEBOOK.short == "FB"
+        assert Platform.TWITTER.short == "TW"
+        assert Platform.LINKEDIN.short == "LI"
+
+    def test_three_platforms(self):
+        assert len(Platform) == 3
+
+
+class TestRelationKind:
+    def test_social_kinds(self):
+        assert RelationKind.FRIENDSHIP.is_social
+        assert RelationKind.FOLLOWS.is_social
+
+    def test_non_social_kinds(self):
+        for kind in (RelationKind.OWNS, RelationKind.CREATES, RelationKind.ANNOTATES,
+                     RelationKind.RELATES_TO, RelationKind.CONTAINS, RelationKind.LINKS_TO):
+            assert not kind.is_social
+
+
+class TestNodes:
+    def test_url_requires_value(self):
+        with pytest.raises(ValueError):
+            Url(url="")
+
+    def test_profile_requires_id(self):
+        with pytest.raises(ValueError):
+            UserProfile(profile_id="", platform=Platform.TWITTER, display_name="x")
+
+    def test_profile_defaults(self):
+        p = UserProfile(profile_id="p1", platform=Platform.TWITTER, display_name="Alice")
+        assert p.text == ""
+        assert p.urls == ()
+        assert p.person_id is None
+
+    def test_resource_requires_id(self):
+        with pytest.raises(ValueError):
+            Resource(resource_id="", platform=Platform.TWITTER, text="x")
+
+    def test_resource_fields(self):
+        r = Resource(
+            resource_id="r1",
+            platform=Platform.FACEBOOK,
+            text="post",
+            urls=("http://a.b",),
+            timestamp=5,
+        )
+        assert r.urls == ("http://a.b",)
+        assert r.timestamp == 5
+
+    def test_container_requires_id(self):
+        with pytest.raises(ValueError):
+            ResourceContainer(container_id="", platform=Platform.FACEBOOK, name="g")
+
+    def test_nodes_are_frozen(self):
+        r = Resource(resource_id="r1", platform=Platform.TWITTER, text="x")
+        with pytest.raises(AttributeError):
+            r.text = "y"
+
+
+class TestSocialRelation:
+    def test_valid_friendship(self):
+        rel = SocialRelation("a", "b", RelationKind.FRIENDSHIP)
+        assert rel.source == "a"
+
+    def test_rejects_non_social_kind(self):
+        with pytest.raises(ValueError):
+            SocialRelation("a", "b", RelationKind.OWNS)
+
+    def test_rejects_self_relation(self):
+        with pytest.raises(ValueError):
+            SocialRelation("a", "a", RelationKind.FOLLOWS)
+
+
+class TestAnnotation:
+    def test_defaults_to_like(self):
+        ann = Annotation(profile_id="p", resource_id="r")
+        assert ann.kind == "like"

@@ -1,0 +1,42 @@
+"""Unit tests for platform capability descriptors."""
+
+import pytest
+
+from repro.socialgraph.metamodel import Platform
+from repro.socialgraph.platforms import PlatformCapabilities, capabilities_for
+
+
+class TestCapabilities:
+    def test_twitter_has_no_containers(self):
+        assert not capabilities_for(Platform.TWITTER).has_containers
+
+    def test_facebook_and_linkedin_have_containers(self):
+        assert capabilities_for(Platform.FACEBOOK).has_containers
+        assert capabilities_for(Platform.LINKEDIN).has_containers
+
+    def test_twitter_relations_unidirectional(self):
+        assert not capabilities_for(Platform.TWITTER).bidirectional_relations
+
+    def test_linkedin_profiles_richest(self):
+        richness = {p: capabilities_for(p).profile_richness for p in Platform}
+        assert richness[Platform.LINKEDIN] > richness[Platform.FACEBOOK]
+        assert richness[Platform.FACEBOOK] > richness[Platform.TWITTER]
+
+    def test_facebook_friend_visibility_tiny(self):
+        # the paper observed ~0.6% of friends visible to a third-party app
+        assert capabilities_for(Platform.FACEBOOK).friend_visibility == pytest.approx(0.006)
+
+    def test_twitter_most_open(self):
+        assert capabilities_for(Platform.TWITTER).friend_visibility == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlatformCapabilities(
+                platform=Platform.TWITTER,
+                has_containers=False,
+                bidirectional_relations=False,
+                profile_richness=1.5,
+                friend_visibility=0.5,
+                page_size=10,
+                rate_limit=10,
+            )

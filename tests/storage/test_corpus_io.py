@@ -1,0 +1,48 @@
+"""Round-trip tests for corpus serialization."""
+
+from repro.index.analyzer import AnalyzedResource
+from repro.storage.corpus_io import load_corpus, save_corpus
+
+
+class TestCorpusRoundTrip:
+    def test_simple_roundtrip(self, tmp_path):
+        corpus = {
+            "d1": AnalyzedResource(
+                doc_id="d1",
+                language="en",
+                term_counts={"swim": 2, "pool": 1},
+                entity_counts={"wiki/Phelps": (1, 0.875)},
+            ),
+            "d2": AnalyzedResource(doc_id="d2", language="it"),
+        }
+        path = tmp_path / "c.jsonl"
+        assert save_corpus(corpus, path) == 2
+        loaded = load_corpus(path)
+        assert set(loaded) == {"d1", "d2"}
+        assert loaded["d1"].term_counts == {"swim": 2, "pool": 1}
+        assert loaded["d1"].entity_counts == {"wiki/Phelps": (1, 0.875)}
+        assert loaded["d2"].language == "it"
+        assert loaded["d2"].term_counts == {}
+
+    def test_tiny_dataset_corpus_roundtrip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "corpus.jsonl.gz"
+        save_corpus(tiny_dataset.corpus, path)
+        loaded = load_corpus(path)
+        assert set(loaded) == set(tiny_dataset.corpus)
+        for node_id, original in tiny_dataset.corpus.items():
+            restored = loaded[node_id]
+            assert restored.language == original.language
+            assert restored.term_counts == original.term_counts
+            assert restored.entity_counts == original.entity_counts
+
+    def test_entity_tuple_types(self, tmp_path):
+        corpus = {
+            "d": AnalyzedResource(
+                doc_id="d", language="en", entity_counts={"wiki/X": (3, 0.5)}
+            )
+        }
+        path = tmp_path / "t.jsonl"
+        save_corpus(corpus, path)
+        count, d_score = load_corpus(path)["d"].entity_counts["wiki/X"]
+        assert isinstance(count, int)
+        assert isinstance(d_score, float)

@@ -1,0 +1,112 @@
+"""Round-trip and cache tests for whole-dataset persistence."""
+
+import pytest
+
+from repro.core.config import FinderConfig
+from repro.core.expert_finder import ExpertFinder
+from repro.storage.cache import cache_path, load_or_build
+from repro.storage.dataset_io import load_dataset, save_dataset
+from repro.synthetic.dataset import DatasetScale
+
+
+@pytest.fixture(scope="module")
+def saved(tiny_dataset, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("ds") / "tiny"
+    save_dataset(tiny_dataset, directory)
+    return directory
+
+
+class TestDatasetRoundTrip:
+    def test_metadata(self, saved, tiny_dataset):
+        loaded = load_dataset(saved)
+        assert loaded.scale is DatasetScale.TINY
+        assert loaded.seed == tiny_dataset.seed
+        assert loaded.people == tiny_dataset.people
+
+    def test_graphs(self, saved, tiny_dataset):
+        loaded = load_dataset(saved)
+        assert loaded.merged_graph.counts() == tiny_dataset.merged_graph.counts()
+        for platform, graph in tiny_dataset.graphs.items():
+            assert loaded.graphs[platform].counts() == graph.counts()
+
+    def test_corpus(self, saved, tiny_dataset):
+        loaded = load_dataset(saved)
+        assert set(loaded.corpus) == set(tiny_dataset.corpus)
+
+    def test_ground_truth_rederived(self, saved, tiny_dataset):
+        loaded = load_dataset(saved)
+        for domain in ("sport", "music"):
+            assert loaded.ground_truth.experts(domain) == (
+                tiny_dataset.ground_truth.experts(domain)
+            )
+
+    def test_profile_mapping(self, saved, tiny_dataset):
+        loaded = load_dataset(saved)
+        assert loaded.networks.profile_ids == tiny_dataset.networks.profile_ids
+
+    def test_loaded_dataset_ranks_identically(self, saved, tiny_dataset):
+        loaded = load_dataset(saved)
+
+        def ranking(dataset):
+            finder = ExpertFinder.build(
+                dataset.merged_graph,
+                dataset.candidates_for(None),
+                dataset.analyzer,
+                FinderConfig(),
+                corpus=dataset.corpus,
+            )
+            return [
+                (e.candidate_id, round(e.score, 9))
+                for e in finder.find_experts("famous european football teams")
+            ]
+
+        assert ranking(loaded) == ranking(tiny_dataset)
+
+
+class TestCache:
+    def test_build_then_load(self, tmp_path):
+        first = load_or_build(tmp_path, DatasetScale.TINY, seed=11)
+        assert cache_path(tmp_path, DatasetScale.TINY, 11).is_dir()
+        second = load_or_build(tmp_path, DatasetScale.TINY, seed=11)
+        assert second.people == first.people
+        assert second.merged_graph.counts() == first.merged_graph.counts()
+
+    def test_corrupted_cache_rebuilt(self, tmp_path):
+        directory = cache_path(tmp_path, DatasetScale.TINY, 12)
+        directory.mkdir(parents=True)
+        (directory / "meta.jsonl").write_text("garbage\n")
+        dataset = load_or_build(tmp_path, DatasetScale.TINY, seed=12)
+        assert dataset.people  # rebuilt successfully
+
+    def test_refresh_forces_rebuild(self, tmp_path):
+        load_or_build(tmp_path, DatasetScale.TINY, seed=13)
+        dataset = load_or_build(tmp_path, DatasetScale.TINY, seed=13, refresh=True)
+        assert dataset.scale is DatasetScale.TINY
+
+
+class TestErrorPaths:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nowhere")
+
+    def test_meta_without_dataset_record(self, tmp_path):
+        from repro.storage.jsonl import StorageFormatError, write_records
+
+        directory = tmp_path / "broken"
+        directory.mkdir()
+        write_records(directory / "meta.jsonl", "dataset-meta", [])
+        with pytest.raises(StorageFormatError, match="missing dataset record"):
+            load_dataset(directory)
+
+    def test_unknown_meta_record_type(self, tmp_path):
+        from repro.storage.jsonl import StorageFormatError, write_records
+
+        directory = tmp_path / "broken2"
+        directory.mkdir()
+        write_records(
+            directory / "meta.jsonl",
+            "dataset-meta",
+            [{"type": "dataset", "scale": "tiny", "seed": 1}, {"type": "mystery"}],
+        )
+        with pytest.raises(StorageFormatError, match="unknown meta record"):
+            load_dataset(directory)

@@ -1,0 +1,100 @@
+"""Round-trip tests for social graph serialization."""
+
+import pytest
+
+from repro.socialgraph.graph import SocialGraph
+from repro.socialgraph.metamodel import (
+    Platform,
+    RelationKind,
+    Resource,
+    ResourceContainer,
+    SocialRelation,
+    UserProfile,
+)
+from repro.storage.graph_io import load_graph, save_graph
+from repro.storage.jsonl import StorageFormatError
+
+
+@pytest.fixture
+def graph():
+    g = SocialGraph(Platform.FACEBOOK)
+    g.add_profile(UserProfile(
+        profile_id="a", platform=Platform.FACEBOOK, display_name="Alice",
+        text="bio a", urls=("http://a",), person_id="person:a"))
+    g.add_profile(UserProfile(
+        profile_id="b", platform=Platform.FACEBOOK, display_name="Bob"))
+    g.add_profile(UserProfile(
+        profile_id="c", platform=Platform.FACEBOOK, display_name="Cleo"))
+    g.add_resource(Resource(
+        resource_id="r1", platform=Platform.FACEBOOK, text="post one",
+        urls=("http://p1",), language="en", timestamp=3))
+    g.add_resource(Resource(
+        resource_id="r2", platform=Platform.FACEBOOK, text="post two"))
+    g.add_container(ResourceContainer(
+        container_id="g1", platform=Platform.FACEBOOK, name="group", text="about"))
+    g.add_social_relation(SocialRelation("a", "b", RelationKind.FRIENDSHIP))
+    g.add_social_relation(SocialRelation("a", "c", RelationKind.FOLLOWS))
+    g.link_resource("a", "r1", RelationKind.CREATES)
+    g.link_resource("b", "r1", RelationKind.ANNOTATES)
+    g.relate_to_container("a", "g1")
+    g.put_in_container("g1", "r2")
+    return g
+
+
+class TestGraphRoundTrip:
+    def test_nodes_identical(self, graph, tmp_path):
+        path = tmp_path / "g.jsonl"
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        assert loaded.platform is Platform.FACEBOOK
+        assert loaded.counts() == graph.counts()
+        for profile in graph.profiles():
+            assert loaded.profile(profile.profile_id) == profile
+        for resource in graph.resources():
+            assert loaded.resource(resource.resource_id) == resource
+        for container in graph.containers():
+            assert loaded.container(container.container_id) == container
+
+    def test_edges_identical(self, graph, tmp_path):
+        path = tmp_path / "g.jsonl.gz"
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        assert set(loaded.friends_of("a")) == {"b"}
+        assert loaded.followed_by("a") == ("c",)
+        assert set(loaded.direct_resources("a")) == set(graph.direct_resources("a"))
+        assert set(loaded.direct_resources("b")) == set(graph.direct_resources("b"))
+        assert loaded.containers_of("a") == ("g1",)
+        assert loaded.resources_in("g1") == ("r2",)
+
+    def test_merged_graph_roundtrip(self, graph, tmp_path):
+        from repro.socialgraph.graph import merge_graphs
+
+        merged = merge_graphs([graph])
+        path = tmp_path / "m.jsonl"
+        save_graph(merged, path)
+        loaded = load_graph(path)
+        assert loaded.platform is None
+
+    def test_tiny_dataset_graph_roundtrip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "merged.jsonl.gz"
+        save_graph(tiny_dataset.merged_graph, path)
+        loaded = load_graph(path)
+        original = tiny_dataset.merged_graph
+        assert loaded.counts() == original.counts()
+        # spot-check evidence equality through the gatherer
+        from repro.socialgraph.distance import ResourceGatherer
+
+        candidate = tiny_dataset.candidates_for(None)[tiny_dataset.person_ids[0]][0]
+        a = ResourceGatherer(original).gather(candidate, 2)
+        b = ResourceGatherer(loaded).gather(candidate, 2)
+        assert {(i.node_id, i.distance) for i in a} == {
+            (i.node_id, i.distance) for i in b
+        }
+
+    def test_wrong_kind_file(self, tmp_path):
+        from repro.storage.jsonl import write_records
+
+        path = tmp_path / "x.jsonl"
+        write_records(path, "something-else", [])
+        with pytest.raises(StorageFormatError):
+            load_graph(path)

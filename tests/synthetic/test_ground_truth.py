@@ -1,0 +1,67 @@
+"""Unit tests for the questionnaire ground truth."""
+
+import pytest
+
+from repro.synthetic.ground_truth import GroundTruth
+from repro.synthetic.population import generate_population
+from repro.synthetic.vocab import DOMAINS
+
+
+@pytest.fixture(scope="module")
+def people():
+    return generate_population(seed=7, size=40)
+
+
+@pytest.fixture(scope="module")
+def truth(people):
+    return GroundTruth(people)
+
+
+class TestGroundTruth:
+    def test_experts_above_average(self, people, truth):
+        for domain in DOMAINS:
+            avg = truth.average_expertise(domain)
+            for person in people:
+                is_expert = person.expertise[domain] > avg
+                assert truth.is_expert(person.person_id, domain) == is_expert
+
+    def test_every_domain_has_experts(self, truth):
+        for domain in DOMAINS:
+            assert len(truth.experts(domain)) >= 3
+
+    def test_experts_not_everyone(self, truth, people):
+        for domain in DOMAINS:
+            assert len(truth.experts(domain)) < len(people)
+
+    def test_likert_passthrough(self, people, truth):
+        person = people[0]
+        for domain in DOMAINS:
+            assert truth.likert(person.person_id, domain) == person.expertise[domain]
+
+    def test_domain_stats(self, truth):
+        stats = truth.domain_stats("sport")
+        assert stats.expert_count == len(truth.experts("sport"))
+        assert stats.average_domain_expertise >= stats.average_expertise
+
+    def test_overall_stats_near_paper(self, truth):
+        # paper: ~17 experts per domain, average expertise 3.57 — the
+        # generator should land in the same region
+        overall = truth.overall_stats()
+        assert 10 <= overall["avg_experts_per_domain"] <= 22
+        assert 3.0 <= overall["avg_expertise"] <= 4.2
+
+    def test_location_has_fewest_experts(self, truth):
+        # the paper observed few self-declared location experts
+        counts = {d: len(truth.experts(d)) for d in DOMAINS}
+        assert counts["location"] == min(counts.values())
+
+    def test_unknown_domain_rejected(self, truth):
+        with pytest.raises(ValueError):
+            truth.experts("cooking")
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            GroundTruth([])
+
+    def test_person_ids(self, truth, people):
+        assert set(truth.person_ids) == {p.person_id for p in people}

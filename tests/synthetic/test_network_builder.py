@@ -1,0 +1,112 @@
+"""Unit tests for the platform network generator."""
+
+import pytest
+
+from repro.socialgraph.metamodel import Platform
+from repro.synthetic.network_builder import TINY, BuiltNetworks, NetworkBuilder
+from repro.synthetic.population import generate_population
+
+
+@pytest.fixture(scope="module")
+def networks() -> BuiltNetworks:
+    people = generate_population(seed=7, size=12)
+    return NetworkBuilder(people, TINY, seed=8).build()
+
+
+class TestStructure:
+    def test_three_stores(self, networks):
+        assert set(networks.stores) == set(Platform)
+
+    def test_every_person_on_every_platform(self, networks):
+        for person_id, profiles in networks.profile_ids.items():
+            assert set(profiles) == set(Platform)
+            for platform, pid in profiles.items():
+                assert pid in networks.stores[platform].accounts
+
+    def test_twitter_has_no_containers(self, networks):
+        assert networks.stores[Platform.TWITTER].containers == {}
+
+    def test_facebook_and_linkedin_have_groups(self, networks):
+        assert networks.stores[Platform.FACEBOOK].containers
+        assert networks.stores[Platform.LINKEDIN].containers
+
+    def test_linkedin_groups_only_work_domains(self, networks):
+        for cid in networks.stores[Platform.LINKEDIN].containers:
+            domain = cid.split(":")[2]
+            assert domain in ("computer_engineering", "technology_games", "science")
+
+    def test_resource_ids_globally_unique(self, networks):
+        all_ids = [
+            rid for store in networks.stores.values() for rid in store.resources
+        ]
+        assert len(all_ids) == len(set(all_ids))
+
+
+class TestPlatformBiases:
+    def test_linkedin_fewest_resources(self, networks):
+        counts = {p: len(s.resources) for p, s in networks.stores.items()}
+        assert counts[Platform.LINKEDIN] == min(counts.values())
+
+    def test_linkedin_mostly_group_posts(self, networks):
+        store = networks.stores[Platform.LINKEDIN]
+        in_groups = sum(len(c.resource_ids) for c in store.containers.values())
+        assert in_groups / len(store.resources) > 0.7
+
+    def test_twitter_celebrities_exist(self, networks):
+        store = networks.stores[Platform.TWITTER]
+        celebrities = [a for a in store.accounts if "celebrity" in a]
+        assert celebrities
+
+    def test_celebrities_have_tweets(self, networks):
+        store = networks.stores[Platform.TWITTER]
+        for account_id, record in store.accounts.items():
+            if "celebrity" in account_id:
+                assert len(record.created) == TINY.tw_celebrity_tweets
+
+    def test_facebook_external_friends_mostly_closed(self, networks):
+        store = networks.stores[Platform.FACEBOOK]
+        externals = [a for pid, a in store.accounts.items() if ":ext:" in pid]
+        assert externals
+        closed = [a for a in externals if not a.privacy.resources_visible]
+        assert len(closed) / len(externals) > 0.9
+
+    def test_friendships_symmetric(self, networks):
+        for store in networks.stores.values():
+            for pid, record in store.accounts.items():
+                for friend in record.friends:
+                    assert pid in store.accounts[friend].friends
+
+    def test_container_resources_most_recent_first(self, networks):
+        for store in networks.stores.values():
+            for record in store.containers.values():
+                stamps = [store.resources[r].timestamp for r in record.resource_ids]
+                assert stamps == sorted(stamps, reverse=True)
+
+    def test_some_resources_have_urls(self, networks):
+        store = networks.stores[Platform.FACEBOOK]
+        with_url = sum(1 for r in store.resources.values() if r.urls)
+        # scale profile sets 70%
+        assert 0.5 < with_url / len(store.resources) < 0.9
+
+    def test_urls_resolve_in_synthetic_web(self, networks):
+        for store in networks.stores.values():
+            for resource in store.resources.values():
+                for url in resource.urls:
+                    assert url in networks.web
+
+
+class TestDeterminism:
+    def test_same_seed_same_networks(self):
+        people = generate_population(seed=7, size=8)
+        a = NetworkBuilder(people, TINY, seed=3).build()
+        b = NetworkBuilder(people, TINY, seed=3).build()
+        assert set(a.stores[Platform.TWITTER].resources) == set(
+            b.stores[Platform.TWITTER].resources
+        )
+        ra = a.stores[Platform.TWITTER].resources
+        rb = b.stores[Platform.TWITTER].resources
+        assert all(ra[k] == rb[k] for k in ra)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkBuilder([], TINY, seed=1)

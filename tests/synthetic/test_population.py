@@ -1,0 +1,92 @@
+"""Unit tests for the population generator."""
+
+import pytest
+
+from repro.synthetic.population import Person, generate_population
+from repro.synthetic.vocab import DOMAINS
+
+
+@pytest.fixture(scope="module")
+def people():
+    return generate_population(seed=7, size=40)
+
+
+class TestGeneratePopulation:
+    def test_size(self, people):
+        assert len(people) == 40
+
+    def test_unique_ids(self, people):
+        assert len({p.person_id for p in people}) == 40
+
+    def test_likert_range(self, people):
+        for person in people:
+            for domain in DOMAINS:
+                assert 1 <= person.likert(domain) <= 7
+
+    def test_interest_and_exposure_ranges(self, people):
+        for person in people:
+            for domain in DOMAINS:
+                assert 0.0 <= person.interest[domain] <= 1.0
+                assert 0.0 <= person.exposure[domain] <= 1.0
+
+    def test_activity_positive_and_heavy_tailed(self, people):
+        activities = sorted(p.activity for p in people)
+        assert all(a > 0 for a in activities)
+        assert activities[-1] / activities[0] > 3  # real spread
+
+    def test_low_exposure_fraction(self, people):
+        low = [p for p in people
+               if max(p.exposure.values()) < 0.3]
+        assert len(low) == 8  # 20% of 40
+
+    def test_deterministic(self):
+        a = generate_population(seed=7, size=10)
+        b = generate_population(seed=7, size=10)
+        assert a == b
+
+    def test_seed_changes_output(self):
+        a = generate_population(seed=7, size=10)
+        b = generate_population(seed=8, size=10)
+        assert a != b
+
+    def test_everyone_has_a_strong_domain(self, people):
+        # focus domains get a high Likert draw
+        assert all(max(p.expertise.values()) >= 4 for p in people)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_population(seed=1, size=0)
+        with pytest.raises(ValueError):
+            generate_population(seed=1, size=10, low_exposure_fraction=2.0)
+
+
+class TestPerson:
+    def test_visible_interest_uses_interest_and_exposure(self, people):
+        person = people[0]
+        domain = DOMAINS[0]
+        expected = person.interest[domain] * person.exposure[domain]
+        assert person.visible_interest(domain) == pytest.approx(expected)
+
+    def test_expertise_signal_uses_likert(self, people):
+        person = people[0]
+        domain = DOMAINS[0]
+        expected = person.expertise[domain] / 7.0 * person.exposure[domain]
+        assert person.expertise_signal(domain) == pytest.approx(expected)
+
+    def test_missing_domain_rejected(self):
+        with pytest.raises(ValueError):
+            Person(
+                person_id="p", name="P",
+                expertise={"sport": 5},
+                interest={d: 0.5 for d in DOMAINS},
+                exposure={d: 0.5 for d in DOMAINS},
+            )
+
+    def test_bad_likert_rejected(self):
+        with pytest.raises(ValueError):
+            Person(
+                person_id="p", name="P",
+                expertise={d: 9 for d in DOMAINS},
+                interest={d: 0.5 for d in DOMAINS},
+                exposure={d: 0.5 for d in DOMAINS},
+            )

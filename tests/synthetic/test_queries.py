@@ -1,0 +1,36 @@
+"""Unit tests for the 30 expertise needs."""
+
+from repro.synthetic.queries import paper_queries
+from repro.synthetic.vocab import DOMAINS
+
+
+class TestPaperQueries:
+    def test_thirty_queries(self):
+        assert len(paper_queries()) == 30
+
+    def test_ids_sequential(self):
+        needs = paper_queries()
+        assert [n.need_id for n in needs] == [f"q{i:02d}" for i in range(1, 31)]
+
+    def test_every_domain_covered(self):
+        domains = {n.domain for n in paper_queries()}
+        assert domains == set(DOMAINS)
+
+    def test_at_least_four_per_domain(self):
+        needs = paper_queries()
+        for domain in DOMAINS:
+            assert sum(1 for n in needs if n.domain == domain) >= 4
+
+    def test_paper_examples_verbatim(self):
+        texts = {n.text for n in paper_queries()}
+        assert "Can you list some restaurants in Milan?" in texts
+        assert "Why is copper a good conductor?" in texts
+        assert "Can you list some famous songs of Michael Jackson?" in texts
+        assert "Can you list some famous European football teams?" in texts
+
+    def test_queries_nonempty_text(self):
+        assert all(len(n.text) > 10 for n in paper_queries())
+
+    def test_fresh_list_each_call(self):
+        a, b = paper_queries(), paper_queries()
+        assert a == b and a is not b

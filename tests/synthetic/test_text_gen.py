@@ -1,0 +1,119 @@
+"""Unit tests for the expertise-conditioned text generator."""
+
+import random
+
+import pytest
+
+from repro.synthetic.population import generate_population
+from repro.synthetic.text_gen import TextGenerator
+from repro.synthetic.vocab import DOMAIN_WORDS, DOMAINS
+
+
+@pytest.fixture
+def gen():
+    return TextGenerator(random.Random(42))
+
+
+@pytest.fixture(scope="module")
+def people():
+    return generate_population(seed=7, size=40)
+
+
+class TestTopicalText:
+    def test_topical_sentence_contains_domain_words(self, gen):
+        sport_words = set(DOMAIN_WORDS["sport"])
+        text = gen.topical_sentence("sport", length=20)
+        hits = sum(1 for w in text.split() if w in sport_words)
+        assert hits >= 3
+
+    def test_chitchat_avoids_domain_words(self, gen):
+        domain_vocab = {w for ws in DOMAIN_WORDS.values() for w in ws}
+        text = gen.chitchat_sentence(length=20)
+        assert not any(w in domain_vocab for w in text.split())
+
+    def test_resource_text_topical(self, gen):
+        text = gen.resource_text("music")
+        music = set(DOMAIN_WORDS["music"])
+        assert any(w in music for w in text.split())
+
+    def test_resource_text_none_is_chitchat(self, gen):
+        domain_vocab = {w for ws in DOMAIN_WORDS.values() for w in ws}
+        text = gen.resource_text(None)
+        assert not any(w in domain_vocab for w in text.split())
+
+    def test_entity_mention_from_domain(self, gen):
+        mention = gen.entity_mention("sport")
+        assert mention  # a known surface form
+        from repro.synthetic.vocab import ENTITY_SEEDS
+
+        surfaces = {a for s in ENTITY_SEEDS if s.domain == "sport" for a, _ in s.anchors}
+        assert mention in surfaces
+
+    def test_non_english_text(self, gen):
+        lang, text = gen.non_english_text()
+        assert lang in ("it", "es")
+        assert len(text.split()) > 3
+
+
+class TestProfiles:
+    def test_facebook_profiles_often_sparse(self, people):
+        gen = TextGenerator(random.Random(1))
+        texts = [gen.facebook_profile_text(p) for p in people]
+        empty = sum(1 for t in texts if not t)
+        assert empty > len(texts) * 0.25
+
+    def test_linkedin_profile_rich_for_engineer(self, people):
+        gen = TextGenerator(random.Random(1))
+        engineers = [
+            p
+            for p in people
+            if p.expertise["computer_engineering"] >= 6
+            and p.exposure["computer_engineering"] > 0.5
+        ]
+        assert engineers, "seeded population should include engineers"
+        text = gen.linkedin_profile_text(engineers[0])
+        ce_words = set(DOMAIN_WORDS["computer_engineering"])
+        assert any(w in ce_words for w in text.split())
+
+    def test_linkedin_profile_longer_than_twitter(self, people):
+        gen = TextGenerator(random.Random(1))
+        li = [len(gen.linkedin_profile_text(p)) for p in people]
+        tw = [len(gen.twitter_profile_text(p)) for p in people]
+        assert sum(li) / len(li) > 2 * sum(tw) / len(tw)
+
+
+class TestPickDomain:
+    def test_high_interest_posts_topically(self, people):
+        gen = TextGenerator(random.Random(3))
+        person = max(people, key=lambda p: max(p.visible_interest(d) for d in DOMAINS))
+        best = max(DOMAINS, key=person.visible_interest)
+        picks = [gen.pick_domain(person, platform_bias={}) for _ in range(400)]
+        assert picks.count(best) > picks.count(None) * 0.1
+        assert best in picks
+
+    def test_low_exposure_mostly_chitchat(self, people):
+        gen = TextGenerator(random.Random(3))
+        hidden = min(people, key=lambda p: max(p.exposure.values()))
+        picks = [gen.pick_domain(hidden, platform_bias={}) for _ in range(200)]
+        assert picks.count(None) > 120
+
+    def test_bias_shifts_distribution(self, people):
+        person = people[0]
+        bias_sport = {d: (5.0 if d == "sport" else 0.01) for d in DOMAINS}
+        gen = TextGenerator(random.Random(5))
+        picks = [gen.pick_domain(person, platform_bias=bias_sport) for _ in range(300)]
+        topical = [p for p in picks if p is not None]
+        assert topical.count("sport") >= len(topical) * 0.6
+
+
+class TestWebPages:
+    def test_web_page_topical(self, gen):
+        page = gen.web_page("http://x/1", "science")
+        science = set(DOMAIN_WORDS["science"])
+        assert any(w in science for w in page.main_text.split())
+        assert page.url == "http://x/1"
+        assert page.boilerplate
+
+    def test_container_description_mentions_name(self, gen):
+        text = gen.container_description("sport", "swimmers united")
+        assert text.startswith("swimmers united")

@@ -1,0 +1,92 @@
+"""Unit tests for the vocabulary and entity seed data."""
+
+from repro.synthetic.vocab import (
+    DOMAIN_LABELS,
+    DOMAIN_WORDS,
+    DOMAINS,
+    ENTITY_SEEDS,
+    FUNCTION_WORDS,
+    GENERAL_WORDS,
+    NON_ENGLISH_SENTENCES,
+    PERSON_NAMES,
+    entities_in_domain,
+)
+
+
+class TestDomains:
+    def test_seven_domains(self):
+        assert len(DOMAINS) == 7
+
+    def test_paper_domains_present(self):
+        assert "computer_engineering" in DOMAINS
+        assert "sport" in DOMAINS
+        assert "technology_games" in DOMAINS
+
+    def test_labels_cover_all(self):
+        assert set(DOMAIN_LABELS) == set(DOMAINS)
+
+    def test_words_cover_all(self):
+        assert set(DOMAIN_WORDS) == set(DOMAINS)
+
+    def test_vocabularies_substantial(self):
+        for words in DOMAIN_WORDS.values():
+            assert len(words) >= 30
+
+    def test_vocabularies_lowercase(self):
+        for words in DOMAIN_WORDS.values():
+            assert all(w == w.lower() for w in words)
+
+
+class TestEntitySeeds:
+    def test_every_domain_has_entities(self):
+        for domain in DOMAINS:
+            assert len(entities_in_domain(domain)) >= 5
+
+    def test_unique_uris(self):
+        uris = [s.uri for s in ENTITY_SEEDS]
+        assert len(uris) == len(set(uris))
+
+    def test_anchor_counts_positive(self):
+        for seed in ENTITY_SEEDS:
+            assert seed.anchors
+            assert all(count > 0 for _, count in seed.anchors)
+
+    def test_links_resolve(self):
+        uris = {s.uri for s in ENTITY_SEEDS}
+        for seed in ENTITY_SEEDS:
+            for target in seed.links:
+                assert target in uris, f"{seed.uri} links to unknown {target}"
+
+    def test_ambiguous_anchors_exist(self):
+        surfaces: dict[str, set[str]] = {}
+        for seed in ENTITY_SEEDS:
+            for surface, _ in seed.anchors:
+                surfaces.setdefault(surface, set()).add(seed.uri)
+        ambiguous = {s for s, us in surfaces.items() if len(us) > 1}
+        assert {"python", "milan", "java", "apple", "mercury"} <= ambiguous
+
+    def test_unknown_domain_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            entities_in_domain("cooking")
+
+
+class TestWordPools:
+    def test_function_words_are_english_stopwords(self):
+        from repro.textproc.stopwords import stopwords_for
+
+        en = stopwords_for("en")
+        overlap = sum(1 for w in FUNCTION_WORDS if w in en)
+        assert overlap / len(FUNCTION_WORDS) > 0.8
+
+    def test_general_words_not_domain_specific(self):
+        domain_vocab = {w for ws in DOMAIN_WORDS.values() for w in ws}
+        assert not set(GENERAL_WORDS) & domain_vocab
+
+    def test_non_english_languages(self):
+        assert set(NON_ENGLISH_SENTENCES) == {"it", "es"}
+
+    def test_enough_person_names(self):
+        assert len(PERSON_NAMES) >= 40
+        assert len(set(PERSON_NAMES)) == len(PERSON_NAMES)

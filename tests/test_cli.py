@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "hello"])
+        assert args.text == "hello"
+        assert args.platform == "all"
+        assert args.alpha == 0.6
+        assert args.distance == 2
+
+    def test_dataset_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dataset"])
+
+
+class TestCommands:
+    def test_query_finds_experts(self, capsys):
+        code = main(["query", "best freestyle swimmer", "--scale", "tiny", "--top-k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rank" in out
+        assert "person:" in out
+
+    def test_query_no_match(self, capsys):
+        code = main(["query", "zzzz qqqq xxxx", "--scale", "tiny"])
+        assert code == 1
+        assert "no candidate" in capsys.readouterr().out
+
+    def test_query_platform_selection(self, capsys):
+        code = main(
+            ["query", "famous european football teams", "--scale", "tiny",
+             "--platform", "tw", "--distance", "1"]
+        )
+        assert code in (0, 1)  # valid run either way
+
+    def test_info(self, capsys):
+        assert main(["info", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "candidates: 12" in out
+        assert "twitter" in out
+
+    def test_dataset_save_then_use(self, tmp_path, capsys):
+        out_dir = tmp_path / "ds"
+        assert main(["dataset", "--scale", "tiny", "--out", str(out_dir)]) == 0
+        assert (out_dir / "meta.jsonl").exists()
+        capsys.readouterr()
+        assert main(["info", "--dataset", str(out_dir)]) == 0
+        assert "candidates: 12" in capsys.readouterr().out
+
+    def test_experiments_subset(self, capsys):
+        code = main(["experiments", "--scale", "tiny", "--only", "fig5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5a" in out
+
+    def test_experiments_unknown_name(self, capsys):
+        code = main(["experiments", "--scale", "tiny", "--only", "nope"])
+        assert code == 2
+        assert "unknown experiments" in capsys.readouterr().err

@@ -1,0 +1,74 @@
+"""Reproducibility: the same (scale, seed) must yield bit-identical
+datasets, rankings, and metrics (DESIGN.md Sec. 5, decision 6)."""
+
+from __future__ import annotations
+
+from repro.core.config import FinderConfig
+from repro.core.expert_finder import ExpertFinder
+from repro.synthetic.dataset import DatasetScale, build_dataset
+
+
+class TestDatasetDeterminism:
+    def test_same_seed_same_graph(self, tiny_dataset):
+        rebuilt = build_dataset(DatasetScale.TINY, seed=7)
+        a, b = tiny_dataset.merged_graph, rebuilt.merged_graph
+        assert a.counts() == b.counts()
+        assert {r.resource_id for r in a.resources()} == {
+            r.resource_id for r in b.resources()
+        }
+        for resource in a.resources():
+            assert resource == b.resource(resource.resource_id)
+
+    def test_same_seed_same_corpus(self, tiny_dataset):
+        rebuilt = build_dataset(DatasetScale.TINY, seed=7)
+        assert set(tiny_dataset.corpus) == set(rebuilt.corpus)
+        for node_id, analysis in tiny_dataset.corpus.items():
+            other = rebuilt.corpus[node_id]
+            assert analysis.term_counts == other.term_counts
+            assert analysis.entity_counts == other.entity_counts
+            assert analysis.language == other.language
+
+    def test_same_seed_same_ground_truth(self, tiny_dataset):
+        rebuilt = build_dataset(DatasetScale.TINY, seed=7)
+        for domain in ("sport", "music", "science"):
+            assert tiny_dataset.ground_truth.experts(
+                domain
+            ) == rebuilt.ground_truth.experts(domain)
+
+    def test_different_seed_differs(self, tiny_dataset):
+        other = build_dataset(DatasetScale.TINY, seed=8)
+        a = {r.resource_id: r.text for r in tiny_dataset.merged_graph.resources()}
+        b = {r.resource_id: r.text for r in other.merged_graph.resources()}
+        assert a != b
+
+
+class TestRankingDeterminism:
+    def test_same_query_same_ranking(self, tiny_dataset):
+        finder = ExpertFinder.build(
+            tiny_dataset.merged_graph,
+            tiny_dataset.candidates_for(None),
+            tiny_dataset.analyzer,
+            FinderConfig(),
+            corpus=tiny_dataset.corpus,
+        )
+        first = finder.find_experts("famous european football teams")
+        second = finder.find_experts("famous european football teams")
+        assert [(e.candidate_id, e.score) for e in first] == [
+            (e.candidate_id, e.score) for e in second
+        ]
+
+    def test_rebuilt_finder_same_ranking(self, tiny_dataset):
+        def build():
+            return ExpertFinder.build(
+                tiny_dataset.merged_graph,
+                tiny_dataset.candidates_for(None),
+                tiny_dataset.analyzer,
+                FinderConfig(),
+                corpus=tiny_dataset.corpus,
+            )
+
+        a = build().find_experts("why is copper a good conductor")
+        b = build().find_experts("why is copper a good conductor")
+        assert [(e.candidate_id, e.score) for e in a] == [
+            (e.candidate_id, e.score) for e in b
+        ]

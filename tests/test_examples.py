@@ -1,0 +1,76 @@
+"""Every example script must execute end to end.
+
+Examples are user-facing documentation; a broken one is a broken
+promise. Each test imports the example module and runs its ``main()``,
+checking for the landmark output lines.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples.{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        _run_example("quickstart")
+        out = capsys.readouterr().out
+        assert "expertise need:" in out
+        assert "rank" in out
+
+    def test_custom_network(self, capsys):
+        _run_example("custom_network")
+        out = capsys.readouterr().out
+        # the paper's Fig.-1 ordering
+        assert out.index("alice") < out.index("charlie") < out.index("bob")
+        assert "Peggy is absent" in out
+
+    def test_crowdsearch_routing(self, capsys):
+        _run_example("crowdsearch_routing")
+        out = capsys.readouterr().out
+        assert "restaurants in Milan" in out
+        assert "ask " in out
+
+    def test_crowd_pipeline(self, capsys):
+        _run_example("crowd_pipeline")
+        out = capsys.readouterr().out
+        assert "top experts:" in out
+        assert "jury" in out
+        assert "routing strategies" in out
+
+    def test_streaming_updates(self, capsys):
+        _run_example("streaming_updates")
+        out = capsys.readouterr().out
+        assert "new post 4" in out
+        assert "resources indexed overall" in out
+
+    def test_domain_analysis(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        _run_example("domain_analysis")
+        out = capsys.readouterr().out
+        assert "best net @d2" in out
+
+    @pytest.mark.slow
+    def test_reproduce_paper(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        _run_example("reproduce_paper")
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Ablations" in out

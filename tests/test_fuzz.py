@@ -1,0 +1,91 @@
+"""Fuzz tests: the analysis stack must never crash on hostile input.
+
+Social text is adversarial by nature — emoji, RTL scripts, broken
+markup, zero-width characters, megabyte pastes. Every entry point that
+accepts raw text has to degrade gracefully.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.entity.annotator import EntityAnnotator
+from repro.index.analyzer import ResourceAnalyzer
+from repro.synthetic.seeds import build_knowledge_base
+from repro.textproc.langid import LanguageIdentifier
+from repro.textproc.pipeline import TextPipeline
+
+_pipeline = TextPipeline()
+_annotator = EntityAnnotator(build_knowledge_base())
+_analyzer = ResourceAnalyzer(_pipeline, _annotator)
+_lid = LanguageIdentifier()
+
+# anything unicode, including whatever weirdness hypothesis emits
+any_text = st.text(max_size=400)
+nasty_text = st.one_of(
+    any_text,
+    st.just("<" * 200 + "b>" * 100),
+    st.just("@" * 300),
+    st.just("#tag" * 150),
+    st.just("http://" + "a" * 300),
+    st.just("‮‭ reversed  control"),
+    st.just("🏊‍♂️ 🥇 emoji soup 🏆" * 40),
+    st.just("&amp;" * 200),
+)
+
+
+@settings(max_examples=150, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(nasty_text)
+def test_pipeline_never_crashes(text):
+    out = _pipeline.analyze(text)
+    assert isinstance(out.language, str)
+    assert all(t == t.lower() for t in out.tokens)
+
+
+@settings(max_examples=100)
+@given(nasty_text)
+def test_annotator_never_crashes(text):
+    for annotation in _annotator.annotate(text):
+        assert 0.0 <= annotation.d_score <= 1.0
+
+
+@settings(max_examples=100)
+@given(nasty_text)
+def test_analyzer_never_crashes(text):
+    out = _analyzer.analyze("fuzz", text)
+    assert all(count > 0 for count in out.term_counts.values())
+    assert all(
+        count > 0 and 0.0 <= d_score <= 1.0
+        for count, d_score in out.entity_counts.values()
+    )
+
+
+@settings(max_examples=100)
+@given(nasty_text)
+def test_langid_never_crashes(text):
+    lang = _lid.identify(text)
+    assert lang in set(_lid.languages) | {LanguageIdentifier.UNKNOWN}
+
+
+@settings(max_examples=60)
+@given(any_text, st.floats(min_value=0.0, max_value=1.0))
+def test_finder_query_never_crashes(tiny_finder_fuzz, text, alpha):
+    ranked = tiny_finder_fuzz.find_experts(text, alpha=alpha)
+    scores = [e.score for e in ranked]
+    assert scores == sorted(scores, reverse=True)
+
+
+@pytest.fixture(scope="module")
+def tiny_finder_fuzz(tiny_dataset):
+    from repro.core.config import FinderConfig
+    from repro.core.expert_finder import ExpertFinder
+
+    return ExpertFinder.build(
+        tiny_dataset.merged_graph,
+        tiny_dataset.candidates_for(None),
+        tiny_dataset.analyzer,
+        FinderConfig(),
+        corpus=tiny_dataset.corpus,
+    )

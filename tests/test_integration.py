@@ -1,0 +1,104 @@
+"""End-to-end integration tests over the TINY dataset: the full path
+from generated platform stores through extraction, analysis, indexing,
+matching, and expert ranking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FinderConfig
+from repro.core.expert_finder import ExpertFinder
+from repro.evaluation.metrics import average_precision
+from repro.socialgraph.metamodel import Platform
+
+
+class TestEndToEnd:
+    def test_pipeline_finds_signal(self, tiny_context):
+        """The ranked experts must beat a random shuffle on average —
+        the system extracts real signal from the generated behaviour."""
+        result = tiny_context.runner.run(None, FinderConfig())
+        system_map = result.summary().map
+        assert system_map > tiny_context.baseline.map
+
+    def test_distance_progression(self, tiny_context):
+        maps = {}
+        for distance in (0, 1, 2):
+            result = tiny_context.runner.run(None, FinderConfig(max_distance=distance))
+            maps[distance] = result.summary().map
+        assert maps[0] < maps[1] <= maps[2] * 1.2  # d1 and d2 both far above d0
+        assert maps[2] > maps[0]
+
+    def test_expert_recovery_for_strong_domain(self, tiny_dataset):
+        """For a domain with clear experts, at least one true expert must
+        appear in the top 3 for that domain's queries."""
+        finder = ExpertFinder.build(
+            tiny_dataset.merged_graph,
+            tiny_dataset.candidates_for(None),
+            tiny_dataset.analyzer,
+            FinderConfig(),
+            corpus=tiny_dataset.corpus,
+        )
+        truth = tiny_dataset.ground_truth
+        hits = 0
+        domain_queries = [q for q in tiny_dataset.queries if q.domain == "sport"]
+        for need in domain_queries:
+            top = [e.candidate_id for e in finder.find_experts(need, top_k=3)]
+            if set(top) & truth.experts("sport"):
+                hits += 1
+        assert hits >= len(domain_queries) // 2
+
+    def test_per_platform_finders_work(self, tiny_context):
+        for platform in Platform:
+            result = tiny_context.runner.run(platform, FinderConfig())
+            assert 0.0 <= result.summary().map <= 1.0
+
+    def test_queries_answered_by_relevant_people(self, tiny_dataset, tiny_context):
+        """A query's AP should (on average) exceed the AP obtained when
+        scoring the ranking against a *different* domain's experts."""
+        result = tiny_context.runner.run(None, FinderConfig())
+        truth = tiny_dataset.ground_truth
+        own, cross = [], []
+        for outcome in result.outcomes:
+            own.append(average_precision(outcome.ranking, outcome.relevant))
+            other_domain = "music" if outcome.need.domain != "music" else "sport"
+            cross.append(
+                average_precision(outcome.ranking, truth.experts(other_domain))
+            )
+        assert sum(own) > sum(cross)
+
+    def test_crawler_respected_privacy(self, tiny_dataset):
+        """No closed external Facebook friend may appear in the graph."""
+        store = tiny_dataset.networks.stores[Platform.FACEBOOK]
+        graph = tiny_dataset.graphs[Platform.FACEBOOK]
+        for profile_id, record in store.accounts.items():
+            if not record.privacy.profile_visible:
+                assert not graph.has_profile(profile_id)
+
+    def test_non_english_resources_not_indexed(self, tiny_dataset):
+        finder = ExpertFinder.build(
+            tiny_dataset.merged_graph,
+            tiny_dataset.candidates_for(None),
+            tiny_dataset.analyzer,
+            FinderConfig(),
+            corpus=tiny_dataset.corpus,
+        )
+        total_nodes = len(tiny_dataset.merged_graph)
+        assert finder.indexed_resources < total_nodes
+
+    def test_window_restricts_experts(self, tiny_context):
+        wide = tiny_context.runner.run(None, FinderConfig(window=None))
+        narrow = tiny_context.runner.run(None, FinderConfig(window=5))
+        wide_total = sum(len(o.ranking) for o in wide.outcomes)
+        narrow_total = sum(len(o.ranking) for o in narrow.outcomes)
+        assert narrow_total < wide_total
+
+
+class TestPaperScaleSmoke:
+    @pytest.mark.slow
+    def test_small_dataset_builds(self):
+        """Marked slow: builds the benchmark-scale dataset once."""
+        from repro.synthetic.dataset import DatasetScale, build_dataset
+
+        dataset = build_dataset(DatasetScale.SMALL, seed=7)
+        assert len(dataset.people) == 40
+        assert dataset.merged_graph.counts()["resources"] > 10000

@@ -1,0 +1,194 @@
+"""Property-based tests over the higher layers: storage round-trips on
+generated graphs, jury-selection invariants, routing probabilities, and
+distance-weight/aggregation laws."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crowd.jury import JurorProfile, JurySelector, majority_error_rate
+from repro.crowd.routing import ContactModel, QuestionRouter, RoutingStrategy
+from repro.core.ranking import ExpertScore
+from repro.socialgraph.graph import SocialGraph
+from repro.socialgraph.metamodel import (
+    Platform,
+    RelationKind,
+    Resource,
+    SocialRelation,
+    UserProfile,
+)
+from repro.storage.graph_io import load_graph, save_graph
+
+# -- random graph strategy --------------------------------------------------------
+
+_ids = st.integers(min_value=0, max_value=9).map(lambda i: f"n{i}")
+
+
+@st.composite
+def social_graphs(draw) -> SocialGraph:
+    graph = SocialGraph(Platform.TWITTER)
+    profile_ids = draw(st.sets(_ids, min_size=1, max_size=6))
+    for pid in sorted(profile_ids):
+        graph.add_profile(
+            UserProfile(
+                profile_id=f"p:{pid}",
+                platform=Platform.TWITTER,
+                display_name=pid,
+                text=draw(st.text(alphabet="abc ", max_size=12)),
+            )
+        )
+    resource_ids = draw(st.sets(_ids, min_size=0, max_size=6))
+    for rid in sorted(resource_ids):
+        graph.add_resource(
+            Resource(
+                resource_id=f"r:{rid}",
+                platform=Platform.TWITTER,
+                text=draw(st.text(alphabet="xyz ", max_size=12)),
+                timestamp=draw(st.integers(min_value=0, max_value=100)),
+            )
+        )
+    profiles = sorted(f"p:{pid}" for pid in profile_ids)
+    resources = sorted(f"r:{rid}" for rid in resource_ids)
+    # random follows
+    for a in profiles:
+        for b in profiles:
+            if a != b and draw(st.booleans()):
+                graph.add_social_relation(SocialRelation(a, b, RelationKind.FOLLOWS))
+    # random ownership
+    for r in resources:
+        owner = draw(st.sampled_from(profiles))
+        graph.link_resource(owner, r, RelationKind.CREATES)
+    return graph
+
+
+@settings(max_examples=30, deadline=None)
+@given(social_graphs())
+def test_graph_roundtrip_preserves_everything(tmp_path_factory, graph):
+    path = tmp_path_factory.mktemp("prop") / "g.jsonl"
+    save_graph(graph, path)
+    loaded = load_graph(path)
+    assert loaded.counts() == graph.counts()
+    for profile in graph.profiles():
+        assert loaded.profile(profile.profile_id) == profile
+        assert set(loaded.followed_by(profile.profile_id)) == set(
+            graph.followed_by(profile.profile_id)
+        )
+        assert set(loaded.friends_of(profile.profile_id)) == set(
+            graph.friends_of(profile.profile_id)
+        )
+        assert set(loaded.direct_resources(profile.profile_id)) == set(
+            graph.direct_resources(profile.profile_id)
+        )
+    for resource in graph.resources():
+        assert loaded.resource(resource.resource_id) == resource
+
+
+# -- jury invariants ----------------------------------------------------------------
+
+_error_rates = st.lists(
+    st.floats(min_value=0.0, max_value=0.49), min_size=1, max_size=9
+)
+
+
+@given(_error_rates)
+def test_jer_bounded(rates):
+    assert 0.0 <= majority_error_rate(rates) <= 1.0
+
+
+@given(_error_rates)
+def test_jer_below_half_for_sub_half_jurors(rates):
+    """Majority of jurors who are each right more often than wrong is
+    itself right more often than wrong."""
+    assert majority_error_rate(rates) <= 0.5
+
+
+@given(_error_rates, st.floats(min_value=0.0, max_value=0.49))
+def test_adding_a_perfect_pair_never_hurts(rates, extra):
+    """Adding two jurors at least as good as the worst juror (keeping
+    the jury odd) never increases the JER — monotonicity that justifies
+    the prefix sweep in JurySelector."""
+    if len(rates) % 2 == 0:
+        rates = rates[:-1] or [0.3]
+    best = min(rates)
+    improved = rates + [best, best]
+    assert majority_error_rate(improved) <= majority_error_rate(rates) + 1e-12
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=0.49), min_size=1, max_size=8))
+def test_selector_never_returns_even_jury(rates):
+    jurors = [JurorProfile(f"j{i}", r) for i, r in enumerate(rates)]
+    decision = JurySelector(jurors).select()
+    assert len(decision.members) % 2 == 1
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=0.49), min_size=2, max_size=8))
+def test_selector_prefers_lower_error_members(rates):
+    jurors = [JurorProfile(f"j{i}", r) for i, r in enumerate(rates)]
+    decision = JurySelector(jurors).select(max_size=1)
+    chosen = decision.members[0]
+    chosen_rate = next(j.error_rate for j in jurors if j.candidate_id == chosen)
+    assert chosen_rate == min(rates)
+
+
+# -- routing invariants ---------------------------------------------------------------
+
+_models = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d", "e"]),
+    st.builds(
+        ContactModel,
+        answer_probability=st.floats(min_value=0.0, max_value=1.0),
+        response_time=st.floats(min_value=0.5, max_value=20.0),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+@given(_models)
+def test_routing_probability_consistent_across_strategies(models):
+    router = QuestionRouter(models)
+    ranked = [
+        ExpertScore(candidate_id=cid, score=float(i + 1), supporting_resources=1)
+        for i, cid in enumerate(sorted(models))
+    ]
+    k = len(ranked)
+    par = router.plan(ranked, RoutingStrategy.PARALLEL, top_k=k)
+    seq = router.plan(ranked, RoutingStrategy.SEQUENTIAL, top_k=k)
+    assert par.answer_probability == seq.answer_probability
+    assert 0.0 <= par.answer_probability <= 1.0
+    assert par.contacts == seq.contacts == k
+
+
+@given(_models)
+def test_parallel_latency_never_slower(models):
+    router = QuestionRouter(models)
+    ranked = [
+        ExpertScore(candidate_id=cid, score=float(i + 1), supporting_resources=1)
+        for i, cid in enumerate(sorted(models))
+    ]
+    k = len(ranked)
+    par = router.plan(ranked, RoutingStrategy.PARALLEL, top_k=k)
+    seq = router.plan(ranked, RoutingStrategy.SEQUENTIAL, top_k=k)
+    if par.expected_latency is not None and seq.expected_latency is not None:
+        assert par.expected_latency <= seq.expected_latency + 1e-9
+
+
+# -- hybrid waves cover exactly the chosen prefix -------------------------------------
+
+
+@given(_models, st.integers(min_value=1, max_value=3))
+def test_hybrid_waves_partition_contacts(models, wave_size):
+    router = QuestionRouter(models)
+    ranked = [
+        ExpertScore(candidate_id=cid, score=float(i + 1), supporting_resources=1)
+        for i, cid in enumerate(sorted(models))
+    ]
+    plan = router.plan(
+        ranked, RoutingStrategy.HYBRID, top_k=len(ranked), wave_size=wave_size
+    )
+    flattened = [cid for wave in plan.waves for cid in wave]
+    assert len(flattened) == len(set(flattened))  # nobody contacted twice
+    assert plan.contacts == len(flattened)
+    for wave in plan.waves[:-1]:
+        assert len(wave) == wave_size  # only the last wave may be short

@@ -1,0 +1,72 @@
+"""The documented public API surface must exist and stay importable."""
+
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.baselines",
+    "repro.cli",
+    "repro.core",
+    "repro.crowd",
+    "repro.entity",
+    "repro.evaluation",
+    "repro.experiments",
+    "repro.extraction",
+    "repro.index",
+    "repro.socialgraph",
+    "repro.storage",
+    "repro.synthetic",
+    "repro.textproc",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_imports(module_name):
+    module = importlib.import_module(module_name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_entries_resolve(module_name):
+    """Every name in a package's __all__ must be importable from it."""
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", ()):
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_top_level_exports():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+    for name in ("ExpertFinder", "FinderConfig", "build_dataset", "DatasetScale",
+                 "Platform", "ExpertiseNeed", "ExpertScore"):
+        assert hasattr(repro, name)
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_modules_have_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and len(module.__doc__.strip()) > 40
+
+
+def test_doctests_pass():
+    """Run the doctests embedded in the core public modules."""
+    import doctest
+
+    for module_name in (
+        "repro.textproc.sanitizer",
+        "repro.textproc.tokenizer",
+        "repro.textproc.stemmer",
+        "repro.textproc.stopwords",
+        "repro.core.scoring",
+        "repro.evaluation.metrics",
+        "repro.crowd.jury",
+        "repro.evaluation.significance",
+        "repro.synthetic.queries",
+        "repro.synthetic.seeds",
+    ):
+        module = importlib.import_module(module_name)
+        failures, _ = doctest.testmod(module)
+        assert failures == 0, f"doctest failures in {module_name}"

@@ -1,0 +1,92 @@
+"""Unit tests for the character-n-gram language identifier."""
+
+import pytest
+
+from repro.textproc.langid import LanguageIdentifier, LanguageProfile
+
+
+@pytest.fixture(scope="module")
+def lid():
+    return LanguageIdentifier()
+
+
+class TestIdentify:
+    def test_english_sentence(self, lid):
+        text = "just finished thirty minutes of freestyle training at the pool"
+        assert lid.identify(text) == "en"
+
+    def test_italian_sentence(self, lid):
+        text = "questa e una bella giornata per andare in piscina con gli amici"
+        assert lid.identify(text) == "it"
+
+    def test_spanish_sentence(self, lid):
+        text = "hoy es un dia precioso para pasear por el centro con amigos"
+        assert lid.identify(text) == "es"
+
+    def test_french_sentence(self, lid):
+        text = "le renard saute par dessus le chien et nous cherchons des reponses"
+        assert lid.identify(text) == "fr"
+
+    def test_german_sentence(self, lid):
+        text = "der schnelle fuchs springt uber den faulen hund und alle menschen wissen das"
+        assert lid.identify(text) == "de"
+
+    def test_short_text_unknown(self, lid):
+        assert lid.identify("ok") == LanguageIdentifier.UNKNOWN
+
+    def test_empty_unknown(self, lid):
+        assert lid.identify("") == LanguageIdentifier.UNKNOWN
+
+    def test_numbers_only_unknown(self, lid):
+        assert lid.identify("123 456 789 000 111 222") == LanguageIdentifier.UNKNOWN
+
+    def test_latinate_english_content_words(self, lid):
+        # professional vocabulary must not be mistaken for Romance
+        # languages (regression: LinkedIn profiles were classified it/fr)
+        text = (
+            "the senior consultant was responsible for enterprise solutions and"
+            " led the professional development of the industry team"
+        )
+        assert lid.identify(text) == "en"
+
+
+class TestScores:
+    def test_scores_cover_all_languages(self, lid):
+        scores = lid.scores("hello world this is a test of the system")
+        assert set(scores) == set(lid.languages)
+
+    def test_scores_in_unit_interval(self, lid):
+        for value in lid.scores("the quick brown fox jumps today").values():
+            assert 0.0 <= value <= 1.0
+
+    def test_english_wins_on_english(self, lid):
+        scores = lid.scores("we are going to the swimming pool with friends today")
+        assert max(scores, key=scores.get) == "en"
+
+    def test_empty_text_all_zero(self, lid):
+        assert all(v == 0.0 for v in lid.scores("").values())
+
+
+class TestLanguageProfile:
+    def test_from_text_ranks(self):
+        profile = LanguageProfile.from_text("xx", "aaa aaa bbb")
+        assert profile.language == "xx"
+        assert len(profile.ranks) > 0
+
+    def test_distance_zero_for_identical(self):
+        profile = LanguageProfile.from_text("xx", "the cat sat on the mat")
+        from repro.textproc.langid import _char_ngrams
+
+        doc = [g for g, _ in _char_ngrams("the cat sat on the mat").most_common(300)]
+        assert profile.distance(doc) == 0
+
+    def test_distance_positive_for_different(self):
+        profile = LanguageProfile.from_text("xx", "the cat sat on the mat")
+        from repro.textproc.langid import _char_ngrams
+
+        doc = [g for g, _ in _char_ngrams("zzz qqq www").most_common(300)]
+        assert profile.distance(doc) > 0
+
+    def test_custom_profiles(self):
+        lid = LanguageIdentifier({"aa": "aaaa aaaa aaaa", "bb": "bbbb bbbb bbbb"})
+        assert lid.identify("aaaa aaaa aaaa aaaa aaaa aaaa aaaa") == "aa"

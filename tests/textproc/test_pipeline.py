@@ -1,0 +1,58 @@
+"""Unit tests for the composed text pipeline."""
+
+import pytest
+
+from repro.textproc.pipeline import AnalyzedText, TextPipeline
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    return TextPipeline()
+
+
+class TestTextPipeline:
+    def test_english_flow(self, pipe):
+        out = pipe.analyze("Just finished 30min freestyle training at the swimming pool!")
+        assert out.language == "en"
+        assert out.is_english
+        assert "swim" in out.terms  # stemmed
+        assert "the" not in out.terms  # stop word removed
+        assert "the" in out.tokens  # tokens keep everything
+
+    def test_language_override_skips_identification(self, pipe):
+        out = pipe.analyze("xyzzy plugh", language="en")
+        assert out.language == "en"
+
+    def test_non_english_not_stemmed(self, pipe):
+        out = pipe.analyze(
+            "questa e una bella giornata per andare in piscina con gli amici oggi"
+        )
+        assert out.language == "it"
+        assert not out.is_english
+        # Italian stop words removed, content words unstemmed
+        assert "giornata" in out.terms
+        assert "una" not in out.terms
+
+    def test_sanitization_applied(self, pipe):
+        out = pipe.analyze("RT @bob check http://x.y #swimming is the best today")
+        assert "http" not in out.clean_text
+        assert "bob" not in out.clean_text
+        assert "swim" in out.terms
+
+    def test_empty_text(self, pipe):
+        out = pipe.analyze("")
+        assert out.terms == ()
+        assert out.tokens == ()
+
+    def test_result_is_frozen(self, pipe):
+        out = pipe.analyze("hello world")
+        with pytest.raises(AttributeError):
+            out.language = "fr"
+
+    def test_terms_subset_of_token_stems(self, pipe):
+        out = pipe.analyze("The swimmers were training for the olympic games")
+        assert len(out.terms) <= len(out.tokens)
+
+    def test_analyzed_text_dataclass(self):
+        at = AnalyzedText(language="en", clean_text="x", tokens=("x",), terms=("x",))
+        assert at.is_english

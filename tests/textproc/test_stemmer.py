@@ -1,0 +1,117 @@
+"""Unit tests for the Porter stemmer against published examples."""
+
+import pytest
+
+from repro.textproc.stemmer import PorterStemmer
+
+
+@pytest.fixture(scope="module")
+def stem():
+    return PorterStemmer().stem
+
+
+# examples taken from Porter's 1980 paper and its reference vocabulary
+PORTER_EXAMPLES = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", PORTER_EXAMPLES)
+def test_porter_published_examples(stem, word, expected):
+    assert stem(word) == expected
+
+
+class TestStemmerBehaviour:
+    def test_short_words_untouched(self, stem):
+        assert stem("is") == "is"
+        assert stem("at") == "at"
+
+    def test_swimming(self, stem):
+        assert stem("swimming") == "swim"
+
+    def test_swimmers(self, stem):
+        assert stem("swimmers") == "swimmer"
+
+    def test_idempotent_on_many_words(self, stem):
+        words = ["relational", "swimming", "happiness", "engineering", "libraries"]
+        for w in words:
+            once = stem(w)
+            assert stem(once) == once or len(stem(once)) <= len(once)
+
+    def test_stem_is_never_longer(self, stem):
+        for w in ["nationalization", "generalization", "characteristically"]:
+            assert len(stem(w)) <= len(w)

@@ -1,0 +1,32 @@
+"""Unit tests for repro.textproc.stopwords."""
+
+from repro.textproc.stopwords import stopwords_for, supported_languages
+
+
+class TestStopwords:
+    def test_english_common_words(self):
+        en = stopwords_for("en")
+        for w in ("the", "and", "of", "is", "a"):
+            assert w in en
+
+    def test_italian_common_words(self):
+        it = stopwords_for("it")
+        for w in ("il", "la", "di", "che"):
+            assert w in it
+
+    def test_unknown_language_empty(self):
+        assert stopwords_for("zz") == frozenset()
+
+    def test_supported_languages_sorted(self):
+        langs = supported_languages()
+        assert list(langs) == sorted(langs)
+        assert {"en", "it", "es", "fr", "de"} <= set(langs)
+
+    def test_sets_are_disjoint_enough(self):
+        # languages share some function words, but each list must be
+        # mostly its own
+        en, it = stopwords_for("en"), stopwords_for("it")
+        assert len(en & it) < 0.2 * min(len(en), len(it))
+
+    def test_returns_frozenset(self):
+        assert isinstance(stopwords_for("en"), frozenset)

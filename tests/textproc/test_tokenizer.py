@@ -1,0 +1,53 @@
+"""Unit tests for repro.textproc.tokenizer."""
+
+import pytest
+
+from repro.textproc.tokenizer import ngrams, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Hello WORLD") == ["hello", "world"]
+
+    def test_splits_on_punctuation(self):
+        assert tokenize("a,b;c.d!e?") == ["a", "b", "c", "d", "e"]
+
+    def test_keeps_digits(self):
+        assert tokenize("diablo 3 rocks") == ["diablo", "3", "rocks"]
+
+    def test_clitic_apostrophe_keeps_head(self):
+        assert tokenize("don't isn't we're") == ["don", "isn", "we"]
+
+    def test_non_clitic_apostrophe_joined(self):
+        # "o'brien" — 'brien' is not a clitic, so the parts are joined
+        assert tokenize("o'brien") == ["obrien"]
+
+    def test_min_length_filter(self):
+        assert tokenize("a bb ccc", min_length=2) == ["bb", "ccc"]
+
+    def test_max_length_filter(self):
+        assert tokenize("ok " + "x" * 100, max_length=10) == ["ok"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_underscore_is_separator(self):
+        assert tokenize("snake_case") == ["snake", "case"]
+
+    def test_unicode_words(self):
+        assert tokenize("caffè bar") == ["caffè", "bar"]
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_unigrams(self):
+        assert ngrams(["a", "b"], 1) == [("a",), ("b",)]
+
+    def test_n_longer_than_input(self):
+        assert ngrams(["a"], 3) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
