@@ -1,0 +1,92 @@
+"""Serving-layer benchmark: snapshot warm starts and query caching.
+
+Measures the two claims the serving layer makes:
+
+* **warm start** — loading a finder snapshot must beat a cold build
+  (gather + analyze + index) by at least 5×, since load skips the
+  expensive text/entity analysis entirely;
+* **query cache** — answering the query set from the service's LRU
+  cache must beat uncached evaluation by at least 10× QPS.
+
+The rendered report (cold/save/load times, cached/uncached QPS, p50/p95
+latencies) is written to ``benchmarks/results/serving.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.config import FinderConfig
+from repro.core.expert_finder import ExpertFinder
+from repro.core.service import ExpertSearchService
+
+#: extra cache-served passes over the query set (pass 1 misses)
+_CACHED_ROUNDS = 20
+
+
+def bench_serving(ctx, save_result, tmp_path):
+    dataset = ctx.dataset
+    queries = list(dataset.queries)
+    snapshot_dir = tmp_path / "finder_snapshot"
+
+    # cold build: no pre-analyzed corpus — gather, analyze, index
+    t0 = time.perf_counter()
+    cold_finder = ExpertFinder.build(
+        dataset.merged_graph,
+        dataset.candidates_for(None),
+        dataset.analyzer,
+        FinderConfig(),
+    )
+    cold_build_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    cold_finder.save(snapshot_dir)
+    save_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    loaded_finder = ExpertFinder.load(snapshot_dir, dataset.analyzer)
+    load_s = time.perf_counter() - t0
+
+    # the snapshot must reproduce the cold finder's rankings exactly
+    for need in queries:
+        assert loaded_finder.find_experts(need) == cold_finder.find_experts(need)
+
+    service = ExpertSearchService(loaded_finder, cache_size=len(queries) * 2)
+    t0 = time.perf_counter()
+    service.find_experts_batch(queries, top_k=10)
+    uncached_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(_CACHED_ROUNDS):
+        service.find_experts_batch(queries, top_k=10)
+    cached_s = time.perf_counter() - t0
+
+    uncached_qps = len(queries) / uncached_s
+    cached_qps = len(queries) * _CACHED_ROUNDS / cached_s
+    stats = service.stats
+    lines = [
+        "Serving layer — snapshot warm start and query caching",
+        f"dataset: scale={dataset.scale.value} seed={dataset.seed} "
+        f"({cold_finder.indexed_resources} indexed resources, "
+        f"{len(queries)} queries)",
+        "",
+        f"cold build (gather+analyze+index):  {cold_build_s:8.3f}s",
+        f"snapshot save:                      {save_s:8.3f}s",
+        f"snapshot load (warm start):         {load_s:8.3f}s",
+        f"warm-start speedup:                 {cold_build_s / load_s:7.1f}x",
+        "",
+        f"uncached queries:                   {uncached_qps:8.0f} q/s",
+        f"cached queries:                     {cached_qps:8.0f} q/s",
+        f"cache speedup:                      {cached_qps / uncached_qps:7.1f}x",
+        f"hit rate:                           {stats.hit_rate:8.0%}",
+        f"p50 / p95 latency:            "
+        f"{stats.p50_latency * 1e6:9.1f}µs /{stats.p95_latency * 1e6:9.1f}µs",
+    ]
+    save_result("serving", "\n".join(lines))
+
+    assert load_s * 5 <= cold_build_s, (
+        f"snapshot load ({load_s:.3f}s) not ≥5x faster than "
+        f"cold build ({cold_build_s:.3f}s)"
+    )
+    assert cached_qps >= 10 * uncached_qps, (
+        f"cached QPS ({cached_qps:.0f}) not ≥10x uncached ({uncached_qps:.0f})"
+    )

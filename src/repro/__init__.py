@@ -29,6 +29,7 @@ from repro.core.config import FinderConfig
 from repro.core.expert_finder import ExpertFinder
 from repro.core.need import ExpertiseNeed
 from repro.core.ranking import ExpertScore
+from repro.core.service import ExpertSearchService
 from repro.socialgraph.metamodel import Platform
 from repro.synthetic.dataset import DatasetScale, EvaluationDataset, build_dataset
 
@@ -39,6 +40,7 @@ __all__ = [
     "EvaluationDataset",
     "ExpertFinder",
     "ExpertScore",
+    "ExpertSearchService",
     "ExpertiseNeed",
     "FinderConfig",
     "Platform",

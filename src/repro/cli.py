@@ -5,6 +5,8 @@
     repro dataset --scale small --seed 7 --out data/small   # build & save
     repro info --dataset data/small                          # dataset stats
     repro query "best freestyle swimmer" --dataset data/small --top-k 5
+    repro index --dataset data/small --out data/small.idx    # finder snapshot
+    repro serve-bench --dataset data/small --snapshot data/small.idx
     repro experiments --only tab3,fig7 --scale tiny          # reproduce paper
 
 Every subcommand also works without a saved dataset by generating one
@@ -90,19 +92,21 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_snapshot(path: str, dataset: EvaluationDataset) -> ExpertFinder:
+    from repro.storage.jsonl import StorageFormatError
+
+    try:
+        return ExpertFinder.load(path, dataset.analyzer)
+    except (OSError, EOFError, StorageFormatError) as exc:
+        raise SystemExit(f"error: cannot load snapshot {path}: {exc}") from exc
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args)
-    platform = _PLATFORMS[args.platform]
-    config = FinderConfig(
-        alpha=args.alpha, window=args.window, max_distance=args.distance
-    )
-    finder = ExpertFinder.build(
-        dataset.graph_for(platform),
-        dataset.candidates_for(platform),
-        dataset.analyzer,
-        config,
-        corpus=dataset.corpus,
-    )
+    if args.snapshot:
+        finder = _load_snapshot(args.snapshot, dataset)
+    else:
+        finder = _build_finder(dataset, args)
     experts = finder.find_experts(args.text, top_k=args.top_k)
     if not experts:
         print("no candidate shows matching expertise")
@@ -115,6 +119,67 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"{rank:<5} {label:<22} {expert.score:>10.2f}"
             f" {expert.supporting_resources:>11}"
         )
+    return 0
+
+
+def _build_finder(
+    dataset: EvaluationDataset, args: argparse.Namespace
+) -> ExpertFinder:
+    platform = _PLATFORMS[args.platform]
+    config = FinderConfig(
+        alpha=args.alpha, window=args.window, max_distance=args.distance
+    )
+    return ExpertFinder.build(
+        dataset.graph_for(platform),
+        dataset.candidates_for(platform),
+        dataset.analyzer,
+        config,
+        corpus=dataset.corpus,
+    )
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    t0 = time.time()
+    finder = _build_finder(dataset, args)
+    built = time.time()
+    finder.save(args.out)
+    saved = time.time()
+    print(
+        f"indexed {finder.indexed_resources} resources for "
+        f"{len(dataset.candidates_for(_PLATFORMS[args.platform]))} candidates "
+        f"(build {built - t0:.1f}s, save {saved - built:.1f}s) → {args.out}"
+    )
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.core.service import ExpertSearchService
+
+    dataset = _load_dataset(args)
+    t0 = time.time()
+    if args.snapshot:
+        finder = _load_snapshot(args.snapshot, dataset)
+        source = f"snapshot {args.snapshot}"
+    else:
+        finder = _build_finder(dataset, args)
+        source = "cold build"
+    ready = time.time()
+    service = ExpertSearchService(finder, cache_size=args.cache_size)
+    queries = list(dataset.queries)
+    started = time.time()
+    for _ in range(args.rounds):
+        service.find_experts_batch(queries, top_k=args.top_k)
+    elapsed = time.time() - started
+    stats = service.stats
+    qps = stats.queries / elapsed if elapsed > 0 else float("inf")
+    print(f"finder ready in {ready - t0:.1f}s ({source})")
+    print(
+        f"{stats.queries} queries in {elapsed:.2f}s — {qps:.0f} q/s, "
+        f"hit rate {stats.hit_rate:.0%}, "
+        f"p50 {stats.p50_latency * 1e3:.2f}ms, "
+        f"p95 {stats.p95_latency * 1e3:.2f}ms"
+    )
     return 0
 
 
@@ -185,11 +250,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("text", help="the expertise need")
     _add_dataset_args(p_query)
     p_query.add_argument("--platform", choices=sorted(_PLATFORMS), default="all")
+    p_query.add_argument(
+        "--snapshot", help="warm-start from a snapshot (repro index) instead of building"
+    )
     p_query.add_argument("--top-k", type=int, default=10)
     p_query.add_argument("--alpha", type=float, default=0.6)
     p_query.add_argument("--window", type=int, default=100)
     p_query.add_argument("--distance", type=int, default=2, choices=(0, 1, 2))
     p_query.set_defaults(func=_cmd_query)
+
+    p_index = sub.add_parser(
+        "index", help="build a finder and save its snapshot for warm starts"
+    )
+    _add_dataset_args(p_index)
+    p_index.add_argument("--out", required=True, help="snapshot output directory")
+    p_index.add_argument("--platform", choices=sorted(_PLATFORMS), default="all")
+    p_index.add_argument("--alpha", type=float, default=0.6)
+    p_index.add_argument("--window", type=int, default=100)
+    p_index.add_argument("--distance", type=int, default=2, choices=(0, 1, 2))
+    p_index.set_defaults(func=_cmd_index)
+
+    p_serve = sub.add_parser(
+        "serve-bench", help="serve the query set through the cached service"
+    )
+    _add_dataset_args(p_serve)
+    p_serve.add_argument(
+        "--snapshot", help="warm-start from a snapshot (repro index) instead of building"
+    )
+    p_serve.add_argument("--platform", choices=sorted(_PLATFORMS), default="all")
+    p_serve.add_argument("--alpha", type=float, default=0.6)
+    p_serve.add_argument("--window", type=int, default=100)
+    p_serve.add_argument("--distance", type=int, default=2, choices=(0, 1, 2))
+    p_serve.add_argument("--top-k", type=int, default=10)
+    p_serve.add_argument("--rounds", type=int, default=3, help="passes over the query set")
+    p_serve.add_argument("--cache-size", type=int, default=1024)
+    p_serve.set_defaults(func=_cmd_serve_bench)
 
     p_exp = sub.add_parser("experiments", help="reproduce the paper's tables/figures")
     _add_dataset_args(p_exp)

@@ -16,6 +16,7 @@ from repro.core.need_analysis import DomainScore, NeedAnalyzer
 from repro.core.platform_choice import ChannelRecommendation, PlatformChooser
 from repro.core.ranking import ExpertRanker, ExpertScore
 from repro.core.scoring import apply_window, distance_weight
+from repro.core.service import ExpertSearchService, ServiceStats
 
 __all__ = [
     "ChannelRecommendation",
@@ -23,10 +24,12 @@ __all__ = [
     "ExpertFinder",
     "ExpertRanker",
     "ExpertScore",
+    "ExpertSearchService",
     "ExpertiseNeed",
     "FinderConfig",
     "NeedAnalyzer",
     "PlatformChooser",
+    "ServiceStats",
     "apply_window",
     "distance_weight",
 ]

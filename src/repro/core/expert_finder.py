@@ -15,7 +15,9 @@ under its configuration.
 
 from __future__ import annotations
 
+import pathlib
 from collections.abc import Callable, Mapping, Sequence
+from types import EllipsisType, MappingProxyType
 
 from repro.core.config import FinderConfig
 from repro.core.need import ExpertiseNeed
@@ -31,6 +33,10 @@ from repro.socialgraph.graph import SocialGraph
 #: languages admitted into the index: English resources (paper Sec. 3.1)
 #: plus texts too short for identification (profile fragments)
 _INDEXABLE_LANGUAGES = frozenset({"en", "und"})
+
+#: sentinel for "use the configured window" in rank-time overrides
+#: (``None`` already means "no window", so it cannot double as unset)
+_UNSET: EllipsisType = ...
 
 
 class ExpertFinder:
@@ -140,11 +146,49 @@ class ExpertFinder:
             indexed_count=indexed,
         )
 
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, directory: str | pathlib.Path) -> None:
+        """Persist the built indexes and evidence maps as a snapshot
+        directory (see :mod:`repro.storage.snapshot`), so later processes
+        warm-start with :meth:`load` instead of re-gathering and
+        re-analyzing the evidence."""
+        from repro.storage.snapshot import save_finder
+
+        save_finder(self, directory)
+
+    @classmethod
+    def load(
+        cls, directory: str | pathlib.Path, analyzer: ResourceAnalyzer
+    ) -> "ExpertFinder":
+        """Load a finder from a snapshot written by :meth:`save`.
+
+        *analyzer* must be equivalent to the build-time analyzer (it is
+        code, not state, and is therefore not persisted)."""
+        from repro.storage.snapshot import load_finder
+
+        return load_finder(directory, analyzer)
+
     # -- queries -------------------------------------------------------------------
 
     @property
     def config(self) -> FinderConfig:
         return self._config
+
+    @property
+    def retriever(self) -> VectorSpaceRetriever:
+        """The underlying retriever (read-only use: snapshots, stats)."""
+        return self._retriever
+
+    @property
+    def evidence_of(self) -> Mapping[str, Sequence[tuple[str, int]]]:
+        """Read-only view of the resource → supporters relation."""
+        return MappingProxyType(self._evidence_of)
+
+    @property
+    def evidence_counts(self) -> Mapping[str, int]:
+        """Read-only view of candidate → gathered-evidence counts."""
+        return MappingProxyType(self._evidence_counts)
 
     @property
     def indexed_resources(self) -> int:
@@ -199,23 +243,32 @@ class ExpertFinder:
         return True
 
     def match_resources(
-        self, need: ExpertiseNeed | str, *, alpha: float | None = None
+        self,
+        need: ExpertiseNeed | str,
+        *,
+        alpha: float | None = None,
+        limit: int | None = None,
     ) -> list[ResourceMatch]:
         """The relevant-resource set RR for a need, best first (Eq. 1).
 
         *alpha* overrides the configured value for parameter sweeps —
         the indexes do not depend on it, so no rebuild is needed.
+        *limit* keeps only the best *limit* matches, selected with the
+        retriever's bounded-heap fast path; the prefix is identical to
+        the unlimited result's.
         """
         text = need.text if isinstance(need, ExpertiseNeed) else need
         query = self._analyzer.analyze("__query__", text, language="en")
         effective_alpha = self._config.alpha if alpha is None else alpha
-        return self._retriever.retrieve(query, effective_alpha)
+        if limit is None:
+            return self._retriever.retrieve(query, effective_alpha)
+        return self._retriever.retrieve_top_k(query, effective_alpha, limit)
 
     def rank_matches(
         self,
         matches: Sequence[ResourceMatch],
         *,
-        window: int | float | None | type(...) = ...,
+        window: int | float | None | EllipsisType = _UNSET,
         config: FinderConfig | None = None,
     ) -> list[ExpertScore]:
         """Apply the window and Eq. 3 to an already retrieved match list
@@ -235,7 +288,7 @@ class ExpertFinder:
                     "max_distance and include_friends"
                 )
             ranker = ExpertRanker(self._evidence_of, config)
-        elif window is ...:
+        elif window is _UNSET:
             ranker = self._ranker
         else:
             ranker = ExpertRanker(self._evidence_of, self._config.with_(window=window))
@@ -247,12 +300,25 @@ class ExpertFinder:
         *,
         top_k: int | None = None,
         alpha: float | None = None,
-        window: int | float | None | type(...) = ...,
+        window: int | float | None | EllipsisType = _UNSET,
     ) -> list[ExpertScore]:
         """Rank the candidate experts for *need* (Eq. 3); the full list EX
         unless *top_k* truncates it. *alpha* and *window* override the
         configured values for parameter sweeps (``window=None`` means "no
-        window"; leave it at the default to use the configured window)."""
-        matches = self.match_resources(need, alpha=alpha)
+        window"; leave it at the default to use the configured window).
+
+        When the effective window is an absolute resource count, only
+        the top-window matches can contribute to Eq. 3, so retrieval
+        takes the bounded-heap fast path; fractional and disabled
+        windows depend on the total match count and retrieve fully.
+        """
+        effective_window = self._config.window if window is _UNSET else window
+        limit = (
+            effective_window
+            if isinstance(effective_window, int)
+            and not isinstance(effective_window, bool)
+            else None
+        )
+        matches = self.match_resources(need, alpha=alpha, limit=limit)
         ranked = self.rank_matches(matches, window=window)
         return ranked if top_k is None else ranked[:top_k]

@@ -42,6 +42,13 @@ def distance_weight(
 def window_size(window: int | float | None, total_matches: int) -> int:
     """Resolve the window parameter to an absolute resource count.
 
+    An ``int`` is an absolute count, a ``float`` in (0, 1] a fraction of
+    the matches, ``None`` disables the window (mirroring
+    :class:`~repro.core.config.FinderConfig`). Anything else —
+    fractions outside (0, 1], non-positive counts, bools — is rejected
+    rather than silently reinterpreted (``window=2.0`` used to mean
+    "all", ``window=True`` used to mean 1).
+
     >>> window_size(100, 5000)
     100
     >>> window_size(0.1, 5000)
@@ -53,8 +60,14 @@ def window_size(window: int | float | None, total_matches: int) -> int:
         raise ValueError("total_matches must be non-negative")
     if window is None:
         return total_matches
+    if isinstance(window, bool):
+        raise ValueError("window must be a number or None, not a bool")
     if isinstance(window, float):
+        if not 0.0 < window <= 1.0:
+            raise ValueError(f"fractional window must be in (0, 1], got {window}")
         return min(total_matches, max(1, math.ceil(window * total_matches)))
+    if window <= 0:
+        raise ValueError(f"integer window must be positive, got {window}")
     return min(total_matches, window)
 
 

@@ -1,0 +1,210 @@
+"""Query serving: a warm :class:`ExpertFinder` behind an LRU cache.
+
+The experiments drive finders in batch; a serving deployment instead
+answers a stream of expertise needs, most of them repeats ("who knows
+about X" is heavy-tailed). :class:`ExpertSearchService` wraps one
+finder with
+
+* an LRU result cache keyed by the *normalized* need text plus every
+  parameter that changes the ranking (α, window, top-k), so casing and
+  whitespace variants of one need share an entry;
+* write-through streaming: :meth:`observe` forwards to the finder and
+  invalidates the cache (a new resource changes every irf/eirf ratio,
+  so no cached ranking survives it);
+* per-query latency counters (count, hit/miss split, p50/p95) for the
+  serving benchmarks and operational visibility.
+
+The service is deliberately synchronous and process-local — it is the
+unit a sharded/async tier would replicate, not that tier itself.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from types import EllipsisType
+
+from repro.core.expert_finder import _UNSET, ExpertFinder
+from repro.core.need import ExpertiseNeed
+from repro.core.ranking import ExpertScore
+
+#: cache keys collapse a need to this normal form
+def normalize_need_text(text: str) -> str:
+    """Lower-case and collapse runs of whitespace.
+
+    >>> normalize_need_text("  Best\\tFreestyle  SWIMMER ")
+    'best freestyle swimmer'
+    """
+    return " ".join(text.lower().split())
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Operational counters of one :class:`ExpertSearchService`."""
+
+    queries: int
+    cache_hits: int
+    cache_misses: int
+    cache_size: int
+    observed: int
+    invalidations: int
+    p50_latency: float
+    p95_latency: float
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+
+def _percentile(sorted_values: Sequence[float], percentile: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample (0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {percentile}")
+    rank = max(1, -(-len(sorted_values) * percentile // 100))  # ceil
+    return sorted_values[int(rank) - 1]
+
+
+class ExpertSearchService:
+    """Serve expert-search queries from a warm finder with result caching."""
+
+    def __init__(
+        self,
+        finder: ExpertFinder,
+        *,
+        cache_size: int = 1024,
+        max_latency_samples: int = 8192,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be non-negative, got {cache_size}")
+        if max_latency_samples <= 0:
+            raise ValueError(
+                f"max_latency_samples must be positive, got {max_latency_samples}"
+            )
+        self._finder = finder
+        self._cache: OrderedDict[tuple, tuple[ExpertScore, ...]] = OrderedDict()
+        self._cache_size = cache_size
+        self._clock = clock
+        self._latencies: list[float] = []
+        self._max_latency_samples = max_latency_samples
+        self._queries = 0
+        self._hits = 0
+        self._misses = 0
+        self._observed = 0
+        self._invalidations = 0
+
+    @property
+    def finder(self) -> ExpertFinder:
+        return self._finder
+
+    # -- queries -------------------------------------------------------------------
+
+    def find_experts(
+        self,
+        need: ExpertiseNeed | str,
+        *,
+        top_k: int | None = None,
+        alpha: float | None = None,
+        window: int | float | None | EllipsisType = _UNSET,
+    ) -> list[ExpertScore]:
+        """Answer one expertise need; same contract as
+        :meth:`ExpertFinder.find_experts`, served from the cache when an
+        equivalent query was already answered."""
+        text = need.text if isinstance(need, ExpertiseNeed) else need
+        key = (normalize_need_text(text), alpha, window, top_k)
+        started = self._clock()
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self._hits += 1
+            result = list(cached)
+        else:
+            self._misses += 1
+            result = self._finder.find_experts(
+                need, top_k=top_k, alpha=alpha, window=window
+            )
+            if self._cache_size:
+                self._cache[key] = tuple(result)
+                if len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        self._queries += 1
+        self._record_latency(self._clock() - started)
+        return result
+
+    def find_experts_batch(
+        self,
+        needs: Sequence[ExpertiseNeed | str],
+        *,
+        top_k: int | None = None,
+        alpha: float | None = None,
+        window: int | float | None | EllipsisType = _UNSET,
+    ) -> list[list[ExpertScore]]:
+        """Answer several needs under one parameter setting, in order.
+
+        Duplicate needs within the batch hit the cache like repeated
+        single queries would."""
+        return [
+            self.find_experts(need, top_k=top_k, alpha=alpha, window=window)
+            for need in needs
+        ]
+
+    # -- streaming updates --------------------------------------------------------
+
+    def observe(
+        self,
+        node_id: str,
+        text: str,
+        supporters: Sequence[tuple[str, int]],
+        *,
+        language: str | None = None,
+    ) -> bool:
+        """Forward one new resource to the finder and invalidate the
+        cache — streamed evidence changes every collection-frequency
+        ratio, so no cached ranking stays valid."""
+        indexed = self._finder.observe(
+            node_id, text, supporters, language=language
+        )
+        self._observed += 1
+        self.invalidate()
+        return indexed
+
+    def invalidate(self) -> None:
+        """Drop every cached result (counted in :attr:`stats`)."""
+        self._cache.clear()
+        self._invalidations += 1
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def cached_results(self) -> int:
+        return len(self._cache)
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Nearest-rank latency percentile over the recorded samples
+        (seconds; 0.0 before the first query)."""
+        return _percentile(sorted(self._latencies), percentile)
+
+    @property
+    def stats(self) -> ServiceStats:
+        ordered = sorted(self._latencies)
+        return ServiceStats(
+            queries=self._queries,
+            cache_hits=self._hits,
+            cache_misses=self._misses,
+            cache_size=len(self._cache),
+            observed=self._observed,
+            invalidations=self._invalidations,
+            p50_latency=_percentile(ordered, 50),
+            p95_latency=_percentile(ordered, 95),
+        )
+
+    def _record_latency(self, elapsed: float) -> None:
+        # bound the sample buffer by halving it (keeping recent samples)
+        # so long-running services don't grow without limit
+        if len(self._latencies) >= self._max_latency_samples:
+            del self._latencies[: len(self._latencies) // 2]
+        self._latencies.append(elapsed)

@@ -155,8 +155,19 @@ def evaluate_finder(
     queries with its ground truth."""
     ground_truth = dataset.ground_truth
     outcomes: list[QueryOutcome] = []
+    full_pipeline = hasattr(finder, "match_resources") and hasattr(
+        finder, "rank_matches"
+    )
     for need in queries if queries is not None else dataset.queries:
-        experts = finder.find_experts(need)
+        if full_pipeline:
+            # split retrieval from ranking so the true RR size is known
+            matches = finder.match_resources(need)
+            experts = finder.rank_matches(matches)
+            matched = len(matches)
+        else:
+            # baselines expose only the ranked list; report its size
+            experts = finder.find_experts(need)
+            matched = len(experts)
         ranking = tuple(e.candidate_id for e in experts)
         relevant = ground_truth.experts(need.domain)
         gains = {
@@ -168,7 +179,7 @@ def evaluate_finder(
                 ranking=ranking,
                 relevant=relevant,
                 gains=gains,
-                matched_resources=0,
+                matched_resources=matched,
             )
         )
     return EvaluationResult(outcomes)

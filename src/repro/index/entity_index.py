@@ -8,6 +8,7 @@ recognized in the document — the quantity Eq. 2 turns into the weight
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass
 
 
@@ -63,3 +64,33 @@ class EntityIndex:
 
     def entities(self) -> tuple[str, ...]:
         return tuple(self._postings)
+
+    # -- snapshot support ----------------------------------------------------------
+
+    def doc_ids(self) -> frozenset[str]:
+        """Every indexed document id (including entity-less documents)."""
+        return frozenset(self._doc_ids)
+
+    def items(self) -> Iterator[tuple[str, tuple[EntityPosting, ...]]]:
+        """Iterate ``(uri, postings)`` pairs in index order."""
+        for uri, postings in self._postings.items():
+            yield uri, tuple(postings)
+
+    @classmethod
+    def restore(
+        cls,
+        doc_ids: Iterable[str],
+        postings: Mapping[str, Sequence[EntityPosting]],
+    ) -> "EntityIndex":
+        """Rebuild an index from snapshot state, preserving postings
+        order (which fixes the float summation order of retrieval)."""
+        index = cls()
+        index._doc_ids = set(doc_ids)
+        for uri, plist in postings.items():
+            for posting in plist:
+                if posting.doc_id not in index._doc_ids:
+                    raise ValueError(
+                        f"posting for unknown document {posting.doc_id!r}"
+                    )
+            index._postings[uri] = list(plist)
+        return index

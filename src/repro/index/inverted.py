@@ -7,6 +7,7 @@ insertion order, which the append-only build makes deterministic.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass
 
 
@@ -59,3 +60,33 @@ class InvertedIndex:
 
     def terms(self) -> tuple[str, ...]:
         return tuple(self._postings)
+
+    # -- snapshot support ----------------------------------------------------------
+
+    def doc_ids(self) -> frozenset[str]:
+        """Every indexed document id (including term-less documents)."""
+        return frozenset(self._doc_ids)
+
+    def items(self) -> Iterator[tuple[str, tuple[Posting, ...]]]:
+        """Iterate ``(term, postings)`` pairs in index order."""
+        for term, postings in self._postings.items():
+            yield term, tuple(postings)
+
+    @classmethod
+    def restore(
+        cls,
+        doc_ids: Iterable[str],
+        postings: Mapping[str, Sequence[Posting]],
+    ) -> "InvertedIndex":
+        """Rebuild an index from snapshot state, preserving postings
+        order (which fixes the float summation order of retrieval)."""
+        index = cls()
+        index._doc_ids = set(doc_ids)
+        for term, plist in postings.items():
+            for posting in plist:
+                if posting.doc_id not in index._doc_ids:
+                    raise ValueError(
+                        f"posting for unknown document {posting.doc_id!r}"
+                    )
+            index._postings[term] = list(plist)
+        return index

@@ -13,11 +13,17 @@ against entity matching; the paper settles on α = 0.6 (Sec. 3.3.2).
 
 The implementation is document-at-a-time over the union of the query's
 postings lists, so cost scales with the number of matching resources,
-not with the collection size.
+not with the collection size. The per-posting products ``tf · irf²``
+and ``ef · eirf² · we`` do not depend on the query, so they are
+memoized per term/entity and invalidated together with the collection
+statistics; :meth:`VectorSpaceRetriever.retrieve_top_k` additionally
+replaces the full sort with a bounded heap for the serving hot path.
 """
 
 from __future__ import annotations
 
+import heapq
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 from repro.index.analyzer import AnalyzedResource
@@ -48,6 +54,12 @@ def entity_weight(d_score: float) -> float:
     return 1.0 + d_score if d_score > 0.0 else 0.0
 
 
+#: sort key shared by the full sort and the bounded heap, so
+#: ``retrieve_top_k(q, α, k) == retrieve(q, α)[:k]`` holds exactly
+def _match_order(match: ResourceMatch) -> tuple[float, str]:
+    return (-match.score, match.doc_id)
+
+
 class VectorSpaceRetriever:
     """Score and rank resources for an expertise need."""
 
@@ -65,23 +77,80 @@ class VectorSpaceRetriever:
         # Eq. 1 squares irf/eirf; the exponent is exposed for the
         # bench_ablation_scoring experiment.
         self._idf_exponent = idf_exponent
+        # query-independent per-posting weights: term → ((doc, tf·irf^p)…)
+        # and entity → ((doc, ef·eirf^p·we)…); valid only as long as the
+        # collection statistics are, so both are invalidated together
+        self._term_weights: dict[str, tuple[tuple[str, float], ...]] = {}
+        self._entity_weights: dict[str, tuple[tuple[str, float], ...]] = {}
 
     @property
     def statistics(self) -> CollectionStatistics:
         return self._stats
+
+    @property
+    def term_index(self) -> InvertedIndex:
+        """The underlying term index (read-only use: snapshots, stats)."""
+        return self._terms
+
+    @property
+    def entity_index(self) -> EntityIndex:
+        """The underlying entity index (read-only use: snapshots, stats)."""
+        return self._entities
+
+    def invalidate(self) -> None:
+        """Drop the collection statistics and the memoized per-posting
+        weights. Must be called after the underlying indexes change."""
+        self._stats.invalidate()
+        self._term_weights.clear()
+        self._entity_weights.clear()
 
     def add_document(self, analyzed: AnalyzedResource) -> None:
         """Append one document to both indexes (streaming updates) and
         invalidate the cached collection statistics."""
         self._terms.add_document(analyzed.doc_id, analyzed.term_counts)
         self._entities.add_document(analyzed.doc_id, analyzed.entity_counts)
-        self._stats.invalidate()
+        self.invalidate()
 
-    def retrieve(self, query: AnalyzedResource, alpha: float) -> list[ResourceMatch]:
-        """All resources with positive score for *query*, best first.
+    # -- per-posting weight memoization -------------------------------------------
 
-        Ties are broken by doc id so rankings are fully deterministic.
-        """
+    def _weighted_term_postings(self, term: str) -> tuple[tuple[str, float], ...]:
+        cached = self._term_weights.get(term)
+        if cached is None:
+            weight = self._stats.irf(term) ** self._idf_exponent
+            if weight == 0.0:
+                cached = ()
+            else:
+                cached = tuple(
+                    (posting.doc_id, posting.term_frequency * weight)
+                    for posting in self._terms.postings(term)
+                )
+            self._term_weights[term] = cached
+        return cached
+
+    def _weighted_entity_postings(self, uri: str) -> tuple[tuple[str, float], ...]:
+        cached = self._entity_weights.get(uri)
+        if cached is None:
+            weight = self._stats.eirf(uri) ** self._idf_exponent
+            if weight == 0.0:
+                cached = ()
+            else:
+                cached = tuple(
+                    (
+                        posting.doc_id,
+                        posting.entity_frequency
+                        * weight
+                        * entity_weight(posting.d_score),
+                    )
+                    for posting in self._entities.postings(uri)
+                )
+            self._entity_weights[uri] = cached
+        return cached
+
+    # -- retrieval -----------------------------------------------------------------
+
+    def _matches(self, query: AnalyzedResource, alpha: float) -> Iterator[ResourceMatch]:
+        """Accumulate Eq.-1 scores document-at-a-time; yields every
+        resource with positive combined score, in no particular order."""
         if not 0.0 <= alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {alpha}")
         term_scores: dict[str, float] = {}
@@ -89,41 +158,47 @@ class VectorSpaceRetriever:
 
         if alpha > 0.0:
             for term in query.term_counts:
-                weight = self._stats.irf(term) ** self._idf_exponent
-                if weight == 0.0:
-                    continue
-                for posting in self._terms.postings(term):
-                    term_scores[posting.doc_id] = (
-                        term_scores.get(posting.doc_id, 0.0)
-                        + posting.term_frequency * weight
-                    )
+                for doc_id, weighted in self._weighted_term_postings(term):
+                    term_scores[doc_id] = term_scores.get(doc_id, 0.0) + weighted
 
         if alpha < 1.0:
             for uri in query.entity_counts:
-                weight = self._stats.eirf(uri) ** self._idf_exponent
-                if weight == 0.0:
-                    continue
-                for posting in self._entities.postings(uri):
-                    entity_scores[posting.doc_id] = (
-                        entity_scores.get(posting.doc_id, 0.0)
-                        + posting.entity_frequency
-                        * weight
-                        * entity_weight(posting.d_score)
-                    )
+                for doc_id, weighted in self._weighted_entity_postings(uri):
+                    entity_scores[doc_id] = entity_scores.get(doc_id, 0.0) + weighted
 
-        matches = []
         for doc_id in term_scores.keys() | entity_scores.keys():
             t_score = term_scores.get(doc_id, 0.0)
             e_score = entity_scores.get(doc_id, 0.0)
             combined = alpha * t_score + (1.0 - alpha) * e_score
             if combined > 0.0:
-                matches.append(
-                    ResourceMatch(
-                        doc_id=doc_id,
-                        score=combined,
-                        term_score=t_score,
-                        entity_score=e_score,
-                    )
+                yield ResourceMatch(
+                    doc_id=doc_id,
+                    score=combined,
+                    term_score=t_score,
+                    entity_score=e_score,
                 )
-        matches.sort(key=lambda m: (-m.score, m.doc_id))
+
+    def retrieve(self, query: AnalyzedResource, alpha: float) -> list[ResourceMatch]:
+        """All resources with positive score for *query*, best first.
+
+        Ties are broken by doc id so rankings are fully deterministic.
+        """
+        matches = list(self._matches(query, alpha))
+        matches.sort(key=_match_order)
         return matches
+
+    def retrieve_top_k(
+        self, query: AnalyzedResource, alpha: float, k: int
+    ) -> list[ResourceMatch]:
+        """The best *k* resources for *query* — exactly
+        ``retrieve(query, alpha)[:k]``, including the doc-id tie break,
+        but selected with a bounded heap instead of a full sort, so the
+        sort cost is O(n log k) over the n matching resources."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        if k == 0:
+            # still validates alpha, like the full retrieval would
+            if not 0.0 <= alpha <= 1.0:
+                raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+            return []
+        return heapq.nsmallest(k, self._matches(query, alpha), key=_match_order)

@@ -20,13 +20,16 @@ from repro.storage.cache import load_or_build
 from repro.storage.corpus_io import load_corpus, save_corpus
 from repro.storage.dataset_io import load_dataset, save_dataset
 from repro.storage.graph_io import load_graph, save_graph
+from repro.storage.snapshot import load_finder, save_finder
 
 __all__ = [
     "load_corpus",
     "load_dataset",
+    "load_finder",
     "load_graph",
     "load_or_build",
     "save_corpus",
     "save_dataset",
+    "save_finder",
     "save_graph",
 ]

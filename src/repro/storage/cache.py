@@ -1,23 +1,56 @@
 """Dataset caching: build once, load from disk afterwards.
 
 ``load_or_build`` keys the cache directory by (scale, seed), so every
-distinct configuration gets its own copy; a corrupted or
-version-incompatible cache is rebuilt, never trusted.
+distinct configuration gets its own copy. Each cache directory carries
+a version stamp (``cache_version.json``): a cache written under a
+different cache layout or storage format is rebuilt, never trusted —
+a stale layout that happens to parse would silently feed the finder
+wrong data.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 import shutil
 
 from repro.storage.dataset_io import load_dataset, save_dataset
-from repro.storage.jsonl import StorageFormatError
+from repro.storage.jsonl import FORMAT_VERSION, StorageFormatError
 from repro.synthetic.dataset import DatasetScale, EvaluationDataset, build_dataset
+
+#: bump when the cached dataset directory layout changes (which files
+#: exist, what they contain) without the per-file jsonl version moving
+CACHE_FORMAT_VERSION = 1
+
+_STAMP_NAME = "cache_version.json"
 
 
 def cache_path(root: str | pathlib.Path, scale: DatasetScale, seed: int) -> pathlib.Path:
     """The cache directory for one (scale, seed) configuration."""
     return pathlib.Path(root) / f"dataset_{scale.value}_seed{seed}"
+
+
+def _write_stamp(directory: pathlib.Path) -> None:
+    stamp = {
+        "format": "repro-dataset-cache",
+        "cache_version": CACHE_FORMAT_VERSION,
+        "jsonl_version": FORMAT_VERSION,
+    }
+    (directory / _STAMP_NAME).write_text(json.dumps(stamp), encoding="utf-8")
+
+
+def _stamp_is_current(directory: pathlib.Path) -> bool:
+    """True when the directory carries a stamp matching this code."""
+    try:
+        stamp = json.loads((directory / _STAMP_NAME).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return False
+    return (
+        isinstance(stamp, dict)
+        and stamp.get("format") == "repro-dataset-cache"
+        and stamp.get("cache_version") == CACHE_FORMAT_VERSION
+        and stamp.get("jsonl_version") == FORMAT_VERSION
+    )
 
 
 def load_or_build(
@@ -30,14 +63,18 @@ def load_or_build(
     """Return the (scale, seed) dataset, from cache when possible.
 
     *refresh* forces a rebuild. A cache that fails to load (partial
-    write, format change) is discarded and rebuilt.
+    write, format change) or whose version stamp is missing or stale is
+    discarded and rebuilt.
     """
     directory = cache_path(root, scale, seed)
     if not refresh and directory.is_dir():
-        try:
-            return load_dataset(directory)
-        except (StorageFormatError, FileNotFoundError, KeyError, ValueError):
-            shutil.rmtree(directory, ignore_errors=True)
+        if _stamp_is_current(directory):
+            try:
+                return load_dataset(directory)
+            except (StorageFormatError, FileNotFoundError, KeyError, ValueError):
+                pass
+        shutil.rmtree(directory, ignore_errors=True)
     dataset = build_dataset(scale, seed)
     save_dataset(dataset, directory)
+    _write_stamp(directory)
     return dataset

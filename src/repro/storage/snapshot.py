@@ -1,0 +1,239 @@
+"""Finder index snapshots: persist a built :class:`ExpertFinder`.
+
+Building a finder is dominated by evidence gathering and text/entity
+analysis; serving deployments want to pay that once, persist the result,
+and warm-start query processes from disk (cf. production expert-mining
+systems, which serve ranked top-k from precomputed per-candidate
+indexes). A snapshot directory captures everything query evaluation
+needs — the two inverted indexes, the evidence relation, and the build
+configuration — and nothing generation-time:
+
+``meta.jsonl``
+    snapshot version, the :class:`~repro.core.config.FinderConfig`, the
+    indexed-resource count, and per-candidate evidence counts;
+``term_index.jsonl.gz``
+    indexed doc ids, then one record per term with its postings list;
+``entity_index.jsonl.gz``
+    indexed doc ids, then one record per entity with its postings list;
+``evidence.jsonl.gz``
+    one record per evidence resource with its supporting
+    ``(candidate, distance)`` pairs.
+
+Postings lists are stored in index order, so a loaded finder repeats
+the builder's float summation order exactly — rankings round-trip
+byte-identically. The text analyzer is *not* persisted (it is code, not
+state); :func:`load_finder` takes it as an argument.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections.abc import Iterator
+from typing import Any
+
+from repro.core.config import FinderConfig
+from repro.core.expert_finder import ExpertFinder
+from repro.index.analyzer import ResourceAnalyzer
+from repro.index.entity_index import EntityIndex, EntityPosting
+from repro.index.inverted import InvertedIndex, Posting
+from repro.index.statistics import CollectionStatistics
+from repro.index.vsm import VectorSpaceRetriever
+from repro.storage.jsonl import StorageFormatError, read_records, write_records
+
+#: bump when the snapshot directory layout or record shapes change;
+#: loaders refuse mismatched snapshots instead of guessing
+SNAPSHOT_VERSION = 1
+
+META_KIND = "finder-snapshot-meta"
+TERM_INDEX_KIND = "finder-term-index"
+ENTITY_INDEX_KIND = "finder-entity-index"
+EVIDENCE_KIND = "finder-evidence"
+
+_META_FILE = "meta.jsonl"
+_TERM_FILE = "term_index.jsonl.gz"
+_ENTITY_FILE = "entity_index.jsonl.gz"
+_EVIDENCE_FILE = "evidence.jsonl.gz"
+
+_CONFIG_FIELDS = (
+    "alpha",
+    "window",
+    "max_distance",
+    "weight_interval",
+    "include_friends",
+    "idf_exponent",
+    "normalize",
+)
+
+
+def save_finder(finder: ExpertFinder, directory: str | pathlib.Path) -> None:
+    """Write *finder*'s snapshot under *directory* (created if missing)."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    config = finder.config
+    retriever = finder.retriever
+
+    def meta_records() -> Iterator[dict[str, Any]]:
+        yield {"type": "snapshot", "snapshot_version": SNAPSHOT_VERSION}
+        record: dict[str, Any] = {"type": "config"}
+        for name in _CONFIG_FIELDS:
+            value = getattr(config, name)
+            record[name] = list(value) if isinstance(value, tuple) else value
+        yield record
+        yield {"type": "counts", "indexed": finder.indexed_resources}
+        for cid in sorted(finder.evidence_counts):
+            yield {
+                "type": "candidate",
+                "id": cid,
+                "evidence": finder.evidence_counts[cid],
+            }
+
+    def term_records() -> Iterator[dict[str, Any]]:
+        yield {"type": "docs", "ids": sorted(retriever.term_index.doc_ids())}
+        for term, postings in retriever.term_index.items():
+            yield {
+                "type": "term",
+                "t": term,
+                "p": [[p.doc_id, p.term_frequency] for p in postings],
+            }
+
+    def entity_records() -> Iterator[dict[str, Any]]:
+        yield {"type": "docs", "ids": sorted(retriever.entity_index.doc_ids())}
+        for uri, postings in retriever.entity_index.items():
+            yield {
+                "type": "entity",
+                "e": uri,
+                "p": [
+                    [p.doc_id, p.entity_frequency, p.d_score] for p in postings
+                ],
+            }
+
+    def evidence_records() -> Iterator[dict[str, Any]]:
+        for doc_id, supporters in finder.evidence_of.items():
+            yield {
+                "type": "evidence",
+                "doc": doc_id,
+                "s": [[cid, distance] for cid, distance in supporters],
+            }
+
+    write_records(directory / _META_FILE, META_KIND, meta_records())
+    write_records(directory / _TERM_FILE, TERM_INDEX_KIND, term_records())
+    write_records(directory / _ENTITY_FILE, ENTITY_INDEX_KIND, entity_records())
+    write_records(directory / _EVIDENCE_FILE, EVIDENCE_KIND, evidence_records())
+
+
+def _load_meta(path: pathlib.Path) -> tuple[FinderConfig, int, dict[str, int]]:
+    version: int | None = None
+    config: FinderConfig | None = None
+    indexed: int | None = None
+    evidence_counts: dict[str, int] = {}
+    for record in read_records(path, META_KIND):
+        rtype = record.get("type")
+        if rtype == "snapshot":
+            version = record.get("snapshot_version")
+            if version != SNAPSHOT_VERSION:
+                raise StorageFormatError(
+                    f"{path}: unsupported snapshot version {version!r}"
+                )
+        elif rtype == "config":
+            try:
+                kwargs = {name: record[name] for name in _CONFIG_FIELDS}
+            except KeyError as exc:
+                raise StorageFormatError(
+                    f"{path}: config record missing field {exc.args[0]!r}"
+                ) from exc
+            kwargs["weight_interval"] = tuple(kwargs["weight_interval"])
+            config = FinderConfig(**kwargs)
+        elif rtype == "counts":
+            indexed = record["indexed"]
+        elif rtype == "candidate":
+            evidence_counts[record["id"]] = record["evidence"]
+        else:
+            raise StorageFormatError(f"{path}: unknown meta record type {rtype!r}")
+    if version is None or config is None or indexed is None:
+        raise StorageFormatError(f"{path}: incomplete snapshot metadata")
+    return config, indexed, evidence_counts
+
+
+def _load_term_index(path: pathlib.Path) -> InvertedIndex:
+    doc_ids: list[str] | None = None
+    postings: dict[str, list[Posting]] = {}
+    for record in read_records(path, TERM_INDEX_KIND):
+        rtype = record.get("type")
+        if rtype == "docs":
+            doc_ids = record["ids"]
+        elif rtype == "term":
+            postings[record["t"]] = [
+                Posting(doc_id, frequency) for doc_id, frequency in record["p"]
+            ]
+        else:
+            raise StorageFormatError(f"{path}: unknown record type {rtype!r}")
+    if doc_ids is None:
+        raise StorageFormatError(f"{path}: missing docs record")
+    return InvertedIndex.restore(doc_ids, postings)
+
+
+def _load_entity_index(path: pathlib.Path) -> EntityIndex:
+    doc_ids: list[str] | None = None
+    postings: dict[str, list[EntityPosting]] = {}
+    for record in read_records(path, ENTITY_INDEX_KIND):
+        rtype = record.get("type")
+        if rtype == "docs":
+            doc_ids = record["ids"]
+        elif rtype == "entity":
+            postings[record["e"]] = [
+                EntityPosting(doc_id, frequency, d_score)
+                for doc_id, frequency, d_score in record["p"]
+            ]
+        else:
+            raise StorageFormatError(f"{path}: unknown record type {rtype!r}")
+    if doc_ids is None:
+        raise StorageFormatError(f"{path}: missing docs record")
+    return EntityIndex.restore(doc_ids, postings)
+
+
+def _load_evidence(path: pathlib.Path) -> dict[str, list[tuple[str, int]]]:
+    evidence_of: dict[str, list[tuple[str, int]]] = {}
+    for record in read_records(path, EVIDENCE_KIND):
+        if record.get("type") != "evidence":
+            raise StorageFormatError(
+                f"{path}: unknown record type {record.get('type')!r}"
+            )
+        evidence_of[record["doc"]] = [
+            (cid, distance) for cid, distance in record["s"]
+        ]
+    return evidence_of
+
+
+def load_finder(
+    directory: str | pathlib.Path, analyzer: ResourceAnalyzer
+) -> ExpertFinder:
+    """Load a finder previously written by :func:`save_finder`.
+
+    *analyzer* must be equivalent to the one the finder was built with —
+    it analyzes incoming queries (and streamed resources), and the paper
+    requires need and resource analysis to be symmetric (Sec. 2.3).
+    """
+    directory = pathlib.Path(directory)
+    try:
+        config, indexed, evidence_counts = _load_meta(directory / _META_FILE)
+        term_index = _load_term_index(directory / _TERM_FILE)
+        entity_index = _load_entity_index(directory / _ENTITY_FILE)
+        evidence_of = _load_evidence(directory / _EVIDENCE_FILE)
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, StorageFormatError):
+            raise
+        raise StorageFormatError(f"{directory}: malformed snapshot: {exc}") from exc
+    retriever = VectorSpaceRetriever(
+        term_index,
+        entity_index,
+        CollectionStatistics(term_index, entity_index),
+        idf_exponent=config.idf_exponent,
+    )
+    return ExpertFinder(
+        analyzer,
+        retriever,
+        evidence_of,
+        config,
+        evidence_counts=evidence_counts,
+        indexed_count=indexed,
+    )

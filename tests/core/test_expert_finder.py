@@ -147,3 +147,21 @@ class TestBuildValidation:
         windowed = finder.find_experts("best freestyle swimmer", window=1)
         full = finder.find_experts("best freestyle swimmer", window=None)
         assert len(windowed) <= len(full)
+
+
+class TestTopKFastPath:
+    def test_int_window_fast_path_matches_full_retrieval(self, finder):
+        """find_experts takes the bounded-heap retrieval when the window
+        is an absolute count; the ranking must be unchanged."""
+        need = "best freestyle swimming"
+        for window in (1, 2, 100):
+            fast = finder.find_experts(need, window=window)
+            matches = finder.match_resources(need)
+            slow = finder.rank_matches(matches, window=window)
+            assert fast == slow
+
+    def test_match_resources_limit_prefix(self, finder):
+        need = "best freestyle swimming"
+        full = finder.match_resources(need)
+        for k in range(len(full) + 2):
+            assert finder.match_resources(need, limit=k) == full[:k]

@@ -62,6 +62,31 @@ class TestWindowSize:
         with pytest.raises(ValueError):
             window_size(10, -1)
 
+    def test_bool_rejected(self):
+        # bool is an int subclass; window=True used to silently mean 1
+        with pytest.raises(ValueError):
+            window_size(True, 100)
+        with pytest.raises(ValueError):
+            window_size(False, 100)
+
+    def test_fraction_above_one_rejected(self):
+        # window=2.0 used to silently mean "all matches"
+        with pytest.raises(ValueError):
+            window_size(2.0, 100)
+
+    def test_zero_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            window_size(0.0, 100)
+
+    def test_non_positive_int_rejected(self):
+        with pytest.raises(ValueError):
+            window_size(-5, 100)
+        with pytest.raises(ValueError):
+            window_size(0, 100)
+
+    def test_fraction_of_one_keeps_all(self):
+        assert window_size(1.0, 42) == 42
+
 
 class TestApplyWindow:
     def test_keeps_top(self):

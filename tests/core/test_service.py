@@ -1,0 +1,154 @@
+"""Tests for the cached query-serving layer."""
+
+import pytest
+
+from repro.core.config import FinderConfig
+from repro.core.expert_finder import ExpertFinder
+from repro.core.service import ExpertSearchService, normalize_need_text
+from repro.socialgraph.graph import SocialGraph
+from repro.socialgraph.metamodel import Platform, RelationKind, Resource, UserProfile
+
+
+@pytest.fixture
+def finder(analyzer):
+    g = SocialGraph(Platform.TWITTER)
+    for pid in ("alice", "bob"):
+        g.add_profile(
+            UserProfile(profile_id=pid, platform=Platform.TWITTER, display_name=pid)
+        )
+    g.add_resource(
+        Resource(resource_id="t1", platform=Platform.TWITTER,
+                 text="freestyle swimming training at the pool", language="en")
+    )
+    g.add_resource(
+        Resource(resource_id="t2", platform=Platform.TWITTER,
+                 text="guitar chords and a new rock song", language="en")
+    )
+    g.link_resource("alice", "t1", RelationKind.CREATES)
+    g.link_resource("bob", "t2", RelationKind.CREATES)
+    return ExpertFinder.build(
+        g, ("alice", "bob"), analyzer, FinderConfig(window=None)
+    )
+
+
+@pytest.fixture
+def service(finder):
+    return ExpertSearchService(finder)
+
+
+class TestNormalization:
+    def test_collapses_case_and_whitespace(self):
+        assert normalize_need_text("  Best\tFreestyle  SWIMMER ") == (
+            "best freestyle swimmer"
+        )
+
+
+class TestCaching:
+    def test_repeat_query_hits_cache(self, service):
+        first = service.find_experts("freestyle swimming")
+        second = service.find_experts("freestyle swimming")
+        assert first == second
+        stats = service.stats
+        assert (stats.cache_misses, stats.cache_hits) == (1, 1)
+
+    def test_normalized_variants_share_entry(self, service):
+        first = service.find_experts("freestyle swimming")
+        second = service.find_experts("  FREESTYLE   Swimming ")
+        assert first == second
+        assert service.stats.cache_hits == 1
+        assert service.cached_results == 1
+
+    def test_parameters_key_the_cache(self, service):
+        service.find_experts("freestyle swimming")
+        service.find_experts("freestyle swimming", top_k=1)
+        service.find_experts("freestyle swimming", alpha=1.0)
+        service.find_experts("freestyle swimming", window=None)
+        assert service.stats.cache_hits == 0
+        assert service.cached_results == 4
+
+    def test_cached_result_is_a_copy(self, service):
+        first = service.find_experts("freestyle swimming")
+        first.append("junk")
+        assert service.find_experts("freestyle swimming") != first
+
+    def test_lru_eviction(self, finder):
+        service = ExpertSearchService(finder, cache_size=2)
+        service.find_experts("freestyle swimming")
+        service.find_experts("rock guitar")
+        service.find_experts("pasta recipe")  # evicts the oldest entry
+        assert service.cached_results == 2
+        service.find_experts("freestyle swimming")
+        assert service.stats.cache_hits == 0  # evicted → recomputed
+
+    def test_lru_refreshes_on_hit(self, finder):
+        service = ExpertSearchService(finder, cache_size=2)
+        service.find_experts("freestyle swimming")
+        service.find_experts("rock guitar")
+        service.find_experts("freestyle swimming")  # refresh: now most recent
+        service.find_experts("pasta recipe")  # evicts "rock guitar"
+        service.find_experts("freestyle swimming")
+        assert service.stats.cache_hits == 2
+
+    def test_zero_cache_size_disables_caching(self, finder):
+        service = ExpertSearchService(finder, cache_size=0)
+        service.find_experts("freestyle swimming")
+        service.find_experts("freestyle swimming")
+        stats = service.stats
+        assert stats.cache_hits == 0
+        assert stats.cache_misses == 2
+        assert service.cached_results == 0
+
+    def test_negative_cache_size_rejected(self, finder):
+        with pytest.raises(ValueError):
+            ExpertSearchService(finder, cache_size=-1)
+
+
+class TestObserve:
+    def test_observe_invalidates_cache(self, service):
+        stale = service.find_experts("theremin concert")
+        assert stale == []
+        assert service.observe(
+            "s:new:1", "an amazing theremin concert last night", [("bob", 1)]
+        )
+        fresh = service.find_experts("theremin concert")
+        assert [e.candidate_id for e in fresh] == ["bob"]
+        stats = service.stats
+        assert stats.cache_misses == 2  # second query recomputed, not served stale
+        assert stats.observed == 1
+        assert stats.invalidations == 1
+
+    def test_observe_returns_finder_verdict(self, service, finder):
+        before = finder.indexed_resources
+        assert service.observe("s:new:2", "guitar solo cover", [("bob", 1)])
+        assert finder.indexed_resources == before + 1
+
+
+class TestBatchAndStats:
+    def test_batch_matches_single_queries(self, service, finder):
+        needs = ["freestyle swimming", "rock guitar", "freestyle swimming"]
+        batched = service.find_experts_batch(needs, top_k=5)
+        assert batched == [
+            finder.find_experts(need, top_k=5) for need in needs
+        ]
+        stats = service.stats
+        assert stats.queries == 3
+        assert stats.cache_hits == 1  # the duplicated need
+
+    def test_latency_counters(self, service):
+        assert service.stats.p50_latency == 0.0
+        for _ in range(4):
+            service.find_experts("freestyle swimming")
+        stats = service.stats
+        assert stats.p50_latency > 0.0
+        assert stats.p95_latency >= stats.p50_latency
+        assert service.latency_percentile(100) >= stats.p95_latency
+
+    def test_latency_buffer_bounded(self, finder):
+        service = ExpertSearchService(finder, max_latency_samples=8)
+        for _ in range(50):
+            service.find_experts("freestyle swimming")
+        assert len(service._latencies) <= 8
+        assert service.stats.queries == 50
+
+    def test_hit_rate_empty(self, service):
+        assert service.stats.hit_rate == 0.0

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import FinderConfig
-from repro.evaluation.runner import EvaluationResult, QueryOutcome
+from repro.evaluation.runner import EvaluationResult, QueryOutcome, evaluate_finder
 from repro.socialgraph.metamodel import Platform
 
 
@@ -44,6 +44,39 @@ class TestRun:
         queries = tiny_context.dataset.queries[:3]
         result = tiny_context.runner.run(None, FinderConfig(), queries=queries)
         assert len(result.outcomes) == 3
+
+
+class TestEvaluateFinder:
+    def test_matched_resources_is_real_match_count(self, tiny_context):
+        """evaluate_finder used to hardcode matched_resources=0; it must
+        report the finder's actual RR size, agreeing with runner.run."""
+        dataset = tiny_context.dataset
+        finder = tiny_context.runner.finder(None, FinderConfig())
+        queries = dataset.queries[:5]
+        result = evaluate_finder(dataset, finder, queries)
+        expected = tiny_context.runner.run(None, FinderConfig(), queries=queries)
+        assert [o.matched_resources for o in result.outcomes] == [
+            o.matched_resources for o in expected.outcomes
+        ]
+        assert any(o.matched_resources > 0 for o in result.outcomes)
+
+    def test_ranking_only_finder_reports_retrieved_size(self, tiny_context):
+        """Baselines exposing only find_experts report the ranking size."""
+
+        class RankingOnly:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def find_experts(self, need):
+                return self._inner.find_experts(need)
+
+        dataset = tiny_context.dataset
+        finder = tiny_context.runner.finder(None, FinderConfig())
+        queries = dataset.queries[:3]
+        result = evaluate_finder(dataset, RankingOnly(finder), queries)
+        assert [o.matched_resources for o in result.outcomes] == [
+            len(o.ranking) for o in result.outcomes
+        ]
 
 
 class TestEvaluationResult:

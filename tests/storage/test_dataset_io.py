@@ -83,6 +83,41 @@ class TestCache:
         dataset = load_or_build(tmp_path, DatasetScale.TINY, seed=13, refresh=True)
         assert dataset.scale is DatasetScale.TINY
 
+    def test_cache_carries_version_stamp(self, tmp_path):
+        import json
+
+        load_or_build(tmp_path, DatasetScale.TINY, seed=14)
+        stamp_file = cache_path(tmp_path, DatasetScale.TINY, 14) / "cache_version.json"
+        stamp = json.loads(stamp_file.read_text())
+        from repro.storage.cache import CACHE_FORMAT_VERSION
+
+        assert stamp["cache_version"] == CACHE_FORMAT_VERSION
+
+    def test_stale_version_stamp_rebuilds(self, tmp_path):
+        import json
+
+        load_or_build(tmp_path, DatasetScale.TINY, seed=15)
+        directory = cache_path(tmp_path, DatasetScale.TINY, 15)
+        stamp_file = directory / "cache_version.json"
+        stamp = json.loads(stamp_file.read_text())
+        stamp["cache_version"] = -1
+        stamp_file.write_text(json.dumps(stamp))
+        # plant a sentinel that only survives if the stale dir is trusted
+        sentinel = directory / "sentinel"
+        sentinel.write_text("stale")
+        dataset = load_or_build(tmp_path, DatasetScale.TINY, seed=15)
+        assert dataset.people
+        assert not sentinel.exists()  # directory was discarded and rebuilt
+
+    def test_unstamped_cache_rebuilt(self, tmp_path):
+        # pre-versioning cache layouts carry no stamp: never trusted
+        load_or_build(tmp_path, DatasetScale.TINY, seed=16)
+        directory = cache_path(tmp_path, DatasetScale.TINY, 16)
+        (directory / "cache_version.json").unlink()
+        dataset = load_or_build(tmp_path, DatasetScale.TINY, seed=16)
+        assert dataset.people
+        assert (directory / "cache_version.json").exists()
+
 
 class TestErrorPaths:
     def test_missing_directory(self, tmp_path):

@@ -1,0 +1,116 @@
+"""Finder snapshot round-trip tests over the TINY dataset."""
+
+import pytest
+
+from repro.core.config import FinderConfig
+from repro.core.expert_finder import ExpertFinder
+from repro.storage.jsonl import StorageFormatError
+from repro.storage.snapshot import SNAPSHOT_VERSION, load_finder, save_finder
+
+
+@pytest.fixture(scope="module")
+def built_finder(tiny_dataset):
+    return ExpertFinder.build(
+        tiny_dataset.merged_graph,
+        tiny_dataset.candidates_for(None),
+        tiny_dataset.analyzer,
+        FinderConfig(),
+        corpus=tiny_dataset.corpus,
+    )
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(built_finder, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("snapshot") / "finder"
+    built_finder.save(directory)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def loaded_finder(snapshot_dir, tiny_dataset):
+    return ExpertFinder.load(snapshot_dir, tiny_dataset.analyzer)
+
+
+class TestRoundTrip:
+    def test_identical_rankings_on_all_queries(
+        self, built_finder, loaded_finder, tiny_dataset
+    ):
+        """Every query must rank identically — candidates, exact scores,
+        and support counts (ExpertScore equality compares all three)."""
+        for need in tiny_dataset.queries:
+            assert loaded_finder.find_experts(need) == built_finder.find_experts(need)
+
+    def test_identical_rankings_under_overrides(
+        self, built_finder, loaded_finder, tiny_dataset
+    ):
+        need = tiny_dataset.queries[0]
+        for alpha, window in ((0.0, None), (1.0, 10), (0.5, 0.25)):
+            assert loaded_finder.find_experts(
+                need, alpha=alpha, window=window
+            ) == built_finder.find_experts(need, alpha=alpha, window=window)
+
+    def test_config_preserved(self, built_finder, loaded_finder):
+        assert loaded_finder.config == built_finder.config
+
+    def test_counts_preserved(self, built_finder, loaded_finder):
+        assert loaded_finder.indexed_resources == built_finder.indexed_resources
+        assert dict(loaded_finder.evidence_counts) == dict(
+            built_finder.evidence_counts
+        )
+
+    def test_evidence_relation_preserved(self, built_finder, loaded_finder):
+        assert {
+            doc: list(map(tuple, supporters))
+            for doc, supporters in loaded_finder.evidence_of.items()
+        } == {
+            doc: list(map(tuple, supporters))
+            for doc, supporters in built_finder.evidence_of.items()
+        }
+
+    def test_top_k_fast_path_agrees_after_load(self, loaded_finder, tiny_dataset):
+        need = tiny_dataset.queries[0]
+        full = loaded_finder.match_resources(need)
+        for k in (1, 5, len(full), len(full) + 10):
+            assert loaded_finder.match_resources(need, limit=k) == full[:k]
+
+    def test_streaming_continues_after_load(self, snapshot_dir, tiny_dataset):
+        finder = ExpertFinder.load(snapshot_dir, tiny_dataset.analyzer)
+        candidate = next(iter(finder.evidence_counts))
+        before = finder.evidence_count(candidate)
+        assert finder.observe(
+            "snapshot:new:1",
+            "an incredibly rare zorpify gadget review",
+            [(candidate, 1)],
+        )
+        assert finder.evidence_count(candidate) == before + 1
+        assert finder.indexed_resources >= 1
+
+
+class TestFormatGuards:
+    def test_load_missing_directory(self, tmp_path, tiny_dataset):
+        with pytest.raises((StorageFormatError, FileNotFoundError)):
+            load_finder(tmp_path / "nope", tiny_dataset.analyzer)
+
+    def test_load_rejects_future_snapshot_version(
+        self, built_finder, tiny_dataset, tmp_path
+    ):
+        directory = tmp_path / "future"
+        save_finder(built_finder, directory)
+        meta = directory / "meta.jsonl"
+        text = meta.read_text(encoding="utf-8")
+        meta.write_text(
+            text.replace(
+                f'"snapshot_version":{SNAPSHOT_VERSION}',
+                f'"snapshot_version":{SNAPSHOT_VERSION + 1}',
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(StorageFormatError):
+            load_finder(directory, tiny_dataset.analyzer)
+
+    def test_load_rejects_corrupt_meta(self, built_finder, tiny_dataset, tmp_path):
+        directory = tmp_path / "corrupt"
+        save_finder(built_finder, directory)
+        (directory / "meta.jsonl").write_text("not json\n", encoding="utf-8")
+        with pytest.raises(StorageFormatError):
+            load_finder(directory, tiny_dataset.analyzer)

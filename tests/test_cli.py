@@ -56,6 +56,31 @@ class TestCommands:
         assert main(["info", "--dataset", str(out_dir)]) == 0
         assert "candidates: 12" in capsys.readouterr().out
 
+    def test_index_then_warm_query_and_serve_bench(self, tmp_path, capsys):
+        snap = tmp_path / "snap"
+        assert main(["index", "--scale", "tiny", "--out", str(snap)]) == 0
+        assert "indexed" in capsys.readouterr().out
+        assert (snap / "meta.jsonl").exists()
+
+        code = main(
+            ["query", "best freestyle swimmer", "--scale", "tiny",
+             "--snapshot", str(snap), "--top-k", "3"]
+        )
+        assert code == 0
+        warm_out = capsys.readouterr().out
+        code = main(["query", "best freestyle swimmer", "--scale", "tiny", "--top-k", "3"])
+        assert code == 0
+        cold_out = capsys.readouterr().out
+        assert warm_out == cold_out  # snapshot serves identical rankings
+
+        code = main(
+            ["serve-bench", "--scale", "tiny", "--snapshot", str(snap),
+             "--rounds", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out and "p95" in out
+
     def test_experiments_subset(self, capsys):
         code = main(["experiments", "--scale", "tiny", "--only", "fig5"])
         assert code == 0
