@@ -9,7 +9,9 @@ Measures the two claims the serving layer makes:
   cache must beat uncached evaluation by at least 10× QPS.
 
 The rendered report (cold/save/load times, cached/uncached QPS, p50/p95
-latencies) is written to ``benchmarks/results/serving.txt``.
+latencies) is written to ``benchmarks/results/serving.txt``, and the
+same numbers go to ``benchmarks/results/BENCH_serving.json`` in the
+shared machine-readable benchmark schema (see ``conftest.save_json``).
 """
 
 from __future__ import annotations
@@ -24,7 +26,7 @@ from repro.core.service import ExpertSearchService
 _CACHED_ROUNDS = 20
 
 
-def bench_serving(ctx, save_result, tmp_path):
+def bench_serving(ctx, save_result, save_json, tmp_path):
     dataset = ctx.dataset
     queries = list(dataset.queries)
     snapshot_dir = tmp_path / "finder_snapshot"
@@ -82,6 +84,24 @@ def bench_serving(ctx, save_result, tmp_path):
         f"{stats.p50_latency * 1e6:9.1f}µs /{stats.p95_latency * 1e6:9.1f}µs",
     ]
     save_result("serving", "\n".join(lines))
+    save_json(
+        "serving",
+        dataset,
+        {
+            "queries": len(queries),
+            "indexed_resources": cold_finder.indexed_resources,
+            "cold_build_s": cold_build_s,
+            "snapshot_save_s": save_s,
+            "snapshot_load_s": load_s,
+            "warm_start_speedup": cold_build_s / load_s,
+            "uncached_qps": uncached_qps,
+            "cached_qps": cached_qps,
+            "cache_speedup": cached_qps / uncached_qps,
+            "hit_rate": stats.hit_rate,
+            "p50_latency_s": stats.p50_latency,
+            "p95_latency_s": stats.p95_latency,
+        },
+    )
 
     assert load_s * 5 <= cold_build_s, (
         f"snapshot load ({load_s:.3f}s) not ≥5x faster than "

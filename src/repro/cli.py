@@ -129,12 +129,18 @@ def _build_finder(
     config = FinderConfig(
         alpha=args.alpha, window=args.window, max_distance=args.distance
     )
+    build_kwargs = {}
+    if getattr(args, "workers", 1) != 1:
+        build_kwargs["workers"] = args.workers
+    if getattr(args, "chunk_size", None):
+        build_kwargs["chunk_size"] = args.chunk_size
     return ExpertFinder.build(
         dataset.graph_for(platform),
         dataset.candidates_for(platform),
         dataset.analyzer,
         config,
-        corpus=dataset.corpus,
+        corpus=None if getattr(args, "cold", False) else dataset.corpus,
+        **build_kwargs,
     )
 
 
@@ -150,6 +156,9 @@ def _cmd_index(args: argparse.Namespace) -> int:
         f"{len(dataset.candidates_for(_PLATFORMS[args.platform]))} candidates "
         f"(build {built - t0:.1f}s, save {saved - built:.1f}s) → {args.out}"
     )
+    stats = finder.build_stats
+    if stats is not None:
+        print(f"build stages: {stats.render()}")
     return 0
 
 
@@ -268,6 +277,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_index.add_argument("--alpha", type=float, default=0.6)
     p_index.add_argument("--window", type=int, default=100)
     p_index.add_argument("--distance", type=int, default=2, choices=(0, 1, 2))
+    p_index.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the analyze/index build stages "
+        "(results are identical for any count)",
+    )
+    p_index.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="nodes per worker dispatch (default 256)",
+    )
+    p_index.add_argument(
+        "--cold",
+        action="store_true",
+        help="ignore the dataset's pre-analyzed corpus and re-analyze "
+        "every node (exercises the full parallel pipeline)",
+    )
     p_index.set_defaults(func=_cmd_index)
 
     p_serve = sub.add_parser(

@@ -9,6 +9,7 @@ ranked list of experts.
 >>> ranking = finder.find_experts("best freestyle swimmer")  # doctest: +SKIP
 """
 
+from repro.core.build_stats import BuildStats
 from repro.core.config import FinderConfig
 from repro.core.expert_finder import ExpertFinder
 from repro.core.need import ExpertiseNeed
@@ -19,6 +20,7 @@ from repro.core.scoring import apply_window, distance_weight
 from repro.core.service import ExpertSearchService, ServiceStats
 
 __all__ = [
+    "BuildStats",
     "ChannelRecommendation",
     "DomainScore",
     "ExpertFinder",

@@ -16,18 +16,19 @@ under its configuration.
 from __future__ import annotations
 
 import pathlib
+import time
 from collections.abc import Callable, Mapping, Sequence
 from types import EllipsisType, MappingProxyType
 
+from repro.core.build_stats import BuildStats
 from repro.core.config import FinderConfig
 from repro.core.need import ExpertiseNeed
 from repro.core.ranking import ExpertRanker, ExpertScore
 from repro.index.analyzer import AnalyzedResource, ResourceAnalyzer
-from repro.index.entity_index import EntityIndex
-from repro.index.inverted import InvertedIndex
+from repro.index.parallel import DEFAULT_CHUNK_SIZE, AnalysisTask, analyze_tasks, build_indexes
 from repro.index.statistics import CollectionStatistics
 from repro.index.vsm import ResourceMatch, VectorSpaceRetriever
-from repro.socialgraph.distance import ResourceGatherer, evidence_text, evidence_urls
+from repro.socialgraph.distance import ResourceGatherer, node_text, node_urls
 from repro.socialgraph.graph import SocialGraph
 
 #: languages admitted into the index: English resources (paper Sec. 3.1)
@@ -59,6 +60,7 @@ class ExpertFinder:
         self._config = config
         self._evidence_counts = dict(evidence_counts)
         self._indexed_count = indexed_count
+        self._build_stats: BuildStats | None = None
 
     # -- construction ------------------------------------------------------------
 
@@ -72,6 +74,9 @@ class ExpertFinder:
         *,
         corpus: Mapping[str, AnalyzedResource] | None = None,
         url_content: Callable[[str], str] | None = None,
+        workers: int = 1,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        analyzer_factory: Callable[[], ResourceAnalyzer] | None = None,
     ) -> "ExpertFinder":
         """Build a finder over *graph*.
 
@@ -84,6 +89,14 @@ class ExpertFinder:
         *corpus* — pre-analyzed node texts keyed by node id; nodes missing
         from it are analyzed on the fly (with *url_content* enrichment if
         provided).
+
+        The build runs as a three-stage pipeline — shared-frontier
+        gathering, text/entity analysis, index fill — and *workers*
+        shards the analysis and indexing stages across a process pool
+        in chunks of *chunk_size* nodes (see :mod:`repro.index.parallel`;
+        *analyzer_factory* is only needed on platforms without ``fork``).
+        Results are identical for any worker count; per-stage timings
+        are exposed as :attr:`build_stats`.
         """
         config = config or FinderConfig()
         if not candidates:
@@ -93,43 +106,54 @@ class ExpertFinder:
         else:
             seeds = {pid: (pid,) for pid in candidates}
         gatherer = ResourceGatherer(graph, include_friends=config.include_friends)
+
+        # stage 1 — gather: one shared-frontier pass over all candidates;
+        # each node is kept once per candidate, at its minimal distance
+        t0 = time.perf_counter()
+        gathered = gatherer.gather_many(seeds, config.max_distance)
         evidence_of: dict[str, list[tuple[str, int]]] = {}
         evidence_counts: dict[str, int] = {}
-        unique_nodes: dict[str, AnalyzedResource | None] = {}
-
-        for candidate_id, profile_ids in seeds.items():
-            # one node may be reachable from several of the candidate's
-            # profiles; keep it once, at its minimal distance
-            node_distance: dict[str, int] = {}
-            for profile_id in profile_ids:
-                for item in gatherer.gather(profile_id, config.max_distance):
-                    prev = node_distance.get(item.node_id)
-                    if prev is None or item.distance < prev:
-                        node_distance[item.node_id] = item.distance
-                    if item.node_id not in unique_nodes:
-                        analyzed = (
-                            corpus.get(item.node_id) if corpus is not None else None
-                        )
-                        if analyzed is None:
-                            text = evidence_text(graph, item)
-                            if url_content is not None:
-                                for url in evidence_urls(graph, item):
-                                    text = f"{text} {url_content(url)}"
-                            analyzed = analyzer.analyze(item.node_id, text)
-                        unique_nodes[item.node_id] = analyzed
+        for candidate_id, node_distance in gathered.distances.items():
             evidence_counts[candidate_id] = len(node_distance)
             for node_id, distance in node_distance.items():
                 evidence_of.setdefault(node_id, []).append((candidate_id, distance))
+        gather_s = time.perf_counter() - t0
 
-        term_index = InvertedIndex()
-        entity_index = EntityIndex()
-        indexed = 0
-        for node_id, analyzed in unique_nodes.items():
-            if analyzed is None or analyzed.language not in _INDEXABLE_LANGUAGES:
-                continue
-            term_index.add_document(node_id, analyzed.term_counts)
-            entity_index.add_document(node_id, analyzed.entity_counts)
-            indexed += 1
+        # stage 2 — analyze: corpus misses go through the (parallel)
+        # text/entity pipeline; result order follows the gathered order
+        t0 = time.perf_counter()
+        unique_nodes: dict[str, AnalyzedResource | None] = {}
+        tasks: list[AnalysisTask] = []
+        for node_id, kind in gathered.kinds.items():
+            analyzed = corpus.get(node_id) if corpus is not None else None
+            if analyzed is None:
+                text = node_text(graph, node_id, kind)
+                if url_content is not None:
+                    for url in node_urls(graph, node_id, kind):
+                        text = f"{text} {url_content(url)}"
+                tasks.append((node_id, text, None))
+            unique_nodes[node_id] = analyzed
+        for analyzed in analyze_tasks(
+            analyzer,
+            tasks,
+            workers=workers,
+            chunk_size=chunk_size,
+            analyzer_factory=analyzer_factory,
+        ):
+            unique_nodes[analyzed.doc_id] = analyzed
+        analyze_s = time.perf_counter() - t0
+
+        # stage 3 — index: fill (or shard and merge) the two indexes
+        t0 = time.perf_counter()
+        documents = [
+            analyzed
+            for analyzed in unique_nodes.values()
+            if analyzed is not None and analyzed.language in _INDEXABLE_LANGUAGES
+        ]
+        term_index, entity_index = build_indexes(
+            documents, workers=workers, chunk_size=chunk_size
+        )
+        index_s = time.perf_counter() - t0
 
         retriever = VectorSpaceRetriever(
             term_index,
@@ -137,14 +161,24 @@ class ExpertFinder:
             CollectionStatistics(term_index, entity_index),
             idf_exponent=config.idf_exponent,
         )
-        return cls(
+        finder = cls(
             analyzer,
             retriever,
             evidence_of,
             config,
             evidence_counts=evidence_counts,
-            indexed_count=indexed,
+            indexed_count=len(documents),
         )
+        finder._build_stats = BuildStats(
+            workers=workers,
+            nodes=len(unique_nodes),
+            analyzed=len(tasks),
+            indexed=len(documents),
+            gather_s=gather_s,
+            analyze_s=analyze_s,
+            index_s=index_s,
+        )
+        return finder
 
     # -- persistence ---------------------------------------------------------------
 
@@ -194,6 +228,12 @@ class ExpertFinder:
     def indexed_resources(self) -> int:
         """Number of evidence items admitted into the indexes."""
         return self._indexed_count
+
+    @property
+    def build_stats(self) -> BuildStats | None:
+        """Per-stage timings of the :meth:`build` that produced this
+        finder; ``None`` for snapshot-loaded finders (nothing was built)."""
+        return self._build_stats
 
     def evidence_count(self, candidate_id: str) -> int:
         """Evidence items gathered for one candidate (pre language cut)."""

@@ -32,6 +32,23 @@ def scale_from_env(default: DatasetScale = DatasetScale.SMALL) -> DatasetScale:
         raise ValueError(f"REPRO_SCALE must be one of {valid}, got {value!r}") from None
 
 
+def workers_from_env(default: int = 1) -> int:
+    """The cold-build worker count selected by ``REPRO_WORKERS``, or
+    *default*. Sharding only affects build speed, never results."""
+    value = os.environ.get("REPRO_WORKERS", "").strip()
+    if not value:
+        return default
+    try:
+        workers = int(value)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_WORKERS must be a positive integer, got {value!r}"
+        ) from None
+    if workers < 1:
+        raise ValueError(f"REPRO_WORKERS must be >= 1, got {workers}")
+    return workers
+
+
 @dataclass
 class ExperimentContext:
     """Dataset + runner + cached random baseline."""
@@ -42,9 +59,20 @@ class ExperimentContext:
 
     @classmethod
     def create(
-        cls, scale: DatasetScale | None = None, seed: int = DEFAULT_SEED
+        cls,
+        scale: DatasetScale | None = None,
+        seed: int = DEFAULT_SEED,
+        workers: int | None = None,
     ) -> "ExperimentContext":
-        dataset = build_dataset(scale or scale_from_env(), seed)
+        """Build the context; *workers* (default: ``REPRO_WORKERS``, else
+        serial) shards the dataset's corpus-analysis stage, so every
+        experiment sweeping this context benefits from the parallel
+        cold build without any result change."""
+        dataset = build_dataset(
+            scale or scale_from_env(),
+            seed,
+            workers=workers if workers is not None else workers_from_env(),
+        )
         return cls(dataset=dataset, runner=ExperimentRunner(dataset))
 
     @property
@@ -73,8 +101,22 @@ class ExperimentContext:
 
 
 @lru_cache(maxsize=2)
-def shared_context(scale_value: str = "", seed: int = DEFAULT_SEED) -> ExperimentContext:
-    """Process-wide context cache (keyed by scale string to stay
-    hashable); used by the benchmark suite."""
-    scale = DatasetScale(scale_value) if scale_value else scale_from_env()
+def _shared_context(scale: DatasetScale, seed: int) -> ExperimentContext:
     return ExperimentContext.create(scale, seed)
+
+
+def shared_context(scale_value: str = "", seed: int = DEFAULT_SEED) -> ExperimentContext:
+    """Process-wide context cache; used by the benchmark suite.
+
+    The ``REPRO_SCALE`` environment variable is resolved to a concrete
+    :class:`DatasetScale` *before* the cache lookup — caching on the raw
+    string (where ``""`` means "whatever the env says") would keep
+    returning a context built at a stale scale after the env changes.
+    """
+    scale = DatasetScale(scale_value) if scale_value else scale_from_env()
+    return _shared_context(scale, seed)
+
+
+#: expose the cache controls the tests (and REPL users) rely on
+shared_context.cache_clear = _shared_context.cache_clear  # type: ignore[attr-defined]
+shared_context.cache_info = _shared_context.cache_info  # type: ignore[attr-defined]

@@ -25,7 +25,11 @@ from repro.extraction.api import (
     RateLimitExceeded,
     PermissionDenied,
 )
-from repro.extraction.crawler import CorpusAnalyzer, ResourceExtractor
+from repro.extraction.crawler import (
+    CorpusAnalyzer,
+    ParallelCorpusAnalyzer,
+    ResourceExtractor,
+)
 from repro.extraction.privacy import PrivacyPolicy
 from repro.extraction.url_content import SyntheticWeb, UrlContentExtractor, WebPage
 
@@ -34,6 +38,7 @@ __all__ = [
     "AuthToken",
     "ContainerRecord",
     "CorpusAnalyzer",
+    "ParallelCorpusAnalyzer",
     "PermissionDenied",
     "PlatformClient",
     "PlatformStore",

@@ -65,6 +65,26 @@ class EntityIndex:
     def entities(self) -> tuple[str, ...]:
         return tuple(self._postings)
 
+    def merge(self, other: "EntityIndex") -> None:
+        """Append *other*'s postings into this index.
+
+        Same contract as :meth:`repro.index.inverted.InvertedIndex.merge`:
+        shard-order merging reproduces the serial postings order, a
+        document present in both shards is an error, and any
+        :class:`~repro.index.statistics.CollectionStatistics` over this
+        index must be invalidated afterwards.
+        """
+        overlap = self._doc_ids & other._doc_ids
+        if overlap:
+            example = sorted(overlap)[0]
+            raise ValueError(
+                f"cannot merge: {len(overlap)} document(s) indexed by both "
+                f"shards (e.g. {example!r})"
+            )
+        self._doc_ids |= other._doc_ids
+        for uri, postings in other._postings.items():
+            self._postings.setdefault(uri, []).extend(postings)
+
     # -- snapshot support ----------------------------------------------------------
 
     def doc_ids(self) -> frozenset[str]:

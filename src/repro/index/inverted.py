@@ -61,6 +61,32 @@ class InvertedIndex:
     def terms(self) -> tuple[str, ...]:
         return tuple(self._postings)
 
+    def merge(self, other: "InvertedIndex") -> None:
+        """Append *other*'s postings into this index.
+
+        Built for the sharded cold build: each worker indexes a
+        contiguous slice of the document stream, and merging the shards
+        in slice order reproduces the serial postings order exactly —
+        *other*'s postings go after this index's for every shared term,
+        and previously unseen terms keep *other*'s first-seen order.
+        A document indexed by both shards is an error (the collection
+        is append-only; nothing may be indexed twice).
+
+        Callers holding a :class:`~repro.index.statistics.CollectionStatistics`
+        over this index must ``invalidate()`` it afterwards — every
+        document-frequency ratio changes.
+        """
+        overlap = self._doc_ids & other._doc_ids
+        if overlap:
+            example = sorted(overlap)[0]
+            raise ValueError(
+                f"cannot merge: {len(overlap)} document(s) indexed by both "
+                f"shards (e.g. {example!r})"
+            )
+        self._doc_ids |= other._doc_ids
+        for term, postings in other._postings.items():
+            self._postings.setdefault(term, []).extend(postings)
+
     # -- snapshot support ----------------------------------------------------------
 
     def doc_ids(self) -> frozenset[str]:

@@ -18,7 +18,8 @@ shared interests or expertise".
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
 
 from repro.socialgraph.graph import SocialGraph
 
@@ -45,6 +46,22 @@ class RelatedResource:
     def __post_init__(self) -> None:
         if not 0 <= self.distance <= 2:
             raise ValueError(f"distance must be in 0..2, got {self.distance}")
+
+
+@dataclass
+class GatheredEvidence:
+    """Result of a shared-frontier :meth:`ResourceGatherer.gather_many` pass.
+
+    Both dictionaries preserve first-encounter order, which is what makes
+    the parallel cold build reproduce the serial build exactly: the
+    global node order fixes the index insertion order, and the
+    per-candidate order fixes the evidence bookkeeping order.
+    """
+
+    #: candidate id → (node id → minimal distance), in encounter order
+    distances: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: node id → node kind, in global first-encounter order over all candidates
+    kinds: dict[str, EvidenceKind] = field(default_factory=dict)
 
 
 class ResourceGatherer:
@@ -123,22 +140,127 @@ class ResourceGatherer:
         """Gather evidence for every candidate in *candidate_ids*."""
         return {cid: self.gather(cid, max_distance) for cid in candidate_ids}
 
+    def gather_many(
+        self, seeds: Mapping[str, Sequence[str]], max_distance: int = 2
+    ) -> GatheredEvidence:
+        """Gather evidence for many candidates in one shared-frontier pass.
+
+        *seeds* maps each candidate id to its seed profile ids (several
+        when one person holds profiles on multiple platforms). The
+        traversal visits candidates and profiles in *seeds* order and
+        emits nodes in exactly the order the per-candidate :meth:`gather`
+        loop would, so the result is equivalent to::
+
+            for cid, pids in seeds.items():
+                for pid in pids:
+                    for item in gatherer.gather(pid, max_distance):
+                        # keep item at its minimal distance per candidate
+
+        but each profile's neighborhood (direct resources, containers,
+        outgoing profiles, container contents) is expanded **once** for
+        the whole pass instead of once per candidate that reaches it —
+        the distance-2 neighborhoods of a social graph overlap heavily,
+        which is what makes the per-candidate loop quadratic in practice.
+        No per-emission :class:`RelatedResource` objects are built; the
+        cold build only needs distances and kinds.
+        """
+        if not 0 <= max_distance <= 2:
+            raise ValueError(f"max_distance must be in 0..2, got {max_distance}")
+        graph = self._graph
+        # one expansion per profile, shared by every candidate reaching it
+        expansions: dict[str, tuple[tuple[str, ...], tuple[str, ...], tuple[str, ...]]] = {}
+        contents: dict[str, tuple[str, ...]] = {}
+
+        def expansion(pid: str) -> tuple[tuple[str, ...], tuple[str, ...], tuple[str, ...]]:
+            cached = expansions.get(pid)
+            if cached is None:
+                cached = (
+                    tuple(rid for rid, _ in graph.direct_resources(pid)),
+                    graph.containers_of(pid),
+                    tuple(p for p, _ in self._outgoing_profiles(pid)),
+                )
+                expansions[pid] = cached
+            return cached
+
+        def contains(cid: str) -> tuple[str, ...]:
+            cached = contents.get(cid)
+            if cached is None:
+                cached = graph.resources_in(cid)
+                contents[cid] = cached
+            return cached
+
+        gathered = GatheredEvidence()
+        kinds = gathered.kinds
+        for candidate_id, profile_ids in seeds.items():
+            node_distance: dict[str, int] = {}
+            gathered.distances[candidate_id] = node_distance
+            for profile_id in profile_ids:
+                seen: set[str] = set()
+
+                def emit(node_id: str, kind: EvidenceKind, distance: int) -> None:
+                    # per-profile BFS dedup (first emission is minimal,
+                    # distances are nondecreasing), then the cross-profile
+                    # minimal-distance merge
+                    if node_id in seen:
+                        return
+                    seen.add(node_id)
+                    if node_id not in kinds:
+                        kinds[node_id] = kind
+                    prev = node_distance.get(node_id)
+                    if prev is None or distance < prev:
+                        node_distance[node_id] = distance
+
+                emit(profile_id, EvidenceKind.PROFILE, 0)
+                if max_distance == 0:
+                    continue
+                resources, containers, hop1 = expansion(profile_id)
+                for rid in resources:
+                    emit(rid, EvidenceKind.RESOURCE, 1)
+                for cid in containers:
+                    emit(cid, EvidenceKind.CONTAINER, 1)
+                for pid in hop1:
+                    emit(pid, EvidenceKind.PROFILE, 1)
+                if max_distance == 1:
+                    continue
+                for cid in containers:
+                    for rid in contains(cid):
+                        emit(rid, EvidenceKind.RESOURCE, 2)
+                for pid in hop1:
+                    resources2, containers2, hop2 = expansion(pid)
+                    for rid in resources2:
+                        emit(rid, EvidenceKind.RESOURCE, 2)
+                    for cid in containers2:
+                        emit(cid, EvidenceKind.CONTAINER, 2)
+                    for pid2 in hop2:
+                        emit(pid2, EvidenceKind.PROFILE, 2)
+        return gathered
+
+
+def node_text(graph: SocialGraph, node_id: str, kind: EvidenceKind) -> str:
+    """The indexable text of one graph node."""
+    if kind is EvidenceKind.PROFILE:
+        profile = graph.profile(node_id)
+        return f"{profile.display_name} {profile.text}".strip()
+    if kind is EvidenceKind.RESOURCE:
+        return graph.resource(node_id).text
+    container = graph.container(node_id)
+    return f"{container.name} {container.text}".strip()
+
+
+def node_urls(graph: SocialGraph, node_id: str, kind: EvidenceKind) -> tuple[str, ...]:
+    """URLs attached to one graph node (fed to URL content extraction)."""
+    if kind is EvidenceKind.PROFILE:
+        return graph.profile(node_id).urls
+    if kind is EvidenceKind.RESOURCE:
+        return graph.resource(node_id).urls
+    return graph.container(node_id).urls
+
 
 def evidence_text(graph: SocialGraph, item: RelatedResource) -> str:
     """The indexable text of an evidence item."""
-    if item.kind is EvidenceKind.PROFILE:
-        profile = graph.profile(item.node_id)
-        return f"{profile.display_name} {profile.text}".strip()
-    if item.kind is EvidenceKind.RESOURCE:
-        return graph.resource(item.node_id).text
-    container = graph.container(item.node_id)
-    return f"{container.name} {container.text}".strip()
+    return node_text(graph, item.node_id, item.kind)
 
 
 def evidence_urls(graph: SocialGraph, item: RelatedResource) -> tuple[str, ...]:
     """URLs attached to an evidence item (fed to URL content extraction)."""
-    if item.kind is EvidenceKind.PROFILE:
-        return graph.profile(item.node_id).urls
-    if item.kind is EvidenceKind.RESOURCE:
-        return graph.resource(item.node_id).urls
-    return graph.container(item.node_id).urls
+    return node_urls(graph, item.node_id, item.kind)

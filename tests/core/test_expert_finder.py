@@ -165,3 +165,55 @@ class TestTopKFastPath:
         full = finder.match_resources(need)
         for k in range(len(full) + 2):
             assert finder.match_resources(need, limit=k) == full[:k]
+
+
+class TestParallelBuild:
+    """The parallel cold-build pipeline must be invisible in the results:
+    any worker count yields the serial finder, plus per-stage timings."""
+
+    def test_build_stats_recorded(self, finder):
+        stats = finder.build_stats
+        assert stats is not None
+        assert stats.workers == 1
+        assert stats.nodes >= stats.indexed > 0
+        assert stats.total_s == stats.gather_s + stats.analyze_s + stats.index_s
+        payload = stats.as_dict()
+        assert payload["indexed"] == finder.indexed_resources
+        assert "nodes_per_s" in payload and "workers" in stats.render()
+
+    def test_parallel_build_matches_serial(self, tiny_dataset):
+        candidates = tiny_dataset.candidates_for(None)
+        serial = ExpertFinder.build(
+            tiny_dataset.merged_graph, candidates, tiny_dataset.analyzer,
+            FinderConfig(),
+        )
+        parallel = ExpertFinder.build(
+            tiny_dataset.merged_graph, candidates, tiny_dataset.analyzer,
+            FinderConfig(), workers=2, chunk_size=128,
+        )
+        assert parallel.indexed_resources == serial.indexed_resources
+        assert dict(parallel.evidence_counts) == dict(serial.evidence_counts)
+        assert dict(parallel.evidence_of) == dict(serial.evidence_of)
+        for need in tiny_dataset.queries:
+            assert parallel.find_experts(need) == serial.find_experts(need)
+        assert parallel.build_stats.workers == 2
+        assert parallel.build_stats.analyzed == serial.build_stats.analyzed
+
+    def test_parallel_build_with_corpus(self, tiny_dataset):
+        candidates = tiny_dataset.candidates_for(None)
+        serial = ExpertFinder.build(
+            tiny_dataset.merged_graph, candidates, tiny_dataset.analyzer,
+            FinderConfig(), corpus=tiny_dataset.corpus,
+        )
+        parallel = ExpertFinder.build(
+            tiny_dataset.merged_graph, candidates, tiny_dataset.analyzer,
+            FinderConfig(), corpus=tiny_dataset.corpus, workers=3, chunk_size=64,
+        )
+        # with a full corpus nothing is analyzed; sharded indexing remains
+        assert parallel.build_stats.analyzed == 0
+        for need in tiny_dataset.queries[:5]:
+            assert parallel.find_experts(need) == serial.find_experts(need)
+
+    def test_invalid_workers_rejected(self, fig1_graph, analyzer):
+        with pytest.raises(ValueError):
+            ExpertFinder.build(fig1_graph, CANDIDATES, analyzer, workers=0)

@@ -49,3 +49,52 @@ class TestContext:
         b = shared_context("tiny", 7)
         assert a is b
         shared_context.cache_clear()
+
+
+class TestWorkersFromEnv:
+    def test_default_when_unset(self, monkeypatch):
+        from repro.experiments.context import workers_from_env
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert workers_from_env() == 1
+        assert workers_from_env(default=4) == 4
+
+    def test_reads_env(self, monkeypatch):
+        from repro.experiments.context import workers_from_env
+
+        monkeypatch.setenv("REPRO_WORKERS", " 3 ")
+        assert workers_from_env() == 3
+
+    @pytest.mark.parametrize("value", ["zero", "0", "-2", "1.5"])
+    def test_invalid_values(self, monkeypatch, value):
+        from repro.experiments.context import workers_from_env
+
+        monkeypatch.setenv("REPRO_WORKERS", value)
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            workers_from_env()
+
+
+class TestSharedContextScaleResolution:
+    def test_env_resolved_before_cache_lookup(self, monkeypatch):
+        """A REPRO_SCALE change must not be masked by a context cached
+        under the default '' key at the old scale."""
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        shared_context.cache_clear()
+        try:
+            first = shared_context()
+            assert first.dataset.scale is DatasetScale.TINY
+            # if '' were the cache key, the stale TINY context would be
+            # returned and the invalid scale never noticed
+            monkeypatch.setenv("REPRO_SCALE", "gigantic")
+            with pytest.raises(ValueError, match="REPRO_SCALE"):
+                shared_context()
+        finally:
+            shared_context.cache_clear()
+
+    def test_env_and_explicit_scale_share_cache_entry(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        shared_context.cache_clear()
+        try:
+            assert shared_context() is shared_context("tiny")
+        finally:
+            shared_context.cache_clear()

@@ -225,3 +225,54 @@ class TestCrossPostFiltering:
         graph = tiny_dataset.graphs[Platform.LINKEDIN]
         crawled_texts = {r.resource_id for r in graph.resources()}
         assert not any(r.resource_id in crawled_texts for r in mirrored)
+
+
+class TestAnalyzeEvidenceLanguage:
+    def test_platform_language_annotation_respected(self, analyzer):
+        """A resource carrying a platform language annotation must be
+        classified identically by analyze_graph and analyze_evidence."""
+        from repro.socialgraph.graph import SocialGraph
+        from repro.socialgraph.metamodel import RelationKind
+
+        g = SocialGraph(Platform.TWITTER)
+        g.add_profile(_profile("u", Platform.TWITTER))
+        # short text the language identifier alone cannot pin down;
+        # the platform says it is Italian
+        g.add_resource(Resource(resource_id="r_it", platform=Platform.TWITTER,
+                                text="forza ragazzi", language="it"))
+        g.link_resource("u", "r_it", RelationKind.CREATES)
+
+        corpus_analyzer = CorpusAnalyzer(analyzer)
+        full = corpus_analyzer.analyze_graph(g)
+        items = ResourceGatherer(g).gather("u", 1)
+        subset = corpus_analyzer.analyze_evidence(g, items)
+        assert subset["r_it"].language == "it"
+        assert subset["r_it"] == full["r_it"]
+
+
+class TestParallelCorpusAnalyzer:
+    def test_workers_1_is_serial_path(self, graph, analyzer):
+        from repro.extraction.crawler import ParallelCorpusAnalyzer
+
+        serial = CorpusAnalyzer(analyzer).analyze_graph(graph)
+        parallel = ParallelCorpusAnalyzer(analyzer, workers=1).analyze_graph(graph)
+        assert parallel == serial
+        assert list(parallel) == list(serial)
+
+    def test_parallel_matches_serial(self, tiny_dataset):
+        from repro.extraction.crawler import ParallelCorpusAnalyzer
+
+        graph = tiny_dataset.merged_graph
+        analyzer = tiny_dataset.analyzer
+        serial = CorpusAnalyzer(analyzer).analyze_graph(graph)
+        parallel = ParallelCorpusAnalyzer(
+            analyzer, workers=2, chunk_size=128
+        ).analyze_graph(graph)
+        assert list(parallel) == list(serial)  # node order fixes index order
+        assert parallel == serial
+
+    def test_invalid_workers(self, analyzer):
+        from repro.extraction.crawler import ParallelCorpusAnalyzer
+
+        with pytest.raises(ValueError):
+            ParallelCorpusAnalyzer(analyzer, workers=0)

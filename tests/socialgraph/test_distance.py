@@ -148,3 +148,81 @@ class TestEvidenceAccessors:
     def test_invalid_distance_rejected(self):
         with pytest.raises(ValueError):
             RelatedResource("c", "n", EvidenceKind.RESOURCE, 5, "x")
+
+
+def _reference_gather_many(graph, seeds, max_distance, *, include_friends=False):
+    """The per-candidate loop gather_many replaces (the old build path)."""
+    gatherer = ResourceGatherer(graph, include_friends=include_friends)
+    distances, kinds = {}, {}
+    for candidate_id, profile_ids in seeds.items():
+        node_distance = {}
+        for profile_id in profile_ids:
+            for item in gatherer.gather(profile_id, max_distance):
+                prev = node_distance.get(item.node_id)
+                if prev is None or item.distance < prev:
+                    node_distance[item.node_id] = item.distance
+                if item.node_id not in kinds:
+                    kinds[item.node_id] = item.kind
+        distances[candidate_id] = node_distance
+    return distances, kinds
+
+
+class TestGatherMany:
+    @pytest.mark.parametrize("max_distance", [0, 1, 2])
+    @pytest.mark.parametrize("include_friends", [False, True])
+    def test_equivalent_to_per_candidate_loop(self, graph, max_distance, include_friends):
+        seeds = {"candidate": ("candidate",), "star": ("star",), "buddy": ("buddy",)}
+        gathered = ResourceGatherer(
+            graph, include_friends=include_friends
+        ).gather_many(seeds, max_distance)
+        ref_distances, ref_kinds = _reference_gather_many(
+            graph, seeds, max_distance, include_friends=include_friends
+        )
+        assert gathered.distances == ref_distances
+        assert gathered.kinds == ref_kinds
+        # order matters too: it fixes the index insertion order downstream
+        assert list(gathered.kinds) == list(ref_kinds)
+        for cid in seeds:
+            assert list(gathered.distances[cid]) == list(ref_distances[cid])
+
+    def test_multi_profile_candidate_minimal_distance(self, graph):
+        # star is at distance 1 from candidate's profile but distance 0
+        # as its own seed profile: the merge keeps the minimum
+        seeds = {"person": ("candidate", "star")}
+        gathered = ResourceGatherer(graph).gather_many(seeds, 2)
+        assert gathered.distances["person"]["star"] == 0
+        assert gathered.distances["person"]["candidate"] == 0
+        ref_distances, _ = _reference_gather_many(graph, seeds, 2)
+        assert gathered.distances == ref_distances
+
+    def test_overlapping_candidates_share_frontier(self, graph):
+        # both candidates reach star's material; results stay per-candidate
+        seeds = {"a": ("candidate",), "b": ("star",)}
+        gathered = ResourceGatherer(graph).gather_many(seeds, 2)
+        assert "r_star" in gathered.distances["a"]  # via follows→creates
+        assert gathered.distances["a"]["r_star"] == 2
+        assert gathered.distances["b"]["r_star"] == 1
+        assert gathered.kinds["r_star"] is EvidenceKind.RESOURCE
+
+    def test_invalid_distance(self, graph):
+        with pytest.raises(ValueError):
+            ResourceGatherer(graph).gather_many({"c": ("candidate",)}, 3)
+
+    def test_empty_seeds(self, graph):
+        gathered = ResourceGatherer(graph).gather_many({}, 2)
+        assert gathered.distances == {}
+        assert gathered.kinds == {}
+
+
+class TestNodeAccessors:
+    def test_node_text_matches_evidence_text(self, graph):
+        from repro.socialgraph.distance import node_text, node_urls
+
+        for node_id, kind in (
+            ("star", EvidenceKind.PROFILE),
+            ("r_own", EvidenceKind.RESOURCE),
+            ("group", EvidenceKind.CONTAINER),
+        ):
+            item = RelatedResource("candidate", node_id, kind, 1, "x")
+            assert node_text(graph, node_id, kind) == evidence_text(graph, item)
+            assert node_urls(graph, node_id, kind) == evidence_urls(graph, item)

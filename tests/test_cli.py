@@ -81,6 +81,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "hit rate" in out and "p95" in out
 
+    def test_index_parallel_build_reports_stages(self, tmp_path, capsys):
+        snap = tmp_path / "snap"
+        code = main(
+            ["index", "--scale", "tiny", "--cold", "--workers", "2",
+             "--chunk-size", "64", "--out", str(snap)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "build stages:" in out
+        assert "workers=2" in out
+        assert (snap / "meta.jsonl").exists()
+
     def test_experiments_subset(self, capsys):
         code = main(["experiments", "--scale", "tiny", "--only", "fig5"])
         assert code == 0
