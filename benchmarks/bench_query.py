@@ -1,0 +1,102 @@
+"""Query-engine benchmark: columnar fast path vs object reference path.
+
+Measures the two claims the columnar engine makes:
+
+* **equivalence** — both engines return byte-identical rankings for the
+  full query set (asserted unconditionally, at every scale);
+* **throughput** — the columnar engine must answer uncached queries at
+  ≥2× the object path's QPS (asserted on machines with ≥4 cores, where
+  timing noise is low enough to hold a threshold; the measured numbers
+  are always recorded).
+
+Uncached QPS and p50/p95 latencies for both engines go to
+``benchmarks/results/BENCH_query.json`` in the shared machine-readable
+schema (see ``conftest.save_json``) plus a rendered text report.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.config import FinderConfig
+from repro.core.service import ExpertSearchService
+
+#: timed passes over the query set (every pass uncached: cache_size=0)
+_ROUNDS = 15
+
+
+def bench_query(ctx, save_result, save_json):
+    dataset = ctx.dataset
+    queries = list(dataset.queries)
+    finder = ctx.runner.finder(None, FinderConfig())
+
+    # equivalence first, and unconditionally: the fast path is only a
+    # fast path if it returns the reference ranking bit for bit
+    finder.engine = "object"
+    reference = [finder.find_experts(need) for need in queries]
+    finder.engine = "columnar"
+    columnar = [finder.find_experts(need) for need in queries]
+    assert columnar == reference, "columnar ranking diverged from object path"
+
+    def measure(engine: str) -> dict:
+        finder.engine = engine
+        if engine == "columnar":
+            finder.query_engine()  # compile outside the timed region
+        service = ExpertSearchService(finder, cache_size=0)  # every query a miss
+        service.find_experts_batch(queries, top_k=10)  # warm caches/JIT-free
+        t0 = time.perf_counter()
+        for _ in range(_ROUNDS):
+            service.find_experts_batch(queries, top_k=10)
+        elapsed = time.perf_counter() - t0
+        stats = service.stats
+        return {
+            "uncached_qps": len(queries) * _ROUNDS / elapsed,
+            "p50_latency_s": stats.p50_latency,
+            "p95_latency_s": stats.p95_latency,
+        }
+
+    object_m = measure("object")
+    columnar_m = measure("columnar")
+    speedup = columnar_m["uncached_qps"] / object_m["uncached_qps"]
+
+    engine = finder.query_engine()
+    lines = [
+        "Query engine — columnar fast path vs object reference path",
+        f"dataset: scale={dataset.scale.value} seed={dataset.seed} "
+        f"({engine.document_count} docs, {engine.candidate_count} candidates, "
+        f"{len(queries)} queries x {_ROUNDS} uncached rounds)",
+        "",
+        f"object   (reference): {object_m['uncached_qps']:8.0f} q/s   "
+        f"p50 {object_m['p50_latency_s'] * 1e6:7.1f}µs   "
+        f"p95 {object_m['p95_latency_s'] * 1e6:7.1f}µs",
+        f"columnar (compiled):  {columnar_m['uncached_qps']:8.0f} q/s   "
+        f"p50 {columnar_m['p50_latency_s'] * 1e6:7.1f}µs   "
+        f"p95 {columnar_m['p95_latency_s'] * 1e6:7.1f}µs",
+        f"speedup:              {speedup:7.2f}x",
+    ]
+    save_result("query", "\n".join(lines))
+    save_json(
+        "query",
+        dataset,
+        {
+            "queries": len(queries),
+            "rounds": _ROUNDS,
+            "documents": engine.document_count,
+            "candidates": engine.candidate_count,
+            "object_uncached_qps": object_m["uncached_qps"],
+            "object_p50_latency_s": object_m["p50_latency_s"],
+            "object_p95_latency_s": object_m["p95_latency_s"],
+            "columnar_uncached_qps": columnar_m["uncached_qps"],
+            "columnar_p50_latency_s": columnar_m["p50_latency_s"],
+            "columnar_p95_latency_s": columnar_m["p95_latency_s"],
+            "columnar_speedup": speedup,
+        },
+    )
+
+    cpu_count = os.cpu_count() or 1
+    if cpu_count >= 4:
+        assert speedup >= 2.0, (
+            f"columnar ({columnar_m['uncached_qps']:.0f} q/s) not ≥2x object "
+            f"({object_m['uncached_qps']:.0f} q/s)"
+        )

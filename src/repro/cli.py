@@ -173,6 +173,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     else:
         finder = _build_finder(dataset, args)
         source = "cold build"
+    finder.engine = args.engine
+    if args.engine == "columnar":
+        finder.query_engine()  # compile before timing starts
     ready = time.time()
     service = ExpertSearchService(finder, cache_size=args.cache_size)
     queries = list(dataset.queries)
@@ -182,7 +185,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     elapsed = time.time() - started
     stats = service.stats
     qps = stats.queries / elapsed if elapsed > 0 else float("inf")
-    print(f"finder ready in {ready - t0:.1f}s ({source})")
+    print(f"finder ready in {ready - t0:.1f}s ({source}, {args.engine} engine)")
     print(
         f"{stats.queries} queries in {elapsed:.2f}s — {qps:.0f} q/s, "
         f"hit rate {stats.hit_rate:.0%}, "
@@ -312,6 +315,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--top-k", type=int, default=10)
     p_serve.add_argument("--rounds", type=int, default=3, help="passes over the query set")
     p_serve.add_argument("--cache-size", type=int, default=1024)
+    p_serve.add_argument(
+        "--engine",
+        choices=("columnar", "object"),
+        default="columnar",
+        help="query engine for cache misses (object = reference path)",
+    )
     p_serve.set_defaults(func=_cmd_serve_bench)
 
     p_exp = sub.add_parser("experiments", help="reproduce the paper's tables/figures")

@@ -19,6 +19,10 @@ import pathlib
 import time
 from collections.abc import Callable, Mapping, Sequence
 from types import EllipsisType, MappingProxyType
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.index.columnar import ColumnarQueryEngine
 
 from repro.core.build_stats import BuildStats
 from repro.core.config import FinderConfig
@@ -39,6 +43,11 @@ _INDEXABLE_LANGUAGES = frozenset({"en", "und"})
 #: (``None`` already means "no window", so it cannot double as unset)
 _UNSET: EllipsisType = ...
 
+#: query-engine selectors: "columnar" serves from the compiled
+#: :class:`~repro.index.columnar.ColumnarQueryEngine`, "object" from the
+#: reference retriever/ranker path; both rank byte-identically
+_ENGINES = ("columnar", "object")
+
 
 class ExpertFinder:
     """Find experts for expertise needs within a candidate population."""
@@ -52,7 +61,10 @@ class ExpertFinder:
         *,
         evidence_counts: Mapping[str, int],
         indexed_count: int,
+        engine: str = "columnar",
     ):
+        if engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
         self._analyzer = analyzer
         self._retriever = retriever
         self._evidence_of = evidence_of
@@ -61,6 +73,8 @@ class ExpertFinder:
         self._evidence_counts = dict(evidence_counts)
         self._indexed_count = indexed_count
         self._build_stats: BuildStats | None = None
+        self._engine_kind = engine
+        self._engine: "ColumnarQueryEngine | None" = None
 
     # -- construction ------------------------------------------------------------
 
@@ -239,6 +253,36 @@ class ExpertFinder:
         """Evidence items gathered for one candidate (pre language cut)."""
         return self._evidence_counts.get(candidate_id, 0)
 
+    # -- query engine -------------------------------------------------------------
+
+    @property
+    def engine(self) -> str:
+        """Which path :meth:`find_experts` takes: "columnar" (compiled
+        fast path, the default) or "object" (the reference
+        retriever/ranker path). Rankings are byte-identical either way;
+        the object path additionally powers :meth:`match_resources` and
+        :meth:`rank_matches`, which expose per-resource breakdowns."""
+        return self._engine_kind
+
+    @engine.setter
+    def engine(self, kind: str) -> None:
+        if kind not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {kind!r}")
+        self._engine_kind = kind
+
+    def query_engine(self) -> "ColumnarQueryEngine":
+        """The compiled columnar engine for the current collection,
+        compiling it on first use. :meth:`observe` invalidates the
+        compiled form (the collection statistics shift), so the next
+        query pays one recompile."""
+        if self._engine is None:
+            from repro.index.columnar import ColumnarQueryEngine
+
+            self._engine = ColumnarQueryEngine.compile(
+                self._retriever, self._evidence_of, self._config
+            )
+        return self._engine
+
     # -- streaming updates --------------------------------------------------------
 
     def observe(
@@ -275,6 +319,9 @@ class ExpertFinder:
         self._evidence_of[node_id] = list(supporters)
         for candidate_id, _ in supporters:
             self._evidence_counts[candidate_id] += 1
+        # the compiled engine snapshots the collection and the evidence
+        # relation — drop it so the next query recompiles against both
+        self._engine = None
         analyzed = self._analyzer.analyze(node_id, text, language=language)
         if analyzed.language not in _INDEXABLE_LANGUAGES:
             return False
@@ -347,12 +394,26 @@ class ExpertFinder:
         configured values for parameter sweeps (``window=None`` means "no
         window"; leave it at the default to use the configured window).
 
-        When the effective window is an absolute resource count, only
-        the top-window matches can contribute to Eq. 3, so retrieval
-        takes the bounded-heap fast path; fractional and disabled
-        windows depend on the total match count and retrieve fully.
+        With the default "columnar" :attr:`engine`, evaluation runs on
+        the compiled :class:`~repro.index.columnar.ColumnarQueryEngine`
+        (flat accumulators, no per-resource objects); the "object"
+        engine is the reference retriever/ranker path. Both produce the
+        same list, bit for bit.
+
+        On the object path, when the effective window is an absolute
+        resource count, only the top-window matches can contribute to
+        Eq. 3, so retrieval takes the bounded-heap fast path; fractional
+        and disabled windows depend on the total match count and
+        retrieve fully.
         """
         effective_window = self._config.window if window is _UNSET else window
+        if self._engine_kind == "columnar":
+            text = need.text if isinstance(need, ExpertiseNeed) else need
+            query = self._analyzer.analyze("__query__", text, language="en")
+            effective_alpha = self._config.alpha if alpha is None else alpha
+            return self.query_engine().find_experts(
+                query, alpha=effective_alpha, window=effective_window, top_k=top_k
+            )
         limit = (
             effective_window
             if isinstance(effective_window, int)

@@ -7,7 +7,7 @@ from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.core.config import FinderConfig
-from repro.core.scoring import aggregate_expert_scores, apply_window
+from repro.core.scoring import apply_window, distance_weight_table
 from repro.index.vsm import ResourceMatch
 
 
@@ -43,17 +43,29 @@ class ExpertRanker:
     def rank(self, matches: Sequence[ResourceMatch]) -> list[ExpertScore]:
         """Rank the candidates supported by *matches* (already sorted by
         decreasing relevance). Only candidates with score > 0 appear —
-        the paper's EX ⊆ CE with score(q, ce) > 0."""
+        the paper's EX ⊆ CE with score(q, ce) > 0.
+
+        Eq.-3 aggregation and support counting share one pass over the
+        windowed matches, with ``wr`` looked up in a precomputed
+        per-distance table — the float summation order (and therefore
+        every score) is identical to folding them separately.
+        """
         windowed = apply_window(matches, self._config.window)
-        scores = aggregate_expert_scores(
-            windowed,
-            self._evidence_of,
-            max_distance=self._config.max_distance,
-            weight_interval=self._config.weight_interval,
-        )
+        max_distance = self._config.max_distance
+        weight_of = distance_weight_table(max_distance, self._config.weight_interval)
+        scores: dict[str, float] = {}
         support: dict[str, int] = {}
         for match in windowed:
-            for candidate_id, _ in self._evidence_of.get(match.doc_id, ()):
+            match_score = match.score
+            for candidate_id, distance in self._evidence_of.get(match.doc_id, ()):
+                weight = weight_of.get(distance)
+                if weight is None:
+                    raise ValueError(
+                        f"distance {distance} outside 0..{max_distance}"
+                    )
+                scores[candidate_id] = (
+                    scores.get(candidate_id, 0.0) + match_score * weight
+                )
                 support[candidate_id] = support.get(candidate_id, 0) + 1
         if self._config.normalize:
             scores = {

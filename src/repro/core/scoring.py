@@ -3,6 +3,9 @@
 * :func:`distance_weight` — the resource weight ``wr(rᵢ, ex)``, linearly
   decreasing with the graph distance of the resource from the candidate
   over a fixed interval (the paper uses [0.5, 1]);
+* :func:`distance_weight_table` — ``wr`` precomputed for every
+  admissible distance, so per-pair aggregation loops pay one dict
+  lookup instead of a recomputation;
 * :func:`apply_window` — the window-size cut on the retrieved resources;
 * :func:`aggregate_expert_scores` — Eq. 3 itself:
   ``score(q, ex) = Σ score(q, rᵢ) · wr(rᵢ, ex)``.
@@ -37,6 +40,25 @@ def distance_weight(
     if max_distance == 0:
         return high
     return high - (high - low) * (distance / max_distance)
+
+
+def distance_weight_table(
+    max_distance: int,
+    interval: tuple[float, float] = (0.5, 1.0),
+) -> dict[int, float]:
+    """``wr`` for every admissible distance, keyed 0..*max_distance*.
+
+    The table values are exactly :func:`distance_weight`'s, so callers
+    that fold many (resource, supporter) pairs can replace the per-pair
+    recomputation with one lookup without changing a single float.
+
+    >>> distance_weight_table(2)
+    {0: 1.0, 1: 0.75, 2: 0.5}
+    """
+    return {
+        d: distance_weight(d, max_distance, interval)
+        for d in range(max_distance + 1)
+    }
 
 
 def window_size(window: int | float | None, total_matches: int) -> int:
@@ -97,9 +119,12 @@ def aggregate_expert_scores(
     assumes "a direct correlation between the number of resources related
     to a query, and the potential expertise of the user" (Sec. 2.4.1).
     """
+    weight_of = distance_weight_table(max_distance, weight_interval)
     scores: dict[str, float] = {}
     for match in matches:
         for candidate_id, distance in evidence_of.get(match.doc_id, ()):
-            weight = distance_weight(distance, max_distance, weight_interval)
+            weight = weight_of.get(distance)
+            if weight is None:
+                raise ValueError(f"distance {distance} outside 0..{max_distance}")
             scores[candidate_id] = scores.get(candidate_id, 0.0) + match.score * weight
     return scores

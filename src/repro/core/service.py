@@ -5,9 +5,12 @@ answers a stream of expertise needs, most of them repeats ("who knows
 about X" is heavy-tailed). :class:`ExpertSearchService` wraps one
 finder with
 
-* an LRU result cache keyed by the *normalized* need text plus every
-  parameter that changes the ranking (α, window, top-k), so casing and
-  whitespace variants of one need share an entry;
+* an LRU result cache keyed by the *normalized* need text plus the
+  *effective* value of every parameter that changes the ranking
+  (α, window, top-k) — casing and whitespace variants of one need share
+  an entry, and so do a defaulted parameter and the same value passed
+  explicitly (``alpha=0.6`` with a 0.6-configured finder is one entry,
+  not two);
 * write-through streaming: :meth:`observe` forwards to the finder and
   invalidates the cache (a new resource changes every irf/eirf ratio,
   so no cached ranking survives it);
@@ -103,6 +106,32 @@ class ExpertSearchService:
 
     # -- queries -------------------------------------------------------------------
 
+    def _cache_key(
+        self,
+        text: str,
+        alpha: float | None,
+        window: int | float | None | EllipsisType,
+        top_k: int | None,
+    ) -> tuple:
+        """Canonical cache key: normalized text + *effective* parameters.
+
+        Defaulted parameters resolve to the finder's configured values
+        before keying, so ``find_experts(need)`` and
+        ``find_experts(need, alpha=cfg.alpha, window=cfg.window)`` share
+        one entry. The window keeps its type in the key: ``window=1``
+        (top-1 resource) and ``window=1.0`` (fraction: all resources)
+        hash equal as numbers but rank differently.
+        """
+        config = self._finder.config
+        effective_alpha = config.alpha if alpha is None else alpha
+        effective_window = config.window if window is _UNSET else window
+        return (
+            normalize_need_text(text),
+            effective_alpha,
+            (effective_window.__class__.__name__, effective_window),
+            top_k,
+        )
+
     def find_experts(
         self,
         need: ExpertiseNeed | str,
@@ -115,7 +144,7 @@ class ExpertSearchService:
         :meth:`ExpertFinder.find_experts`, served from the cache when an
         equivalent query was already answered."""
         text = need.text if isinstance(need, ExpertiseNeed) else need
-        key = (normalize_need_text(text), alpha, window, top_k)
+        key = self._cache_key(text, alpha, window, top_k)
         started = self._clock()
         cached = self._cache.get(key)
         if cached is not None:

@@ -15,6 +15,11 @@ from repro.index.parallel import analyze_tasks, build_indexes
 from repro.index.statistics import CollectionStatistics
 from repro.index.vsm import ResourceMatch, VectorSpaceRetriever
 
+# NOTE: repro.index.columnar is deliberately NOT imported here — it
+# depends on core.* submodules, which import this package mid-init
+# (see "Layering rules" in docs/architecture.md). Import it directly:
+# ``from repro.index.columnar import ColumnarQueryEngine``.
+
 __all__ = [
     "AnalyzedResource",
     "CollectionStatistics",

@@ -1,0 +1,332 @@
+"""Columnar query engine: the serving-tier fast path for Eq. 1 → window → Eq. 3.
+
+The object path (``VectorSpaceRetriever`` + ``ExpertRanker``) walks
+string-keyed dicts, materializes a :class:`~repro.index.vsm.ResourceMatch`
+per matching document, and re-resolves every supporter relation through
+the ``evidence_of`` mapping on each query. That representation is ideal
+for explainability (``match_resources`` returns the per-resource score
+breakdown) but pays object churn on every cache miss.
+
+:class:`ColumnarQueryEngine` is *compiled* from a built retriever +
+evidence relation + config into flat, query-independent columns
+(cf. production expert-mining systems, which serve from dense integer
+ids and precomputed per-candidate arrays — Spasojevic et al.):
+
+* **interning** — doc ids and candidate ids become dense integer
+  indexes, assigned in sorted-id order so integer comparisons reproduce
+  the object path's ``(-score, id)`` string tie-breaks exactly;
+* **flat postings** — each term's / entity's weighted postings
+  (``tf·irf²`` and ``ef·eirf²·we``, the same memoized products the
+  retriever uses) are stored as parallel ``array('l')`` /``array('d')``
+  columns;
+* **fused scoring** — Eq. 1 accumulates document-at-a-time into a flat
+  float accumulator plus a touched-docs list (no string-keyed dicts, no
+  per-document objects), the window selects top docs over ``(-score,
+  doc index)`` tuples, and Eq. 3 walks a CSR supporters layout
+  (per-doc offsets → candidate index + precomputed ``wr`` weight)
+  straight into a flat per-candidate accumulator.
+
+Rankings are **byte-identical** to the object path: the engine repeats
+its float operations in the same order — per-posting products from the
+same collection statistics, per-document accumulation in postings
+order, ``α·t + (1−α)·e`` combination, rank-ordered Eq.-3 folding with
+table-looked-up ``wr`` — and breaks ties on interned ids, which order
+exactly like the underlying strings. ``tests/index/test_columnar.py``
+pins the equivalence over randomized collections and parameter sweeps.
+
+The engine is a *snapshot* of the collection: after streaming updates
+(``ExpertFinder.observe``) it must be recompiled (the finder does this
+lazily). Scratch accumulators are reused across queries, so one engine
+instance must not be shared across threads.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Mapping, Sequence
+
+# Direct submodule imports only — ``repro.index`` is imported by
+# ``repro.core``, so pulling core *package* attributes here would cycle.
+from repro.core.config import FinderConfig
+from repro.core.ranking import ExpertScore
+from repro.core.scoring import distance_weight_table, window_size
+from repro.index.analyzer import AnalyzedResource
+from repro.index.vsm import VectorSpaceRetriever, entity_weight
+
+
+class ColumnarQueryEngine:
+    """Compiled columnar form of one finder's query evaluation.
+
+    Build instances with :meth:`compile`; one engine answers queries for
+    any ``alpha``/``window``/``top_k`` (the compiled columns keep the
+    term and entity legs separate, so α is applied at query time), but
+    bakes in the config's ``max_distance``, ``weight_interval`` and
+    ``normalize`` — the rank-time parameters ``find_experts`` never
+    overrides per call.
+    """
+
+    def __init__(
+        self,
+        *,
+        doc_ids: list[str],
+        cand_ids: list[str],
+        term_cols: dict[str, tuple[array, array]],
+        entity_cols: dict[str, tuple[array, array]],
+        sup_offsets: array,
+        sup_cand: array,
+        sup_weight: array,
+        normalize: bool,
+    ):
+        self._doc_ids = doc_ids
+        self._cand_ids = cand_ids
+        self._term_cols = term_cols
+        self._entity_cols = entity_cols
+        self._sup_offsets = sup_offsets
+        self._sup_cand = sup_cand
+        self._sup_weight = sup_weight
+        #: per-doc iteration windows over the CSR columns, precreated so
+        #: the rank loop pays one list getitem instead of two offset
+        #: reads and a range allocation per windowed document
+        self._sup_ranges = [
+            range(sup_offsets[i], sup_offsets[i + 1])
+            for i in range(len(doc_ids))
+        ]
+        self._normalize = normalize
+        self._init_scratch()
+
+    def _init_scratch(self) -> None:
+        # scratch accumulators are plain lists: element access on a list
+        # returns the stored float object directly, where array('d')
+        # would box a fresh one per read — and these are the hottest
+        # reads in the engine (reset per query via the touched lists)
+        n_docs = len(self._doc_ids)
+        n_cands = len(self._cand_ids)
+        self._term_acc = [0.0] * n_docs
+        self._entity_acc = [0.0] * n_docs
+        self._doc_flags = bytearray(n_docs)
+        self._cand_acc = [0.0] * n_cands
+        self._cand_support = [0] * n_cands
+        self._cand_flags = bytearray(n_cands)
+
+    # -- compilation ---------------------------------------------------------------
+
+    @classmethod
+    def compile(
+        cls,
+        retriever: VectorSpaceRetriever,
+        evidence_of: Mapping[str, Sequence[tuple[str, int]]],
+        config: FinderConfig,
+    ) -> "ColumnarQueryEngine":
+        """Compile *retriever* + *evidence_of* under *config*.
+
+        The per-posting weights are computed with the retriever's own
+        :class:`~repro.index.statistics.CollectionStatistics` and
+        exponent, repeating ``tf·irf^p`` / ``ef·eirf^p·we`` with the
+        exact float operations of the object path.
+        """
+        term_index = retriever.term_index
+        entity_index = retriever.entity_index
+        stats = retriever.statistics
+        exponent = retriever.idf_exponent
+
+        doc_ids = sorted(term_index.doc_ids() | entity_index.doc_ids())
+        doc_of = {doc_id: i for i, doc_id in enumerate(doc_ids)}
+
+        term_cols: dict[str, tuple[array, array]] = {}
+        for term, postings in term_index.items():
+            weight = stats.irf(term) ** exponent
+            if weight == 0.0:
+                continue
+            term_cols[term] = (
+                array("l", (doc_of[p.doc_id] for p in postings)),
+                array("d", (p.term_frequency * weight for p in postings)),
+            )
+
+        entity_cols: dict[str, tuple[array, array]] = {}
+        for uri, postings in entity_index.items():
+            weight = stats.eirf(uri) ** exponent
+            if weight == 0.0:
+                continue
+            entity_cols[uri] = (
+                array("l", (doc_of[p.doc_id] for p in postings)),
+                array(
+                    "d",
+                    (
+                        p.entity_frequency * weight * entity_weight(p.d_score)
+                        for p in postings
+                    ),
+                ),
+            )
+
+        # CSR supporters: per-doc offsets into parallel candidate-index
+        # and wr columns, preserving the evidence list order (which fixes
+        # the Eq.-3 float summation order). Evidence for non-indexed
+        # resources (e.g. non-English observes) can never match and is
+        # simply not compiled in.
+        cand_ids = sorted(
+            {cid for supporters in evidence_of.values() for cid, _ in supporters}
+        )
+        cand_of = {cid: i for i, cid in enumerate(cand_ids)}
+        weight_of = distance_weight_table(config.max_distance, config.weight_interval)
+        sup_offsets = array("l", [0])
+        sup_cand = array("l")
+        sup_weight = array("d")
+        for doc_id in doc_ids:
+            for cid, distance in evidence_of.get(doc_id, ()):
+                weight = weight_of.get(distance)
+                if weight is None:
+                    raise ValueError(
+                        f"distance {distance} outside 0..{config.max_distance}"
+                    )
+                sup_cand.append(cand_of[cid])
+                sup_weight.append(weight)
+            sup_offsets.append(len(sup_cand))
+
+        return cls(
+            doc_ids=doc_ids,
+            cand_ids=cand_ids,
+            term_cols=term_cols,
+            entity_cols=entity_cols,
+            sup_offsets=sup_offsets,
+            sup_cand=sup_cand,
+            sup_weight=sup_weight,
+            normalize=config.normalize,
+        )
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def document_count(self) -> int:
+        return len(self._doc_ids)
+
+    @property
+    def candidate_count(self) -> int:
+        return len(self._cand_ids)
+
+    # -- query evaluation ----------------------------------------------------------
+
+    def find_experts(
+        self,
+        query: AnalyzedResource,
+        *,
+        alpha: float,
+        window: int | float | None,
+        top_k: int | None = None,
+    ) -> list[ExpertScore]:
+        """Rank the candidate experts for an analyzed *query* — exactly
+        the object path's ``retrieve → apply_window → ExpertRanker.rank``
+        result (scores, support counts, and order), without materializing
+        per-resource match objects."""
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        window_size(window, 0)  # validate the window shape up front
+        try:
+            return self._find_experts(query, alpha, window, top_k)
+        except BaseException:
+            # scratch accumulators may be mid-query; rebuild them clean
+            self._init_scratch()
+            raise
+
+    def _find_experts(
+        self,
+        query: AnalyzedResource,
+        alpha: float,
+        window: int | float | None,
+        top_k: int | None,
+    ) -> list[ExpertScore]:
+        # Eq. 1, document-at-a-time: flat accumulators + touched list.
+        # Accumulation order matches the object path: query terms in
+        # need order, postings in index order, entities after terms.
+        term_acc = self._term_acc
+        entity_acc = self._entity_acc
+        flags = self._doc_flags
+        touched: list[int] = []
+        touch = touched.append
+        if alpha > 0.0:
+            term_cols = self._term_cols
+            for term in query.term_counts:
+                cols = term_cols.get(term)
+                if cols is None:
+                    continue
+                for doc, weighted in zip(cols[0], cols[1]):
+                    term_acc[doc] += weighted
+                    if not flags[doc]:
+                        flags[doc] = 1
+                        touch(doc)
+        if alpha < 1.0:
+            entity_cols = self._entity_cols
+            for uri in query.entity_counts:
+                cols = entity_cols.get(uri)
+                if cols is None:
+                    continue
+                for doc, weighted in zip(cols[0], cols[1]):
+                    entity_acc[doc] += weighted
+                    if not flags[doc]:
+                        flags[doc] = 1
+                        touch(doc)
+
+        # combine the two legs, keep positive scores, reset the scratch
+        one_minus_alpha = 1.0 - alpha
+        entries: list[tuple[float, int]] = []
+        entry = entries.append
+        for doc in touched:
+            score = alpha * term_acc[doc] + one_minus_alpha * entity_acc[doc]
+            if score > 0.0:
+                entry((-score, doc))
+            term_acc[doc] = 0.0
+            entity_acc[doc] = 0.0
+            flags[doc] = 0
+
+        # window cut over (-score, doc index): interned index order is
+        # sorted-id order, so this is the object path's (-score, doc_id);
+        # sort + truncate picks exactly ``sorted(entries)[:width]``
+        entries.sort()
+        width = window_size(window, len(entries))
+        if width < len(entries):
+            del entries[width:]
+
+        # Eq. 3 fused over the windowed docs (rank order) via CSR
+        sup_ranges = self._sup_ranges
+        sup_cand = self._sup_cand
+        sup_weight = self._sup_weight
+        cand_acc = self._cand_acc
+        cand_support = self._cand_support
+        cand_flags = self._cand_flags
+        cand_touched: list[int] = []
+        cand_touch = cand_touched.append
+        for neg_score, doc in entries:
+            score = -neg_score
+            for j in sup_ranges[doc]:
+                cand = sup_cand[j]
+                cand_acc[cand] += score * sup_weight[j]
+                cand_support[cand] += 1
+                if not cand_flags[cand]:
+                    cand_flags[cand] = 1
+                    cand_touch(cand)
+
+        # EX: positive-score candidates, (-score, candidate) order
+        normalize = self._normalize
+        results: list[tuple[float, int, int]] = []
+        result = results.append
+        for cand in cand_touched:
+            support = cand_support[cand]
+            score = cand_acc[cand]
+            if normalize and support:
+                score = score / support
+            if score > 0.0:
+                result((-score, cand, support))
+            cand_acc[cand] = 0.0
+            cand_support[cand] = 0
+            cand_flags[cand] = 0
+        results.sort()
+        if top_k is not None:
+            results = results[:top_k]
+        cand_ids = self._cand_ids
+        return [
+            ExpertScore(
+                candidate_id=cand_ids[cand],
+                score=-neg_score,
+                supporting_resources=support,
+            )
+            for neg_score, cand, support in results
+        ]

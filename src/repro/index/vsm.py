@@ -88,6 +88,13 @@ class VectorSpaceRetriever:
         return self._stats
 
     @property
+    def idf_exponent(self) -> float:
+        """The exponent applied to irf/eirf in Eq. 1 (read-only use:
+        engine compilation, which must repeat this retriever's float
+        operations exactly)."""
+        return self._idf_exponent
+
+    @property
     def term_index(self) -> InvertedIndex:
         """The underlying term index (read-only use: snapshots, stats)."""
         return self._terms

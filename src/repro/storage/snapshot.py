@@ -223,13 +223,22 @@ def load_finder(
         if isinstance(exc, StorageFormatError):
             raise
         raise StorageFormatError(f"{directory}: malformed snapshot: {exc}") from exc
+    # the builder indexes every resource into both indexes (possibly with
+    # empty postings), so diverging doc-id sets mean a corrupt snapshot —
+    # and would skew the shared collection-frequency denominators
+    if term_index.doc_ids() != entity_index.doc_ids():
+        raise StorageFormatError(
+            f"{directory}: term and entity indexes disagree on the indexed "
+            f"doc ids ({len(term_index.doc_ids())} vs "
+            f"{len(entity_index.doc_ids())})"
+        )
     retriever = VectorSpaceRetriever(
         term_index,
         entity_index,
         CollectionStatistics(term_index, entity_index),
         idf_exponent=config.idf_exponent,
     )
-    return ExpertFinder(
+    finder = ExpertFinder(
         analyzer,
         retriever,
         evidence_of,
@@ -237,3 +246,12 @@ def load_finder(
         evidence_counts=evidence_counts,
         indexed_count=indexed,
     )
+    # compile the columnar engine now: serving processes warm-start from
+    # snapshots, so the first query shouldn't pay compilation — and a
+    # snapshot whose evidence can't compile (e.g. out-of-range distance)
+    # is rejected at load time rather than at first query
+    try:
+        finder.query_engine()
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageFormatError(f"{directory}: malformed snapshot: {exc}") from exc
+    return finder

@@ -62,9 +62,31 @@ class TestCaching:
         service.find_experts("freestyle swimming")
         service.find_experts("freestyle swimming", top_k=1)
         service.find_experts("freestyle swimming", alpha=1.0)
-        service.find_experts("freestyle swimming", window=None)
+        service.find_experts("freestyle swimming", window=5)
         assert service.stats.cache_hits == 0
         assert service.cached_results == 4
+
+    def test_explicit_configured_values_share_entry(self, service, finder):
+        # passing the configured α/window explicitly must not fragment
+        # the cache into a separate entry per spelling of the same query
+        config = finder.config
+        service.find_experts("freestyle swimming")
+        service.find_experts(
+            "freestyle swimming", alpha=config.alpha, window=config.window
+        )
+        service.find_experts("freestyle swimming", alpha=config.alpha)
+        service.find_experts("freestyle swimming", window=config.window)
+        assert service.stats.cache_hits == 3
+        assert service.cached_results == 1
+
+    def test_window_type_keys_the_cache(self, service):
+        # window=1 (top-1 resource) and window=1.0 (fraction of the
+        # matches: all of them) hash equal as numbers but rank
+        # differently — they must not share a cache entry
+        service.find_experts("freestyle swimming training pool", window=1)
+        service.find_experts("freestyle swimming training pool", window=1.0)
+        assert service.stats.cache_hits == 0
+        assert service.cached_results == 2
 
     def test_cached_result_is_a_copy(self, service):
         first = service.find_experts("freestyle swimming")

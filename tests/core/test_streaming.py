@@ -92,3 +92,66 @@ class TestObserve:
     def test_empty_supporters_rejected(self, finder):
         with pytest.raises(ValueError):
             finder.observe("t9", "text", [], language="en")
+
+
+def _both_engines(finder, need, **kwargs):
+    """The ranking from both engines, asserting they agree exactly."""
+    previous = finder.engine
+    finder.engine = "object"
+    reference = finder.find_experts(need, **kwargs)
+    finder.engine = "columnar"
+    columnar = finder.find_experts(need, **kwargs)
+    finder.engine = previous
+    assert columnar == reference
+    return reference
+
+
+class TestStreamingEngineEquivalence:
+    """Interleaved observe() + queries: the recompiled columnar engine
+    must track the object path exactly (satellite of the columnar
+    engine; the window/α sweeps live in tests/index/test_columnar.py)."""
+
+    def test_observe_invalidates_compiled_engine(self, finder):
+        engine = finder.query_engine()
+        assert finder.query_engine() is engine  # cached until observe
+        finder.observe("t2", "swimming laps", [("bob", 1)], language="en")
+        recompiled = finder.query_engine()
+        assert recompiled is not engine
+        assert recompiled.document_count == engine.document_count + 1
+
+    def test_interleaved_observe_and_query(self, finder):
+        need = "freestyle swimming"
+        assert _both_engines(finder, need) == []
+        finder.observe(
+            "t2",
+            "just finished freestyle swimming training at the pool",
+            [("bob", 1)],
+            language="en",
+        )
+        ranked = _both_engines(finder, need)
+        assert [e.candidate_id for e in ranked] == ["bob"]
+        finder.observe(
+            "t3",
+            "freestyle swimming tips for the next open water race",
+            [("alice", 2), ("bob", 2)],
+            language="en",
+        )
+        ranked = _both_engines(finder, need)
+        assert {e.candidate_id for e in ranked} == {"alice", "bob"}
+        # overridden parameters agree too, after the same stream
+        _both_engines(finder, need, alpha=1.0, window=1)
+        _both_engines(finder, need, alpha=0.0, window=None)
+        _both_engines(finder, need, top_k=1)
+
+    def test_non_english_observe_keeps_engines_aligned(self, finder):
+        # the resource is counted as evidence but not indexed; the
+        # compiled engine must not resurrect it as a matchable doc
+        indexed = finder.observe(
+            "it1",
+            "questa e una bella giornata per andare in piscina con gli amici",
+            [("alice", 1)],
+        )
+        assert not indexed
+        assert finder.query_engine().document_count == finder.indexed_resources
+        _both_engines(finder, "guitar rock song")
+        _both_engines(finder, "piscina")

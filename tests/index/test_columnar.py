@@ -1,0 +1,231 @@
+"""Tests for the columnar query engine.
+
+The contract under test is *byte-identical equivalence*: for any
+collection and any (α, window, top_k), ``ColumnarQueryEngine`` must
+return exactly the ranking of the object path (same scores bit for bit,
+same support counts, same tie-breaks). Equivalence is asserted with
+``==`` on the ``ExpertScore`` lists — dataclass equality compares the
+float scores exactly, not approximately.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import FinderConfig
+from repro.core.expert_finder import ExpertFinder
+from repro.index import columnar as columnar_module
+from repro.index.columnar import ColumnarQueryEngine
+from repro.socialgraph.graph import SocialGraph
+from repro.socialgraph.metamodel import Platform, RelationKind, Resource, UserProfile
+
+ALPHAS = (0.0, 0.6, 1.0)
+WINDOWS = (None, 1, 10, 0.5, 1.0)
+
+_VOCAB = (
+    "swimming freestyle pool race training guitar rock chords song stage "
+    "pasta recipe kitchen sauce pizza tennis serve match espresso milan "
+    "python compiler index query engine medal water band tour olympic"
+).split()
+
+
+def both_engines(finder, need, **kwargs):
+    """Rank *need* on both engines, assert exact equality, return it."""
+    finder.engine = "object"
+    reference = finder.find_experts(need, **kwargs)
+    finder.engine = "columnar"
+    result = finder.find_experts(need, **kwargs)
+    assert result == reference
+    return result
+
+
+def build_random_finder(analyzer, seed, *, config=None):
+    """A finder over a small seeded-random collection: random texts,
+    random multi-supporter evidence at random distances (streamed via
+    ``observe``, which accepts arbitrary distance structure)."""
+    rng = random.Random(seed)
+    candidates = [f"cand{i}" for i in range(rng.randint(3, 6))]
+    g = SocialGraph(Platform.TWITTER)
+    for cid in candidates:
+        g.add_profile(
+            UserProfile(profile_id=cid, platform=Platform.TWITTER, display_name=cid)
+        )
+    g.add_resource(
+        Resource(resource_id="seed", platform=Platform.TWITTER,
+                 text=" ".join(rng.choices(_VOCAB, k=8)), language="en")
+    )
+    g.link_resource(candidates[0], "seed", RelationKind.CREATES)
+    finder = ExpertFinder.build(
+        g, candidates, analyzer, config or FinderConfig(window=None)
+    )
+    for i in range(rng.randint(20, 40)):
+        supporters = [
+            (cid, rng.randint(0, finder.config.max_distance))
+            for cid in rng.sample(candidates, k=rng.randint(1, 3))
+        ]
+        finder.observe(
+            f"r{i}",
+            " ".join(rng.choices(_VOCAB, k=rng.randint(3, 12))),
+            supporters,
+            language="en",
+        )
+    return finder, rng
+
+
+@pytest.fixture(scope="module")
+def tiny_finder(tiny_dataset):
+    """A private finder over the TINY dataset (queries carry entities)."""
+    return ExpertFinder.build(
+        tiny_dataset.graph_for(None),
+        tiny_dataset.candidates_for(None),
+        tiny_dataset.analyzer,
+        FinderConfig(),
+        corpus=tiny_dataset.corpus,
+    )
+
+
+class TestEquivalenceTiny:
+    """Exact equality on the TINY dataset (real entity annotations)."""
+
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    def test_alpha_sweep(self, tiny_finder, tiny_dataset, alpha):
+        for need in tiny_dataset.queries[:8]:
+            both_engines(tiny_finder, need.text, alpha=alpha)
+
+    @pytest.mark.parametrize("window", WINDOWS)
+    def test_window_sweep(self, tiny_finder, tiny_dataset, window):
+        for need in tiny_dataset.queries[:8]:
+            both_engines(tiny_finder, need.text, window=window)
+
+    def test_configured_defaults(self, tiny_finder, tiny_dataset):
+        for need in tiny_dataset.queries:
+            both_engines(tiny_finder, need.text)
+
+    def test_top_k_prefixes(self, tiny_finder, tiny_dataset):
+        need = tiny_dataset.queries[0].text
+        full = both_engines(tiny_finder, need)
+        for k in (0, 1, 3, len(full), len(full) + 5):
+            assert both_engines(tiny_finder, need, top_k=k) == full[:k]
+
+
+class TestEquivalenceRandomized:
+    @pytest.mark.parametrize("seed", (0, 1, 2, 3))
+    def test_random_collections(self, analyzer, seed):
+        finder, rng = build_random_finder(analyzer, seed)
+        for _ in range(12):
+            need = " ".join(rng.choices(_VOCAB, k=rng.randint(1, 4)))
+            both_engines(
+                finder,
+                need,
+                alpha=rng.choice(ALPHAS),
+                window=rng.choice(WINDOWS),
+            )
+
+    def test_normalized_config(self, analyzer):
+        finder, rng = build_random_finder(
+            analyzer, 11, config=FinderConfig(window=None, normalize=True)
+        )
+        for _ in range(6):
+            both_engines(finder, " ".join(rng.choices(_VOCAB, k=3)))
+
+    def test_score_ties_break_identically(self, analyzer):
+        # two candidates supported by the same resources at the same
+        # distances have bit-identical scores; the order must fall back
+        # to candidate id on both paths
+        g = SocialGraph(Platform.TWITTER)
+        for cid in ("zoe", "abe"):
+            g.add_profile(
+                UserProfile(profile_id=cid, platform=Platform.TWITTER, display_name=cid)
+            )
+        g.add_resource(
+            Resource(resource_id="t1", platform=Platform.TWITTER,
+                     text="freestyle swimming training", language="en")
+        )
+        g.link_resource("zoe", "t1", RelationKind.CREATES)
+        finder = ExpertFinder.build(g, ("zoe", "abe"), analyzer, FinderConfig(window=None))
+        finder.observe("t2", "freestyle swimming race", [("zoe", 1), ("abe", 1)],
+                       language="en")
+        finder.observe("t3", "freestyle swimming medal", [("abe", 1), ("zoe", 1)],
+                       language="en")
+        ranked = both_engines(finder, "freestyle swimming")
+        tied = [e.candidate_id for e in ranked if e.score == ranked[0].score]
+        assert tied == sorted(tied)
+
+
+class TestEngineBehavior:
+    def test_compile_introspection(self, tiny_finder):
+        engine = tiny_finder.query_engine()
+        assert engine.document_count == tiny_finder.indexed_resources
+        assert engine.candidate_count > 0
+
+    def test_scratch_reuse_is_clean(self, tiny_finder, tiny_dataset):
+        # repeated + interleaved queries on one engine instance must not
+        # leak accumulator state between calls
+        needs = [n.text for n in tiny_dataset.queries[:4]]
+        tiny_finder.engine = "columnar"
+        first = [tiny_finder.find_experts(n) for n in needs]
+        again = [tiny_finder.find_experts(n) for n in reversed(needs)]
+        assert again == list(reversed(first))
+
+    def test_validation_parity(self, tiny_finder, tiny_dataset):
+        need = tiny_dataset.queries[0].text
+        for engine in ("object", "columnar"):
+            tiny_finder.engine = engine
+            with pytest.raises(ValueError):
+                tiny_finder.find_experts(need, alpha=1.5)
+            with pytest.raises(ValueError):
+                tiny_finder.find_experts(need, alpha=-0.1)
+            with pytest.raises(ValueError):
+                tiny_finder.find_experts(need, window=0)
+            with pytest.raises(ValueError):
+                tiny_finder.find_experts(need, window=1.5)
+            with pytest.raises(ValueError):
+                tiny_finder.find_experts(need, window=True)
+
+    def test_compile_rejects_out_of_range_distance(self, analyzer):
+        g = SocialGraph(Platform.TWITTER)
+        g.add_profile(
+            UserProfile(profile_id="a", platform=Platform.TWITTER, display_name="a")
+        )
+        g.add_resource(
+            Resource(resource_id="t1", platform=Platform.TWITTER,
+                     text="some text here", language="en")
+        )
+        g.link_resource("a", "t1", RelationKind.CREATES)
+        finder = ExpertFinder.build(g, ("a",), analyzer, FinderConfig())
+        broken = {doc: [("a", 99)] for doc in finder.evidence_of}
+        with pytest.raises(ValueError, match="distance"):
+            ColumnarQueryEngine.compile(finder.retriever, broken, finder.config)
+
+    def test_scratch_recovers_after_mid_query_failure(
+        self, tiny_finder, tiny_dataset, monkeypatch
+    ):
+        engine = tiny_finder.query_engine()
+        need = tiny_dataset.queries[0].text
+        query = tiny_finder._analyzer.analyze("__query__", need, language="en")
+        expected = engine.find_experts(query, alpha=0.6, window=100)
+
+        real = columnar_module.window_size
+        calls = {"n": 0}
+
+        def flaky(window, total):
+            calls["n"] += 1
+            if calls["n"] == 2:  # first call validates, second is mid-query
+                raise RuntimeError("boom")
+            return real(window, total)
+
+        monkeypatch.setattr(columnar_module, "window_size", flaky)
+        with pytest.raises(RuntimeError):
+            engine.find_experts(query, alpha=0.6, window=100)
+        monkeypatch.setattr(columnar_module, "window_size", real)
+        # the failed query dirtied the accumulators mid-flight; the next
+        # query must still be exact
+        assert engine.find_experts(query, alpha=0.6, window=100) == expected
+
+    def test_engine_selector_validation(self, tiny_finder):
+        with pytest.raises(ValueError):
+            tiny_finder.engine = "simd"
+        tiny_finder.engine = "columnar"
+        assert tiny_finder.engine == "columnar"

@@ -1,11 +1,36 @@
 """Finder snapshot round-trip tests over the TINY dataset."""
 
+import gzip
+import json
+
 import pytest
 
 from repro.core.config import FinderConfig
 from repro.core.expert_finder import ExpertFinder
+from repro.index.entity_index import EntityIndex, EntityPosting
+from repro.index.inverted import InvertedIndex, Posting
 from repro.storage.jsonl import StorageFormatError
 from repro.storage.snapshot import SNAPSHOT_VERSION, load_finder, save_finder
+
+
+def _mutate_records(path, mutate):
+    """Structurally rewrite one record of a gzipped jsonl file: *mutate*
+    takes each parsed record and returns True once it has edited one."""
+    with gzip.open(path, "rt", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    done = False
+    records = []
+    for line in lines[1:]:
+        record = json.loads(line)
+        if not done:
+            done = bool(mutate(record))
+        records.append(record)
+    assert done, "mutator never found a record to edit"
+    out = [lines[0]] + [
+        json.dumps(r, separators=(",", ":"), sort_keys=True) for r in records
+    ]
+    with gzip.open(path, "wt", encoding="utf-8") as fh:
+        fh.write("\n".join(out) + "\n")
 
 
 @pytest.fixture(scope="module")
@@ -114,3 +139,99 @@ class TestFormatGuards:
         (directory / "meta.jsonl").write_text("not json\n", encoding="utf-8")
         with pytest.raises(StorageFormatError):
             load_finder(directory, tiny_dataset.analyzer)
+
+
+class TestContentValidation:
+    """Corrupt snapshot *content* (well-formed jsonl, bad data) must be
+    rejected at load time, on both index files symmetrically."""
+
+    @pytest.fixture
+    def snapshot(self, built_finder, tmp_path):
+        directory = tmp_path / "snap"
+        save_finder(built_finder, directory)
+        return directory
+
+    def test_rejects_unknown_doc_in_term_postings(self, snapshot, tiny_dataset):
+        def mutate(record):
+            if record["type"] == "term" and record["p"]:
+                record["p"][0][0] = "ghost-doc"
+                return True
+
+        _mutate_records(snapshot / "term_index.jsonl.gz", mutate)
+        with pytest.raises(StorageFormatError, match="ghost-doc"):
+            load_finder(snapshot, tiny_dataset.analyzer)
+
+    def test_rejects_unknown_doc_in_entity_postings(self, snapshot, tiny_dataset):
+        def mutate(record):
+            if record["type"] == "entity" and record["p"]:
+                record["p"][0][0] = "ghost-doc"
+                return True
+
+        _mutate_records(snapshot / "entity_index.jsonl.gz", mutate)
+        with pytest.raises(StorageFormatError, match="ghost-doc"):
+            load_finder(snapshot, tiny_dataset.analyzer)
+
+    def test_rejects_non_positive_term_frequency(self, snapshot, tiny_dataset):
+        def mutate(record):
+            if record["type"] == "term" and record["p"]:
+                record["p"][0][1] = 0
+                return True
+
+        _mutate_records(snapshot / "term_index.jsonl.gz", mutate)
+        with pytest.raises(StorageFormatError):
+            load_finder(snapshot, tiny_dataset.analyzer)
+
+    def test_rejects_negative_d_score(self, snapshot, tiny_dataset):
+        def mutate(record):
+            if record["type"] == "entity" and record["p"]:
+                record["p"][0][2] = -0.5
+                return True
+
+        _mutate_records(snapshot / "entity_index.jsonl.gz", mutate)
+        with pytest.raises(StorageFormatError):
+            load_finder(snapshot, tiny_dataset.analyzer)
+
+    def test_rejects_diverging_doc_id_sets(self, snapshot, tiny_dataset):
+        def mutate(record):
+            if record["type"] == "docs":
+                record["ids"].append("extra-doc")
+                return True
+
+        _mutate_records(snapshot / "entity_index.jsonl.gz", mutate)
+        with pytest.raises(StorageFormatError, match="disagree"):
+            load_finder(snapshot, tiny_dataset.analyzer)
+
+    def test_rejects_out_of_range_evidence_distance(
+        self, snapshot, built_finder, tiny_dataset
+    ):
+        # caught by the eager engine compile: the evidence record refers
+        # to a distance the configured weight table cannot weight (the
+        # corrupted doc must be indexed — only indexed evidence compiles)
+        indexed = built_finder.retriever.term_index.doc_ids()
+
+        def mutate(record):
+            if (
+                record["type"] == "evidence"
+                and record["doc"] in indexed
+                and record["s"]
+            ):
+                record["s"][0][1] = 99
+                return True
+
+        _mutate_records(snapshot / "evidence.jsonl.gz", mutate)
+        with pytest.raises(StorageFormatError, match="distance"):
+            load_finder(snapshot, tiny_dataset.analyzer)
+
+
+class TestLoadedEngine:
+    def test_engine_compiled_at_load(self, loaded_finder):
+        # serving warm-starts from snapshots: the columnar engine must be
+        # ready before the first query, not compiled lazily on it
+        assert loaded_finder._engine is not None
+        assert loaded_finder.engine == "columnar"
+
+    def test_restore_rejects_unknown_doc_ids_directly(self):
+        with pytest.raises(ValueError, match="unknown document"):
+            InvertedIndex.restore(["d1"], {"t": [Posting("d2", 1)]})
+        with pytest.raises(ValueError, match="unknown document"):
+            EntityIndex.restore(["d1"], {"e": [EntityPosting("d2", 1, 0.5)]})
