@@ -6,6 +6,7 @@
     repro info --dataset data/small                          # dataset stats
     repro query "best freestyle swimmer" --dataset data/small --top-k 5
     repro index --dataset data/small --out data/small.idx    # finder snapshot
+    repro index --snapshot data/small.idx --compact --out data/small.opt
     repro serve-bench --dataset data/small --snapshot data/small.idx
     repro experiments --only tab3,fig7 --scale tiny          # reproduce paper
 
@@ -134,6 +135,10 @@ def _build_finder(
         build_kwargs["workers"] = args.workers
     if getattr(args, "chunk_size", None):
         build_kwargs["chunk_size"] = args.chunk_size
+    if getattr(args, "index_mode", "monolithic") != "monolithic":
+        build_kwargs["index_mode"] = args.index_mode
+    if getattr(args, "seal_threshold", None):
+        build_kwargs["seal_threshold"] = args.seal_threshold
     return ExpertFinder.build(
         dataset.graph_for(platform),
         dataset.candidates_for(platform),
@@ -147,15 +152,42 @@ def _build_finder(
 def _cmd_index(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args)
     t0 = time.time()
-    finder = _build_finder(dataset, args)
+    if args.snapshot:
+        finder = _load_snapshot(args.snapshot, dataset)
+        source = f"snapshot {args.snapshot}"
+    else:
+        finder = _build_finder(dataset, args)
+        source = "cold build"
+    if args.compact:
+        segmented = finder.segmented_index
+        if segmented is None:
+            raise SystemExit(
+                "error: --compact requires a segmented finder "
+                "(build with --index-mode segmented or load a segmented snapshot)"
+            )
+        before = segmented.stats
+        segmented.compact(full=True)
+        after = segmented.stats
+        print(
+            f"compacted {before.segments} segment(s) + "
+            f"{before.buffered} buffered resource(s) → "
+            f"{after.segments} segment(s)"
+        )
     built = time.time()
     finder.save(args.out)
     saved = time.time()
     print(
-        f"indexed {finder.indexed_resources} resources for "
-        f"{len(dataset.candidates_for(_PLATFORMS[args.platform]))} candidates "
-        f"(build {built - t0:.1f}s, save {saved - built:.1f}s) → {args.out}"
+        f"indexed {finder.indexed_resources} resources "
+        f"({source}, {built - t0:.1f}s; save {saved - built:.1f}s) → {args.out}"
     )
+    seg_stats = finder.index_stats
+    if seg_stats is not None:
+        print(
+            f"segments: {seg_stats.segments} live "
+            f"(docs per segment: {list(seg_stats.segment_docs)}), "
+            f"{seg_stats.buffered} buffered, "
+            f"{seg_stats.seals} seals, {seg_stats.compactions} compactions"
+        )
     stats = finder.build_stats
     if stats is not None:
         print(f"build stages: {stats.render()}")
@@ -174,7 +206,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         finder = _build_finder(dataset, args)
         source = "cold build"
     finder.engine = args.engine
-    if args.engine == "columnar":
+    if args.engine == "columnar" and finder.index_mode == "monolithic":
         finder.query_engine()  # compile before timing starts
     ready = time.time()
     service = ExpertSearchService(finder, cache_size=args.cache_size)
@@ -185,13 +217,25 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     elapsed = time.time() - started
     stats = service.stats
     qps = stats.queries / elapsed if elapsed > 0 else float("inf")
-    print(f"finder ready in {ready - t0:.1f}s ({source}, {args.engine} engine)")
+    engine_label = (
+        "segmented index"
+        if finder.index_mode == "segmented"
+        else f"{args.engine} engine"
+    )
+    print(f"finder ready in {ready - t0:.1f}s ({source}, {engine_label})")
     print(
         f"{stats.queries} queries in {elapsed:.2f}s — {qps:.0f} q/s, "
         f"hit rate {stats.hit_rate:.0%}, "
         f"p50 {stats.p50_latency * 1e3:.2f}ms, "
         f"p95 {stats.p95_latency * 1e3:.2f}ms"
     )
+    if finder.index_mode == "segmented":
+        print(
+            f"segments: {stats.segments} live, {stats.buffered_docs} buffered, "
+            f"{stats.compactions} compactions, "
+            f"cache survivals {stats.cache_survivals} vs "
+            f"clears {stats.invalidations}"
+        )
     return 0
 
 
@@ -299,6 +343,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore the dataset's pre-analyzed corpus and re-analyze "
         "every node (exercises the full parallel pipeline)",
     )
+    p_index.add_argument(
+        "--snapshot",
+        help="start from an existing snapshot instead of building "
+        "(e.g. to --compact it into a fresh snapshot)",
+    )
+    p_index.add_argument(
+        "--index-mode",
+        choices=("monolithic", "segmented"),
+        default="monolithic",
+        help="index layout: one monolithic collection or sealed segments "
+        "+ write buffer (rankings are identical)",
+    )
+    p_index.add_argument(
+        "--seal-threshold",
+        type=int,
+        default=None,
+        help="segmented mode: buffer size (resources) at which it seals",
+    )
+    p_index.add_argument(
+        "--compact",
+        action="store_true",
+        help="segmented mode: merge all segments (and the buffer) into "
+        "one segment before saving",
+    )
     p_index.set_defaults(func=_cmd_index)
 
     p_serve = sub.add_parser(
@@ -320,6 +388,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("columnar", "object"),
         default="columnar",
         help="query engine for cache misses (object = reference path)",
+    )
+    p_serve.add_argument(
+        "--index-mode",
+        choices=("monolithic", "segmented"),
+        default="monolithic",
+        help="index layout when building (ignored with --snapshot, which "
+        "carries its own mode)",
+    )
+    p_serve.add_argument(
+        "--seal-threshold",
+        type=int,
+        default=None,
+        help="segmented mode: buffer size (resources) at which it seals",
     )
     p_serve.set_defaults(func=_cmd_serve_bench)
 

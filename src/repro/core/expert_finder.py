@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.index.columnar import ColumnarQueryEngine
+    from repro.index.segments import SegmentedIndex, SegmentStats
 
 from repro.core.build_stats import BuildStats
 from repro.core.config import FinderConfig
@@ -48,6 +49,12 @@ _UNSET: EllipsisType = ...
 #: reference retriever/ranker path; both rank byte-identically
 _ENGINES = ("columnar", "object")
 
+#: index layouts: "monolithic" keeps one retriever/engine over the whole
+#: collection (observes invalidate the compiled engine); "segmented"
+#: serves from a :class:`~repro.index.segments.SegmentedIndex` (observes
+#: touch only its write buffer)
+_INDEX_MODES = ("monolithic", "segmented")
+
 
 class ExpertFinder:
     """Find experts for expertise needs within a candidate population."""
@@ -55,18 +62,24 @@ class ExpertFinder:
     def __init__(
         self,
         analyzer: ResourceAnalyzer,
-        retriever: VectorSpaceRetriever,
+        retriever: VectorSpaceRetriever | None,
         evidence_of: Mapping[str, Sequence[tuple[str, int]]],
         config: FinderConfig,
         *,
         evidence_counts: Mapping[str, int],
         indexed_count: int,
         engine: str = "columnar",
+        segmented: "SegmentedIndex | None" = None,
     ):
         if engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        if (retriever is None) == (segmented is None):
+            raise ValueError(
+                "exactly one of retriever (monolithic) or segmented must be given"
+            )
         self._analyzer = analyzer
         self._retriever = retriever
+        self._segmented = segmented
         self._evidence_of = evidence_of
         self._ranker = ExpertRanker(evidence_of, config)
         self._config = config
@@ -91,6 +104,9 @@ class ExpertFinder:
         workers: int = 1,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         analyzer_factory: Callable[[], ResourceAnalyzer] | None = None,
+        index_mode: str = "monolithic",
+        seal_threshold: int | None = None,
+        compaction: str = "synchronous",
     ) -> "ExpertFinder":
         """Build a finder over *graph*.
 
@@ -111,8 +127,20 @@ class ExpertFinder:
         *analyzer_factory* is only needed on platforms without ``fork``).
         Results are identical for any worker count; per-stage timings
         are exposed as :attr:`build_stats`.
+
+        *index_mode* selects the index layout: ``"monolithic"`` (one
+        retriever over the whole collection, the default) or
+        ``"segmented"`` (the built indexes become the base segment of a
+        :class:`~repro.index.segments.SegmentedIndex`; streamed observes
+        then touch only its write buffer, which seals every
+        *seal_threshold* resources and compacts per *compaction* —
+        rankings are byte-identical either way).
         """
         config = config or FinderConfig()
+        if index_mode not in _INDEX_MODES:
+            raise ValueError(
+                f"index_mode must be one of {_INDEX_MODES}, got {index_mode!r}"
+            )
         if not candidates:
             raise ValueError("candidates must be non-empty")
         if isinstance(candidates, Mapping):
@@ -168,6 +196,41 @@ class ExpertFinder:
             documents, workers=workers, chunk_size=chunk_size
         )
         index_s = time.perf_counter() - t0
+
+        if index_mode == "segmented":
+            from repro.index.segments import DEFAULT_SEAL_THRESHOLD, SegmentedIndex
+
+            segmented = SegmentedIndex.from_built(
+                term_index,
+                entity_index,
+                evidence_of,
+                config,
+                seal_threshold=(
+                    DEFAULT_SEAL_THRESHOLD
+                    if seal_threshold is None
+                    else seal_threshold
+                ),
+                compaction=compaction,
+            )
+            finder = cls(
+                analyzer,
+                None,
+                evidence_of,
+                config,
+                evidence_counts=evidence_counts,
+                indexed_count=len(documents),
+                segmented=segmented,
+            )
+            finder._build_stats = BuildStats(
+                workers=workers,
+                nodes=len(unique_nodes),
+                analyzed=len(tasks),
+                indexed=len(documents),
+                gather_s=gather_s,
+                analyze_s=analyze_s,
+                index_s=index_s,
+            )
+            return finder
 
         retriever = VectorSpaceRetriever(
             term_index,
@@ -225,8 +288,32 @@ class ExpertFinder:
 
     @property
     def retriever(self) -> VectorSpaceRetriever:
-        """The underlying retriever (read-only use: snapshots, stats)."""
+        """The underlying retriever (read-only use: snapshots, stats).
+
+        Only monolithic finders have one — a segmented finder's
+        collection lives in its :attr:`segmented_index`."""
+        if self._retriever is None:
+            raise RuntimeError(
+                "a segmented finder has no monolithic retriever; "
+                "use segmented_index"
+            )
         return self._retriever
+
+    @property
+    def index_mode(self) -> str:
+        """The index layout: "monolithic" or "segmented"."""
+        return "monolithic" if self._segmented is None else "segmented"
+
+    @property
+    def segmented_index(self) -> "SegmentedIndex | None":
+        """The segmented index (None for monolithic finders)."""
+        return self._segmented
+
+    @property
+    def index_stats(self) -> "SegmentStats | None":
+        """Segment/buffer gauges of the segmented index; None for
+        monolithic finders."""
+        return None if self._segmented is None else self._segmented.stats
 
     @property
     def evidence_of(self) -> Mapping[str, Sequence[tuple[str, int]]]:
@@ -272,9 +359,17 @@ class ExpertFinder:
 
     def query_engine(self) -> "ColumnarQueryEngine":
         """The compiled columnar engine for the current collection,
-        compiling it on first use. :meth:`observe` invalidates the
-        compiled form (the collection statistics shift), so the next
-        query pays one recompile."""
+        compiling it on first use. An indexing :meth:`observe`
+        invalidates the compiled form (the collection statistics shift),
+        so the next query pays one recompile.
+
+        Monolithic finders only — a segmented finder never compiles a
+        whole-collection engine (that is the point of the segments)."""
+        if self._segmented is not None:
+            raise RuntimeError(
+                "a segmented finder has no whole-collection engine; "
+                "queries evaluate across its segments"
+            )
         if self._engine is None:
             from repro.index.columnar import ColumnarQueryEngine
 
@@ -301,8 +396,13 @@ class ExpertFinder:
         the index (False for non-English content, which is observed as
         evidence but not indexed, mirroring the build-time language cut).
 
-        Collection statistics are invalidated, so subsequent queries see
-        updated irf/eirf values immediately.
+        On a monolithic finder an indexing observe invalidates the
+        compiled columnar engine (the collection statistics shift); on a
+        segmented finder it lands in the write buffer and no compiled
+        state is lost. Either way subsequent queries see updated
+        irf/eirf values immediately. A non-indexing observe changes no
+        statistics and cannot match any query, so compiled state always
+        survives it.
         """
         if not supporters:
             raise ValueError("a resource must support at least one candidate")
@@ -316,18 +416,21 @@ class ExpertFinder:
         if node_id in self._evidence_of:
             raise ValueError(f"resource {node_id!r} already observed")
 
+        analyzed = self._analyzer.analyze(node_id, text, language=language)
+        indexed = analyzed.language in _INDEXABLE_LANGUAGES
+        if self._segmented is not None:
+            self._segmented.add(analyzed, supporters, index=indexed)
+        elif indexed:
+            # the compiled engine snapshots the collection and the
+            # evidence relation — drop it so the next query recompiles
+            self._engine = None
+            self._retriever.add_document(analyzed)
         self._evidence_of[node_id] = list(supporters)
         for candidate_id, _ in supporters:
             self._evidence_counts[candidate_id] += 1
-        # the compiled engine snapshots the collection and the evidence
-        # relation — drop it so the next query recompiles against both
-        self._engine = None
-        analyzed = self._analyzer.analyze(node_id, text, language=language)
-        if analyzed.language not in _INDEXABLE_LANGUAGES:
-            return False
-        self._retriever.add_document(analyzed)
-        self._indexed_count += 1
-        return True
+        if indexed:
+            self._indexed_count += 1
+        return indexed
 
     def match_resources(
         self,
@@ -347,6 +450,10 @@ class ExpertFinder:
         text = need.text if isinstance(need, ExpertiseNeed) else need
         query = self._analyzer.analyze("__query__", text, language="en")
         effective_alpha = self._config.alpha if alpha is None else alpha
+        if self._segmented is not None:
+            if limit is None:
+                return self._segmented.retrieve(query, effective_alpha)
+            return self._segmented.retrieve_top_k(query, effective_alpha, limit)
         if limit is None:
             return self._retriever.retrieve(query, effective_alpha)
         return self._retriever.retrieve_top_k(query, effective_alpha, limit)
@@ -396,9 +503,11 @@ class ExpertFinder:
 
         With the default "columnar" :attr:`engine`, evaluation runs on
         the compiled :class:`~repro.index.columnar.ColumnarQueryEngine`
-        (flat accumulators, no per-resource objects); the "object"
-        engine is the reference retriever/ranker path. Both produce the
-        same list, bit for bit.
+        (flat accumulators, no per-resource objects) — or, in segmented
+        :attr:`index_mode`, document-at-a-time across the live segments
+        plus the write buffer; the "object" engine is the reference
+        retriever/ranker path. All paths produce the same list, bit for
+        bit.
 
         On the object path, when the effective window is an absolute
         resource count, only the top-window matches can contribute to
@@ -411,6 +520,13 @@ class ExpertFinder:
             text = need.text if isinstance(need, ExpertiseNeed) else need
             query = self._analyzer.analyze("__query__", text, language="en")
             effective_alpha = self._config.alpha if alpha is None else alpha
+            if self._segmented is not None:
+                return self._segmented.find_experts(
+                    query,
+                    alpha=effective_alpha,
+                    window=effective_window,
+                    top_k=top_k,
+                )
             return self.query_engine().find_experts(
                 query, alpha=effective_alpha, window=effective_window, top_k=top_k
             )

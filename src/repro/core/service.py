@@ -12,8 +12,9 @@ finder with
   explicitly (``alpha=0.6`` with a 0.6-configured finder is one entry,
   not two);
 * write-through streaming: :meth:`observe` forwards to the finder and
-  invalidates the cache (a new resource changes every irf/eirf ratio,
-  so no cached ranking survives it);
+  invalidates the cache when the resource was indexed (it changes every
+  irf/eirf ratio, so no cached ranking survives it) — non-indexed
+  observes cannot change any cached result and leave the cache warm;
 * per-query latency counters (count, hit/miss split, p50/p95) for the
   serving benchmarks and operational visibility.
 
@@ -45,7 +46,15 @@ def normalize_need_text(text: str) -> str:
 
 @dataclass(frozen=True)
 class ServiceStats:
-    """Operational counters of one :class:`ExpertSearchService`."""
+    """Operational counters of one :class:`ExpertSearchService`.
+
+    The last four fields are segment/buffer gauges for streaming steady
+    state: observes that could not change any cached result keep the
+    cache (``cache_survivals``) instead of clearing it
+    (``invalidations``), and a segmented finder additionally reports its
+    live segment count, buffered resources, and compaction merges
+    (all 0 for monolithic finders).
+    """
 
     queries: int
     cache_hits: int
@@ -55,6 +64,10 @@ class ServiceStats:
     invalidations: int
     p50_latency: float
     p95_latency: float
+    cache_survivals: int = 0
+    segments: int = 0
+    buffered_docs: int = 0
+    compactions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -99,6 +112,7 @@ class ExpertSearchService:
         self._misses = 0
         self._observed = 0
         self._invalidations = 0
+        self._cache_survivals = 0
 
     @property
     def finder(self) -> ExpertFinder:
@@ -191,14 +205,22 @@ class ExpertSearchService:
         *,
         language: str | None = None,
     ) -> bool:
-        """Forward one new resource to the finder and invalidate the
-        cache — streamed evidence changes every collection-frequency
-        ratio, so no cached ranking stays valid."""
+        """Forward one new resource to the finder; invalidate the cache
+        only when the observe could change a cached ranking.
+
+        An *indexed* resource changes every collection-frequency ratio,
+        so no cached ranking stays valid. A non-indexed one (the
+        language cut) changes no statistics and can never match a query
+        — every cached result would be recomputed identically, so the
+        cache survives (counted as a ``cache_survival``)."""
         indexed = self._finder.observe(
             node_id, text, supporters, language=language
         )
         self._observed += 1
-        self.invalidate()
+        if indexed:
+            self.invalidate()
+        else:
+            self._cache_survivals += 1
         return indexed
 
     def invalidate(self) -> None:
@@ -220,6 +242,7 @@ class ExpertSearchService:
     @property
     def stats(self) -> ServiceStats:
         ordered = sorted(self._latencies)
+        index_stats = self._finder.index_stats
         return ServiceStats(
             queries=self._queries,
             cache_hits=self._hits,
@@ -229,6 +252,10 @@ class ExpertSearchService:
             invalidations=self._invalidations,
             p50_latency=_percentile(ordered, 50),
             p95_latency=_percentile(ordered, 95),
+            cache_survivals=self._cache_survivals,
+            segments=0 if index_stats is None else index_stats.segments,
+            buffered_docs=0 if index_stats is None else index_stats.buffered,
+            compactions=0 if index_stats is None else index_stats.compactions,
         )
 
     def _record_latency(self, elapsed: float) -> None:

@@ -15,10 +15,12 @@ from repro.index.parallel import analyze_tasks, build_indexes
 from repro.index.statistics import CollectionStatistics
 from repro.index.vsm import ResourceMatch, VectorSpaceRetriever
 
-# NOTE: repro.index.columnar is deliberately NOT imported here — it
-# depends on core.* submodules, which import this package mid-init
-# (see "Layering rules" in docs/architecture.md). Import it directly:
-# ``from repro.index.columnar import ColumnarQueryEngine``.
+# NOTE: repro.index.columnar and repro.index.segments are deliberately
+# NOT imported here — they depend on core.* submodules, which import
+# this package mid-init (see "Layering rules" in docs/architecture.md).
+# Import them directly:
+# ``from repro.index.columnar import ColumnarQueryEngine``
+# ``from repro.index.segments import SegmentedIndex``.
 
 __all__ = [
     "AnalyzedResource",

@@ -33,12 +33,21 @@ class EntityIndex:
     def __init__(self) -> None:
         self._postings: dict[str, list[EntityPosting]] = {}
         self._doc_ids: set[str] = set()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic write counter, bumped by every :meth:`add_document`
+        and :meth:`merge`; same auto-invalidation contract as
+        :attr:`repro.index.inverted.InvertedIndex.version`."""
+        return self._version
 
     def add_document(self, doc_id: str, entity_counts: dict[str, tuple[int, float]]) -> None:
         """Index a document's entities: ``uri → (count, max dScore)``."""
         if doc_id in self._doc_ids:
             raise ValueError(f"document {doc_id!r} already indexed")
         self._doc_ids.add(doc_id)
+        self._version += 1
         for uri, (count, d_score) in entity_counts.items():
             if count > 0:
                 self._postings.setdefault(uri, []).append(
@@ -70,9 +79,10 @@ class EntityIndex:
 
         Same contract as :meth:`repro.index.inverted.InvertedIndex.merge`:
         shard-order merging reproduces the serial postings order, a
-        document present in both shards is an error, and any
+        document present in both shards is an error, and the bumped
+        :attr:`version` makes any
         :class:`~repro.index.statistics.CollectionStatistics` over this
-        index must be invalidated afterwards.
+        index refresh itself on its next read.
         """
         overlap = self._doc_ids & other._doc_ids
         if overlap:
@@ -82,6 +92,7 @@ class EntityIndex:
                 f"shards (e.g. {example!r})"
             )
         self._doc_ids |= other._doc_ids
+        self._version += 1
         for uri, postings in other._postings.items():
             self._postings.setdefault(uri, []).extend(postings)
 

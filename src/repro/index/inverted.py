@@ -29,6 +29,15 @@ class InvertedIndex:
     def __init__(self) -> None:
         self._postings: dict[str, list[Posting]] = {}
         self._doc_ids: set[str] = set()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic write counter, bumped by every :meth:`add_document`
+        and :meth:`merge`. Derived caches (collection statistics,
+        memoized posting weights) compare it to auto-invalidate, so a
+        direct write can never leave stale irf values observable."""
+        return self._version
 
     def add_document(self, doc_id: str, term_counts: dict[str, int]) -> None:
         """Index a document's term bag. Re-adding a doc id is an error —
@@ -36,6 +45,7 @@ class InvertedIndex:
         if doc_id in self._doc_ids:
             raise ValueError(f"document {doc_id!r} already indexed")
         self._doc_ids.add(doc_id)
+        self._version += 1
         for term, count in term_counts.items():
             if count > 0:
                 self._postings.setdefault(term, []).append(Posting(doc_id, count))
@@ -72,8 +82,9 @@ class InvertedIndex:
         A document indexed by both shards is an error (the collection
         is append-only; nothing may be indexed twice).
 
-        Callers holding a :class:`~repro.index.statistics.CollectionStatistics`
-        over this index must ``invalidate()`` it afterwards — every
+        The merge bumps :attr:`version`, so any
+        :class:`~repro.index.statistics.CollectionStatistics` over this
+        index refreshes itself on its next read — every
         document-frequency ratio changes.
         """
         overlap = self._doc_ids & other._doc_ids
@@ -84,6 +95,7 @@ class InvertedIndex:
                 f"shards (e.g. {example!r})"
             )
         self._doc_ids |= other._doc_ids
+        self._version += 1
         for term, postings in other._postings.items():
             self._postings.setdefault(term, []).extend(postings)
 

@@ -1,0 +1,853 @@
+"""Segmented incremental index: sealed segments + write buffer + compaction.
+
+The monolithic serving path compiles the whole collection into one
+:class:`~repro.index.columnar.ColumnarQueryEngine`; a single streamed
+resource invalidates the compiled form and the next query pays a full
+recompile. This module adds the Lucene-style alternative (cf. production
+expert-mining systems, which absorb half a billion streamed signals this
+way — Spasojevic et al.):
+
+* **write buffer** — streamed resources (Eq. 1 term/entity postings plus
+  Eq. 3 evidence rows) land in a small mutable :class:`_WriteBuffer`,
+  scored with plain dict walks; an ``observe`` touches nothing else;
+* **sealed segments** — when the buffer reaches ``seal_threshold``
+  resources it seals into an immutable :class:`Segment` whose postings
+  are compiled once into flat columns (interned doc indexes, ``array``
+  frequency columns) and never touched again;
+* **tiered compaction** — segments of the same size tier are merged
+  (reusing :meth:`InvertedIndex.merge` / :meth:`EntityIndex.merge`, which
+  preserve postings order) either synchronously after a seal, from a
+  background thread, or only on explicit :meth:`SegmentedIndex.compact`.
+
+Queries evaluate document-at-a-time across every live segment plus the
+buffer under **shared collection statistics**: ``irf``/``eirf`` use the
+union document count and the summed per-source document frequencies, so
+every per-posting product repeats the monolithic float operations
+exactly. Each document lives in exactly one source, its per-term
+accumulation order is the query's term order (one posting per term per
+document), and the global window cut and Eq.-3 fold order on the actual
+``(-score, doc_id)`` strings — rankings are therefore **byte-identical**
+to a monolithic cold rebuild at the same collection state, on both the
+columnar and the object engine (``tests/core/test_streaming.py`` pins
+this over interleaved streams).
+
+Thread model: one thread queries and writes; only compaction may run on
+a background thread. The live-segment list is swapped immutably under a
+lock, so a query holds a consistent snapshot while the compactor
+replaces merged runs; sealed segments are never mutated.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import threading
+from array import array
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+# Direct submodule imports only — ``repro.index`` is imported by
+# ``repro.core``, so pulling core *package* attributes here would cycle.
+from repro.core.config import FinderConfig
+from repro.core.ranking import ExpertScore
+from repro.core.scoring import distance_weight_table, window_size
+from repro.index.analyzer import AnalyzedResource
+from repro.index.entity_index import EntityIndex
+from repro.index.inverted import InvertedIndex
+from repro.index.vsm import ResourceMatch, _match_order, entity_weight
+
+#: default buffer size (in resources) at which the buffer seals
+DEFAULT_SEAL_THRESHOLD = 256
+
+#: default tier fanout: a run of this many same-tier segments is merged
+DEFAULT_FANOUT = 4
+
+_COMPACTION_MODES = ("synchronous", "background", "manual")
+
+#: evidence rows: ``((candidate_id, distance), ...)`` in stream order
+_Rows = tuple[tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class SegmentStats:
+    """Gauges of one :class:`SegmentedIndex` (a point-in-time snapshot)."""
+
+    #: number of live sealed segments
+    segments: int
+    #: indexed documents per live segment, in segment order
+    segment_docs: tuple[int, ...]
+    #: resources currently in the write buffer (indexed or evidence-only)
+    buffered: int
+    #: indexed documents across all segments plus the buffer
+    documents: int
+    #: all resources ever admitted (indexed + evidence-only)
+    resources: int
+    #: buffer seals performed
+    seals: int
+    #: compaction merges performed
+    compactions: int
+
+
+class Segment:
+    """One immutable, columnar-compiled slice of the collection.
+
+    Holds the slice's term/entity indexes (for union statistics, merges,
+    and snapshots) plus compiled flat columns for query evaluation:
+    interned doc indexes with *raw* frequencies — unlike the monolithic
+    engine the collection statistics keep moving as the buffer grows, so
+    ``tf·irf^p`` / ``ef·eirf^p·we`` are formed at query time from the
+    shared per-query weights (the identical float operations, deferred).
+    """
+
+    __slots__ = (
+        "segment_id",
+        "term_index",
+        "entity_index",
+        "evidence",
+        "_doc_ids",
+        "_term_cols",
+        "_entity_cols",
+        "_resource_ids",
+        "_term_acc",
+        "_entity_acc",
+        "_doc_flags",
+    )
+
+    def __init__(
+        self,
+        segment_id: int,
+        term_index: InvertedIndex,
+        entity_index: EntityIndex,
+        evidence: Mapping[str, _Rows],
+    ):
+        if term_index.doc_ids() != entity_index.doc_ids():
+            raise ValueError(
+                "term and entity indexes disagree on the segment's doc ids "
+                f"({term_index.document_count} vs {entity_index.document_count})"
+            )
+        self.segment_id = segment_id
+        self.term_index = term_index
+        self.entity_index = entity_index
+        self.evidence = dict(evidence)
+        self._resource_ids = frozenset(self.evidence) | term_index.doc_ids()
+
+        # compile: dense doc indexes in sorted-id order + raw-frequency
+        # columns (the d_score is folded to we = 1 + dScore once; the
+        # posting product at query time is ef · weight · we, exactly the
+        # monolithic engine's compile-time expression)
+        doc_ids = sorted(term_index.doc_ids())
+        doc_of = {doc_id: i for i, doc_id in enumerate(doc_ids)}
+        self._doc_ids = doc_ids
+        self._term_cols: dict[str, tuple[array, array]] = {}
+        for term, postings in term_index.items():
+            self._term_cols[term] = (
+                array("l", (doc_of[p.doc_id] for p in postings)),
+                array("l", (p.term_frequency for p in postings)),
+            )
+        self._entity_cols: dict[str, tuple[array, array, array]] = {}
+        for uri, postings in entity_index.items():
+            self._entity_cols[uri] = (
+                array("l", (doc_of[p.doc_id] for p in postings)),
+                array("l", (p.entity_frequency for p in postings)),
+                array("d", (entity_weight(p.d_score) for p in postings)),
+            )
+        self._init_scratch()
+
+    def _init_scratch(self) -> None:
+        n_docs = len(self._doc_ids)
+        self._term_acc = [0.0] * n_docs
+        self._entity_acc = [0.0] * n_docs
+        self._doc_flags = bytearray(n_docs)
+
+    @property
+    def document_count(self) -> int:
+        return self.term_index.document_count
+
+    @property
+    def resource_count(self) -> int:
+        return len(self._resource_ids)
+
+    @property
+    def resource_ids(self) -> frozenset[str]:
+        return self._resource_ids
+
+    def _score_docs(
+        self,
+        terms: Sequence[tuple[str, float]],
+        entities: Sequence[tuple[str, float]],
+        out: list[tuple[str, float, float]],
+    ) -> None:
+        """Append ``(doc_id, term_score, entity_score)`` for every doc of
+        this segment touched by the weighted query items; scratch is
+        reset on the way out."""
+        term_acc = self._term_acc
+        entity_acc = self._entity_acc
+        flags = self._doc_flags
+        touched: list[int] = []
+        touch = touched.append
+        term_cols = self._term_cols
+        for term, tw in terms:
+            cols = term_cols.get(term)
+            if cols is None:
+                continue
+            for doc, tf in zip(cols[0], cols[1]):
+                term_acc[doc] += tf * tw
+                if not flags[doc]:
+                    flags[doc] = 1
+                    touch(doc)
+        entity_cols = self._entity_cols
+        for uri, ew in entities:
+            cols = entity_cols.get(uri)
+            if cols is None:
+                continue
+            for doc, ef, we in zip(cols[0], cols[1], cols[2]):
+                entity_acc[doc] += ef * ew * we
+                if not flags[doc]:
+                    flags[doc] = 1
+                    touch(doc)
+        doc_ids = self._doc_ids
+        emit = out.append
+        for doc in touched:
+            emit((doc_ids[doc], term_acc[doc], entity_acc[doc]))
+            term_acc[doc] = 0.0
+            entity_acc[doc] = 0.0
+            flags[doc] = 0
+
+
+class _WriteBuffer:
+    """The mutable tail of the collection: plain indexes + evidence rows."""
+
+    __slots__ = ("term_index", "entity_index", "evidence")
+
+    def __init__(self) -> None:
+        self.term_index = InvertedIndex()
+        self.entity_index = EntityIndex()
+        self.evidence: dict[str, _Rows] = {}
+
+    @classmethod
+    def restore(
+        cls,
+        term_index: InvertedIndex,
+        entity_index: EntityIndex,
+        evidence: Mapping[str, _Rows],
+    ) -> "_WriteBuffer":
+        if term_index.doc_ids() != entity_index.doc_ids():
+            raise ValueError(
+                "term and entity indexes disagree on the buffer's doc ids "
+                f"({term_index.document_count} vs {entity_index.document_count})"
+            )
+        buffer = cls()
+        buffer.term_index = term_index
+        buffer.entity_index = entity_index
+        buffer.evidence = dict(evidence)
+        return buffer
+
+    @property
+    def document_count(self) -> int:
+        return self.term_index.document_count
+
+    @property
+    def resource_count(self) -> int:
+        return len(self.evidence)
+
+    @property
+    def resource_ids(self) -> frozenset[str]:
+        return frozenset(self.evidence) | self.term_index.doc_ids()
+
+    def add(self, analyzed: AnalyzedResource, rows: _Rows, index: bool) -> None:
+        self.evidence[analyzed.doc_id] = rows
+        if index:
+            self.term_index.add_document(analyzed.doc_id, analyzed.term_counts)
+            self.entity_index.add_document(analyzed.doc_id, analyzed.entity_counts)
+
+    def _score_docs(
+        self,
+        terms: Sequence[tuple[str, float]],
+        entities: Sequence[tuple[str, float]],
+        out: list[tuple[str, float, float]],
+    ) -> None:
+        """Dict-walk counterpart of :meth:`Segment._score_docs` — the
+        buffer is small and changes on every observe, so it is never
+        compiled."""
+        term_scores: dict[str, float] = {}
+        entity_scores: dict[str, float] = {}
+        term_index = self.term_index
+        for term, tw in terms:
+            for posting in term_index.postings(term):
+                doc_id = posting.doc_id
+                term_scores[doc_id] = (
+                    term_scores.get(doc_id, 0.0) + posting.term_frequency * tw
+                )
+        entity_index = self.entity_index
+        for uri, ew in entities:
+            for posting in entity_index.postings(uri):
+                doc_id = posting.doc_id
+                entity_scores[doc_id] = (
+                    entity_scores.get(doc_id, 0.0)
+                    + posting.entity_frequency * ew * entity_weight(posting.d_score)
+                )
+        emit = out.append
+        for doc_id in term_scores.keys() | entity_scores.keys():
+            emit(
+                (
+                    doc_id,
+                    term_scores.get(doc_id, 0.0),
+                    entity_scores.get(doc_id, 0.0),
+                )
+            )
+
+
+class SegmentedIndex:
+    """Sealed segments + write buffer behind one query interface.
+
+    Construction: :meth:`from_built` wraps a cold build's indexes as the
+    base segment; :meth:`restore` rebuilds from snapshot state; the bare
+    constructor starts empty. ``compaction`` is one of ``"synchronous"``
+    (merge inline after each seal), ``"background"`` (a daemon thread
+    merges after seals; call :meth:`close` or use the index as a context
+    manager to stop it), or ``"manual"`` (only explicit :meth:`compact`).
+    """
+
+    def __init__(
+        self,
+        config: FinderConfig,
+        *,
+        seal_threshold: int = DEFAULT_SEAL_THRESHOLD,
+        compaction: str = "synchronous",
+        fanout: int = DEFAULT_FANOUT,
+    ):
+        if seal_threshold < 1:
+            raise ValueError(f"seal_threshold must be >= 1, got {seal_threshold}")
+        if fanout < 2:
+            raise ValueError(f"fanout must be >= 2, got {fanout}")
+        if compaction not in _COMPACTION_MODES:
+            raise ValueError(
+                f"compaction must be one of {_COMPACTION_MODES}, got {compaction!r}"
+            )
+        self._config = config
+        self._idf_exponent = config.idf_exponent
+        self._normalize = config.normalize
+        self._weight_of = distance_weight_table(
+            config.max_distance, config.weight_interval
+        )
+        self._seal_threshold = seal_threshold
+        self._fanout = fanout
+        self._compaction = compaction
+        self._segments: list[Segment] = []  # replaced immutably under _lock
+        self._buffer = _WriteBuffer()
+        self._resource_ids: set[str] = set()
+        self._doc_count = 0
+        self._irf_cache: dict[str, float] = {}
+        self._eirf_cache: dict[str, float] = {}
+        self._tw_cache: dict[str, float] = {}
+        self._ew_cache: dict[str, float] = {}
+        self._seals = 0
+        self._compactions = 0
+        self._next_segment_id = 0
+        self._lock = threading.Lock()  # guards _segments/_buffer swaps + ids
+        self._compact_lock = threading.Lock()  # serializes compaction passes
+        self._closed = False
+        self._wake = threading.Event()
+        self._thread: threading.Thread | None = None
+        if compaction == "background":
+            self._thread = threading.Thread(
+                target=self._compact_loop, name="segment-compactor", daemon=True
+            )
+            self._thread.start()
+
+    # -- construction --------------------------------------------------------------
+
+    @classmethod
+    def from_built(
+        cls,
+        term_index: InvertedIndex,
+        entity_index: EntityIndex,
+        evidence_of: Mapping[str, Sequence[tuple[str, int]]],
+        config: FinderConfig,
+        *,
+        seal_threshold: int = DEFAULT_SEAL_THRESHOLD,
+        compaction: str = "synchronous",
+        fanout: int = DEFAULT_FANOUT,
+    ) -> "SegmentedIndex":
+        """Wrap a cold build's indexes + evidence as the base segment."""
+        index = cls(
+            config,
+            seal_threshold=seal_threshold,
+            compaction=compaction,
+            fanout=fanout,
+        )
+        if evidence_of or term_index.document_count:
+            evidence = {
+                doc_id: tuple((cid, distance) for cid, distance in rows)
+                for doc_id, rows in evidence_of.items()
+            }
+            index._register(
+                Segment(index._next_id(), term_index, entity_index, evidence)
+            )
+        return index
+
+    @classmethod
+    def restore(
+        cls,
+        config: FinderConfig,
+        segments: Iterable[tuple[int, InvertedIndex, EntityIndex, Mapping[str, _Rows]]],
+        buffer: tuple[InvertedIndex, EntityIndex, Mapping[str, _Rows]] | None,
+        *,
+        seal_threshold: int = DEFAULT_SEAL_THRESHOLD,
+        compaction: str = "synchronous",
+        fanout: int = DEFAULT_FANOUT,
+    ) -> "SegmentedIndex":
+        """Rebuild from snapshot state: sealed segments in manifest order
+        (each ``(segment_id, term_index, entity_index, evidence)``) plus
+        an optional unsealed buffer. Postings and evidence orders are
+        preserved, so restored rankings are byte-identical."""
+        index = cls(
+            config,
+            seal_threshold=seal_threshold,
+            compaction=compaction,
+            fanout=fanout,
+        )
+        for segment_id, term_index, entity_index, evidence in segments:
+            index._register(Segment(segment_id, term_index, entity_index, evidence))
+            index._next_segment_id = max(index._next_segment_id, segment_id + 1)
+        if buffer is not None:
+            term_index, entity_index, evidence = buffer
+            restored = _WriteBuffer.restore(term_index, entity_index, evidence)
+            index._absorb_ids(restored.resource_ids, "the write buffer")
+            index._validate_rows(restored.evidence.values())
+            index._buffer = restored
+            index._doc_count += restored.document_count
+        return index
+
+    def _register(self, segment: Segment) -> None:
+        self._absorb_ids(segment.resource_ids, f"segment {segment.segment_id}")
+        self._validate_rows(segment.evidence.values())
+        self._segments = [*self._segments, segment]
+        self._doc_count += segment.document_count
+
+    def _absorb_ids(self, resource_ids: frozenset[str], where: str) -> None:
+        overlap = self._resource_ids & resource_ids
+        if overlap:
+            example = sorted(overlap)[0]
+            raise ValueError(
+                f"resource {example!r} appears in more than one place "
+                f"(while adding {where})"
+            )
+        self._resource_ids |= resource_ids
+
+    def _validate_rows(self, rows_of: Iterable[_Rows]) -> None:
+        weight_of = self._weight_of
+        for rows in rows_of:
+            for _candidate_id, distance in rows:
+                if weight_of.get(distance) is None:
+                    raise ValueError(
+                        f"distance {distance} outside 0..{self._config.max_distance}"
+                    )
+
+    def _next_id(self) -> int:
+        with self._lock:
+            segment_id = self._next_segment_id
+            self._next_segment_id += 1
+        return segment_id
+
+    # -- writes --------------------------------------------------------------------
+
+    def add(
+        self,
+        analyzed: AnalyzedResource,
+        supporters: Sequence[tuple[str, int]],
+        *,
+        index: bool = True,
+    ) -> None:
+        """Admit one streamed resource into the write buffer.
+
+        *supporters* are the resource's Eq.-3 evidence rows; with
+        ``index=False`` the resource is evidence-only (the build-time
+        language cut). Indexed adds shift every irf/eirf ratio, so the
+        shared statistics caches are invalidated here — stale statistics
+        cannot be observed through this class. Reaching the seal
+        threshold seals the buffer and (mode permitting) compacts.
+        """
+        doc_id = analyzed.doc_id
+        if doc_id in self._resource_ids:
+            raise ValueError(f"resource {doc_id!r} already admitted")
+        rows = tuple((cid, distance) for cid, distance in supporters)
+        if not rows:
+            raise ValueError("a resource must support at least one candidate")
+        self._validate_rows((rows,))
+        self._buffer.add(analyzed, rows, index)
+        self._resource_ids.add(doc_id)
+        if index:
+            self._doc_count += 1
+            self._invalidate_statistics()
+        if self._buffer.resource_count >= self._seal_threshold:
+            self.seal()
+
+    def _invalidate_statistics(self) -> None:
+        self._irf_cache.clear()
+        self._eirf_cache.clear()
+        self._tw_cache.clear()
+        self._ew_cache.clear()
+
+    def seal(self) -> Segment | None:
+        """Seal the buffer into a segment now (no-op when empty), then
+        trigger compaction per the configured mode."""
+        segment = self._seal()
+        if segment is not None:
+            if self._compaction == "synchronous":
+                self.compact()
+            elif self._compaction == "background":
+                self._wake.set()
+        return segment
+
+    def _seal(self) -> Segment | None:
+        # compaction-free inner seal, shared with compact(full=True)
+        buffer = self._buffer
+        if buffer.resource_count == 0:
+            return None
+        segment = Segment(
+            self._next_id(), buffer.term_index, buffer.entity_index, buffer.evidence
+        )
+        with self._lock:
+            self._segments = [*self._segments, segment]
+            self._buffer = _WriteBuffer()
+        self._seals += 1
+        return segment
+
+    # -- compaction ----------------------------------------------------------------
+
+    def _tier(self, segment: Segment) -> int:
+        # floor(log_fanout(resource_count)) without float logarithms
+        count = segment.resource_count
+        fanout = self._fanout
+        tier = 0
+        bound = fanout
+        while bound <= count:
+            tier += 1
+            bound *= fanout
+        return tier
+
+    def _plan(self, segments: Sequence[Segment]) -> tuple[int, int] | None:
+        """The first adjacent run of >= fanout same-tier segments, as a
+        ``[start, stop)`` index range — or None when nothing qualifies.
+        Only adjacent segments merge, so the stream order of evidence
+        (and therefore the snapshot layout) is preserved."""
+        tiers = [self._tier(segment) for segment in segments]
+        start = 0
+        while start < len(segments):
+            stop = start
+            while stop < len(tiers) and tiers[stop] == tiers[start]:
+                stop += 1
+            if stop - start >= self._fanout:
+                return start, stop
+            start = stop
+        return None
+
+    def compact(self, *, full: bool = False) -> int:
+        """Run compaction to quiescence; returns the merges performed.
+
+        ``full=True`` first seals the buffer, then merges *all* live
+        segments into one — the "optimize" path behind
+        ``repro index --compact``.
+        """
+        with self._compact_lock:
+            if full:
+                self._seal()
+                if len(self._segments) <= 1:
+                    return 0
+                self._merge_range(0, len(self._segments))
+                return 1
+            merges = 0
+            while True:
+                plan = self._plan(self._segments)
+                if plan is None:
+                    return merges
+                self._merge_range(*plan)
+                merges += 1
+
+    def _merge_range(self, start: int, stop: int) -> None:
+        # seals only append at the tail, so [start, stop) stays valid for
+        # the duration of the merge even when writes race the background
+        # compactor; the swap below re-reads the live list under the lock
+        run = self._segments[start:stop]
+        term_index = InvertedIndex()
+        entity_index = EntityIndex()
+        evidence: dict[str, _Rows] = {}
+        for segment in run:
+            term_index.merge(segment.term_index)
+            entity_index.merge(segment.entity_index)
+            evidence.update(segment.evidence)
+        merged = Segment(self._next_id(), term_index, entity_index, evidence)
+        with self._lock:
+            live = self._segments
+            self._segments = [*live[:start], merged, *live[stop:]]
+        self._compactions += 1
+
+    def _compact_loop(self) -> None:
+        while True:
+            self._wake.wait()
+            self._wake.clear()
+            if self._closed:
+                return
+            self.compact()
+
+    def await_compactions(self) -> None:
+        """Block until no compaction work remains (a background pass in
+        flight finishes first; then any residual plan runs inline)."""
+        self.compact()
+
+    def close(self) -> None:
+        """Stop the background compactor, if any. Idempotent."""
+        self._closed = True
+        if self._thread is not None:
+            self._wake.set()
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def __enter__(self) -> "SegmentedIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- shared collection statistics ----------------------------------------------
+
+    @property
+    def document_count(self) -> int:
+        """Indexed documents across all segments plus the buffer — the N
+        of the shared irf/eirf ratios."""
+        return self._doc_count
+
+    @property
+    def resource_count(self) -> int:
+        """All admitted resources, including evidence-only ones."""
+        return len(self._resource_ids)
+
+    def irf(self, term: str) -> float:
+        """Inverse resource frequency of *term* over the union — the same
+        integers (and therefore the same float) as a monolithic
+        :class:`~repro.index.statistics.CollectionStatistics` over the
+        merged collection."""
+        cached = self._irf_cache.get(term)
+        if cached is not None:
+            return cached
+        df = self._buffer.term_index.document_frequency(term)
+        for segment in self._segments:
+            df += segment.term_index.document_frequency(term)
+        value = math.log(1.0 + self._doc_count / df) if df else 0.0
+        self._irf_cache[term] = value
+        return value
+
+    def eirf(self, entity_uri: str) -> float:
+        """Inverse resource frequency of *entity_uri* over the union."""
+        cached = self._eirf_cache.get(entity_uri)
+        if cached is not None:
+            return cached
+        df = self._buffer.entity_index.document_frequency(entity_uri)
+        for segment in self._segments:
+            df += segment.entity_index.document_frequency(entity_uri)
+        value = math.log(1.0 + self._doc_count / df) if df else 0.0
+        self._eirf_cache[entity_uri] = value
+        return value
+
+    def _powered_irf(self, term: str) -> float:
+        cached = self._tw_cache.get(term)
+        if cached is None:
+            cached = self._tw_cache[term] = self.irf(term) ** self._idf_exponent
+        return cached
+
+    def _powered_eirf(self, uri: str) -> float:
+        cached = self._ew_cache.get(uri)
+        if cached is None:
+            cached = self._ew_cache[uri] = self.eirf(uri) ** self._idf_exponent
+        return cached
+
+    def _query_weights(
+        self, query: AnalyzedResource, alpha: float
+    ) -> tuple[list[tuple[str, float]], list[tuple[str, float]]]:
+        terms: list[tuple[str, float]] = []
+        if alpha > 0.0:
+            for term in query.term_counts:
+                weight = self._powered_irf(term)
+                if weight:
+                    terms.append((term, weight))
+        entities: list[tuple[str, float]] = []
+        if alpha < 1.0:
+            for uri in query.entity_counts:
+                weight = self._powered_eirf(uri)
+                if weight:
+                    entities.append((uri, weight))
+        return terms, entities
+
+    # -- query evaluation ----------------------------------------------------------
+
+    def find_experts(
+        self,
+        query: AnalyzedResource,
+        *,
+        alpha: float,
+        window: int | float | None,
+        top_k: int | None = None,
+    ) -> list[ExpertScore]:
+        """Rank the candidate experts for an analyzed *query* across all
+        live segments plus the buffer — byte-identical to the monolithic
+        engines at the same collection state."""
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        window_size(window, 0)  # validate the window shape up front
+        segments = self._segments
+        try:
+            return self._find_experts(segments, query, alpha, window, top_k)
+        except BaseException:
+            for segment in segments:
+                segment._init_scratch()
+            raise
+
+    def _find_experts(
+        self,
+        segments: Sequence[Segment],
+        query: AnalyzedResource,
+        alpha: float,
+        window: int | float | None,
+        top_k: int | None,
+    ) -> list[ExpertScore]:
+        terms, entities = self._query_weights(query, alpha)
+        one_minus_alpha = 1.0 - alpha
+
+        # Eq. 1 per source; each doc lives in exactly one source, so the
+        # global (-score, doc_id) sort reproduces the monolithic window
+        # cut — entries carry their source's evidence rows for Eq. 3
+        # (never compared: doc ids are unique, so the sort stops earlier)
+        entries: list[tuple[float, str, _Rows]] = []
+        entry = entries.append
+        scored: list[tuple[str, float, float]] = []
+        for source in (*segments, self._buffer):
+            del scored[:]
+            source._score_docs(terms, entities, scored)
+            evidence = source.evidence
+            for doc_id, term_score, entity_score in scored:
+                score = alpha * term_score + one_minus_alpha * entity_score
+                if score > 0.0:
+                    entry((-score, doc_id, evidence.get(doc_id, ())))
+        entries.sort()
+        width = window_size(window, len(entries))
+        if width < len(entries):
+            del entries[width:]
+
+        # Eq. 3 fold in rank order, mirroring ExpertRanker.rank
+        weight_of = self._weight_of
+        scores: dict[str, float] = {}
+        support: dict[str, int] = {}
+        for neg_score, _doc_id, rows in entries:
+            match_score = -neg_score
+            for candidate_id, distance in rows:
+                scores[candidate_id] = (
+                    scores.get(candidate_id, 0.0)
+                    + match_score * weight_of[distance]
+                )
+                support[candidate_id] = support.get(candidate_id, 0) + 1
+        if self._normalize:
+            scores = {
+                cid: score / support[cid]
+                for cid, score in scores.items()
+                if support.get(cid)
+            }
+        ranked = [
+            ExpertScore(
+                candidate_id=cid,
+                score=score,
+                supporting_resources=support.get(cid, 0),
+            )
+            for cid, score in scores.items()
+            if score > 0.0
+        ]
+        ranked.sort(key=lambda e: (-e.score, e.candidate_id))
+        return ranked if top_k is None else ranked[:top_k]
+
+    def _matches(self, query: AnalyzedResource, alpha: float) -> list[ResourceMatch]:
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        terms, entities = self._query_weights(query, alpha)
+        one_minus_alpha = 1.0 - alpha
+        segments = self._segments
+        scored: list[tuple[str, float, float]] = []
+        try:
+            for source in (*segments, self._buffer):
+                source._score_docs(terms, entities, scored)
+        except BaseException:
+            for segment in segments:
+                segment._init_scratch()
+            raise
+        matches: list[ResourceMatch] = []
+        for doc_id, term_score, entity_score in scored:
+            combined = alpha * term_score + one_minus_alpha * entity_score
+            if combined > 0.0:
+                matches.append(
+                    ResourceMatch(
+                        doc_id=doc_id,
+                        score=combined,
+                        term_score=term_score,
+                        entity_score=entity_score,
+                    )
+                )
+        return matches
+
+    def retrieve(self, query: AnalyzedResource, alpha: float) -> list[ResourceMatch]:
+        """All resources with positive score for *query*, best first —
+        the segmented counterpart of
+        :meth:`~repro.index.vsm.VectorSpaceRetriever.retrieve`."""
+        matches = self._matches(query, alpha)
+        matches.sort(key=_match_order)
+        return matches
+
+    def retrieve_top_k(
+        self, query: AnalyzedResource, alpha: float, k: int
+    ) -> list[ResourceMatch]:
+        """The best *k* resources — exactly ``retrieve(query, alpha)[:k]``."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        if k == 0:
+            if not 0.0 <= alpha <= 1.0:
+                raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+            return []
+        return heapq.nsmallest(k, self._matches(query, alpha), key=_match_order)
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def config(self) -> FinderConfig:
+        return self._config
+
+    @property
+    def seal_threshold(self) -> int:
+        return self._seal_threshold
+
+    @property
+    def compaction_mode(self) -> str:
+        return self._compaction
+
+    @property
+    def fanout(self) -> int:
+        return self._fanout
+
+    @property
+    def write_buffer(self) -> _WriteBuffer:
+        """The live write buffer (read-only use: snapshots, stats)."""
+        return self._buffer
+
+    def iter_segments(self) -> tuple[Segment, ...]:
+        """The live sealed segments, oldest first (a stable snapshot)."""
+        return tuple(self._segments)
+
+    @property
+    def stats(self) -> SegmentStats:
+        segments = self._segments
+        return SegmentStats(
+            segments=len(segments),
+            segment_docs=tuple(s.document_count for s in segments),
+            buffered=self._buffer.resource_count,
+            documents=self._doc_count,
+            resources=len(self._resource_ids),
+            seals=self._seals,
+            compactions=self._compactions,
+        )

@@ -34,20 +34,33 @@ class CollectionStatistics:
         self._entities = entity_index
         self._irf_cache: dict[str, float] = {}
         self._eirf_cache: dict[str, float] = {}
+        self._versions = (term_index.version, entity_index.version)
 
     @property
     def resource_count(self) -> int:
         return self._terms.document_count
 
     def invalidate(self) -> None:
-        """Drop the cached irf/eirf values. Must be called after new
-        documents are appended to the underlying indexes (streaming
-        updates change every document frequency ratio)."""
+        """Drop the cached irf/eirf values.
+
+        Kept for explicit cache control, but no longer required for
+        correctness: every read compares the indexes' write
+        :attr:`~repro.index.inverted.InvertedIndex.version` counters and
+        self-invalidates when documents were appended underneath —
+        streaming updates change every document frequency ratio, and
+        caller discipline is not a contract worth relying on."""
         self._irf_cache.clear()
         self._eirf_cache.clear()
 
+    def _refresh(self) -> None:
+        versions = (self._terms.version, self._entities.version)
+        if versions != self._versions:
+            self._versions = versions
+            self.invalidate()
+
     def irf(self, term: str) -> float:
         """Inverse resource frequency of *term*; 0 for unseen terms."""
+        self._refresh()
         cached = self._irf_cache.get(term)
         if cached is not None:
             return cached
@@ -59,6 +72,7 @@ class CollectionStatistics:
     def eirf(self, entity_uri: str) -> float:
         """Inverse resource frequency of *entity_uri*; 0 for unseen
         entities."""
+        self._refresh()
         cached = self._eirf_cache.get(entity_uri)
         if cached is not None:
             return cached

@@ -82,6 +82,7 @@ class VectorSpaceRetriever:
         # collection statistics are, so both are invalidated together
         self._term_weights: dict[str, tuple[tuple[str, float], ...]] = {}
         self._entity_weights: dict[str, tuple[tuple[str, float], ...]] = {}
+        self._versions = (term_index.version, entity_index.version)
 
     @property
     def statistics(self) -> CollectionStatistics:
@@ -106,10 +107,20 @@ class VectorSpaceRetriever:
 
     def invalidate(self) -> None:
         """Drop the collection statistics and the memoized per-posting
-        weights. Must be called after the underlying indexes change."""
+        weights. No longer required for correctness — every weight read
+        compares the indexes' write versions and self-invalidates when
+        documents were appended underneath (direct ``add_document`` on
+        an index can never leave a stale irf observable)."""
         self._stats.invalidate()
         self._term_weights.clear()
         self._entity_weights.clear()
+
+    def _refresh(self) -> None:
+        versions = (self._terms.version, self._entities.version)
+        if versions != self._versions:
+            self._versions = versions
+            self._term_weights.clear()
+            self._entity_weights.clear()
 
     def add_document(self, analyzed: AnalyzedResource) -> None:
         """Append one document to both indexes (streaming updates) and
@@ -121,6 +132,7 @@ class VectorSpaceRetriever:
     # -- per-posting weight memoization -------------------------------------------
 
     def _weighted_term_postings(self, term: str) -> tuple[tuple[str, float], ...]:
+        self._refresh()
         cached = self._term_weights.get(term)
         if cached is None:
             weight = self._stats.irf(term) ** self._idf_exponent
@@ -135,6 +147,7 @@ class VectorSpaceRetriever:
         return cached
 
     def _weighted_entity_postings(self, uri: str) -> tuple[tuple[str, float], ...]:
+        self._refresh()
         cached = self._entity_weights.get(uri)
         if cached is None:
             weight = self._stats.eirf(uri) ** self._idf_exponent

@@ -9,8 +9,9 @@ needs — the two inverted indexes, the evidence relation, and the build
 configuration — and nothing generation-time:
 
 ``meta.jsonl``
-    snapshot version, the :class:`~repro.core.config.FinderConfig`, the
-    indexed-resource count, and per-candidate evidence counts;
+    snapshot version, index mode, the
+    :class:`~repro.core.config.FinderConfig`, the indexed-resource
+    count, and per-candidate evidence counts;
 ``term_index.jsonl.gz``
     indexed doc ids, then one record per term with its postings list;
 ``entity_index.jsonl.gz``
@@ -18,6 +19,21 @@ configuration — and nothing generation-time:
 ``evidence.jsonl.gz``
     one record per evidence resource with its supporting
     ``(candidate, distance)`` pairs.
+
+A **segmented** finder (``index_mode="segmented"``) replaces the three
+index/evidence files with a per-segment layout, so a loaded finder
+restores the exact segment structure instead of recompiling a merged
+monolith:
+
+``segments.jsonl``
+    the segment manifest: one header with the seal threshold and
+    segment count, then one entry per sealed segment (id, file name,
+    doc/resource counts) and an optional entry for the unsealed write
+    buffer;
+``segment-NNNN.jsonl.gz`` / ``buffer.jsonl.gz``
+    each segment's slice in one file: its indexed doc ids, term and
+    entity postings, and evidence rows (the same record shapes as the
+    monolithic files).
 
 Postings lists are stored in index order, so a loaded finder repeats
 the builder's float summation order exactly — rankings round-trip
@@ -36,23 +52,35 @@ from repro.core.expert_finder import ExpertFinder
 from repro.index.analyzer import ResourceAnalyzer
 from repro.index.entity_index import EntityIndex, EntityPosting
 from repro.index.inverted import InvertedIndex, Posting
+from repro.index.segments import Segment, SegmentedIndex, _WriteBuffer
 from repro.index.statistics import CollectionStatistics
 from repro.index.vsm import VectorSpaceRetriever
 from repro.storage.jsonl import StorageFormatError, read_records, write_records
 
 #: bump when the snapshot directory layout or record shapes change;
 #: loaders refuse mismatched snapshots instead of guessing
-SNAPSHOT_VERSION = 1
+#: (2: ``index_mode`` in the meta + the segmented manifest layout)
+SNAPSHOT_VERSION = 2
 
 META_KIND = "finder-snapshot-meta"
 TERM_INDEX_KIND = "finder-term-index"
 ENTITY_INDEX_KIND = "finder-entity-index"
 EVIDENCE_KIND = "finder-evidence"
+MANIFEST_KIND = "finder-segment-manifest"
+SEGMENT_KIND = "finder-segment"
 
 _META_FILE = "meta.jsonl"
 _TERM_FILE = "term_index.jsonl.gz"
 _ENTITY_FILE = "entity_index.jsonl.gz"
 _EVIDENCE_FILE = "evidence.jsonl.gz"
+_MANIFEST_FILE = "segments.jsonl"
+_BUFFER_FILE = "buffer.jsonl.gz"
+
+_INDEX_MODES = ("monolithic", "segmented")
+
+
+def _segment_file(segment_id: int) -> str:
+    return f"segment-{segment_id:04d}.jsonl.gz"
 
 _CONFIG_FIELDS = (
     "alpha",
@@ -66,14 +94,23 @@ _CONFIG_FIELDS = (
 
 
 def save_finder(finder: ExpertFinder, directory: str | pathlib.Path) -> None:
-    """Write *finder*'s snapshot under *directory* (created if missing)."""
+    """Write *finder*'s snapshot under *directory* (created if missing).
+
+    A monolithic finder writes the three whole-collection files; a
+    segmented finder writes the segment manifest plus one file per
+    sealed segment (and one for a non-empty write buffer), preserving
+    the live segment structure exactly.
+    """
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     config = finder.config
-    retriever = finder.retriever
 
     def meta_records() -> Iterator[dict[str, Any]]:
-        yield {"type": "snapshot", "snapshot_version": SNAPSHOT_VERSION}
+        yield {
+            "type": "snapshot",
+            "snapshot_version": SNAPSHOT_VERSION,
+            "index_mode": finder.index_mode,
+        }
         record: dict[str, Any] = {"type": "config"}
         for name in _CONFIG_FIELDS:
             value = getattr(config, name)
@@ -86,6 +123,12 @@ def save_finder(finder: ExpertFinder, directory: str | pathlib.Path) -> None:
                 "id": cid,
                 "evidence": finder.evidence_counts[cid],
             }
+
+    write_records(directory / _META_FILE, META_KIND, meta_records())
+    if finder.index_mode == "segmented":
+        _save_segmented(finder.segmented_index, directory)
+        return
+    retriever = finder.retriever
 
     def term_records() -> Iterator[dict[str, Any]]:
         yield {"type": "docs", "ids": sorted(retriever.term_index.doc_ids())}
@@ -115,14 +158,84 @@ def save_finder(finder: ExpertFinder, directory: str | pathlib.Path) -> None:
                 "s": [[cid, distance] for cid, distance in supporters],
             }
 
-    write_records(directory / _META_FILE, META_KIND, meta_records())
     write_records(directory / _TERM_FILE, TERM_INDEX_KIND, term_records())
     write_records(directory / _ENTITY_FILE, ENTITY_INDEX_KIND, entity_records())
     write_records(directory / _EVIDENCE_FILE, EVIDENCE_KIND, evidence_records())
 
 
-def _load_meta(path: pathlib.Path) -> tuple[FinderConfig, int, dict[str, int]]:
+def _slice_records(
+    term_index: InvertedIndex,
+    entity_index: EntityIndex,
+    evidence: Any,
+) -> Iterator[dict[str, Any]]:
+    """One segment's (or the buffer's) records: docs, postings, evidence
+    — the monolithic record shapes, scoped to the slice."""
+    yield {"type": "docs", "ids": sorted(term_index.doc_ids())}
+    for term, postings in term_index.items():
+        yield {
+            "type": "term",
+            "t": term,
+            "p": [[p.doc_id, p.term_frequency] for p in postings],
+        }
+    for uri, postings in entity_index.items():
+        yield {
+            "type": "entity",
+            "e": uri,
+            "p": [[p.doc_id, p.entity_frequency, p.d_score] for p in postings],
+        }
+    for doc_id, supporters in evidence.items():
+        yield {
+            "type": "evidence",
+            "doc": doc_id,
+            "s": [[cid, distance] for cid, distance in supporters],
+        }
+
+
+def _save_segmented(segmented: SegmentedIndex, directory: pathlib.Path) -> None:
+    segments = segmented.iter_segments()
+    buffer = segmented.write_buffer
+
+    def manifest_records() -> Iterator[dict[str, Any]]:
+        yield {
+            "type": "manifest",
+            "seal_threshold": segmented.seal_threshold,
+            "fanout": segmented.fanout,
+            "segments": len(segments),
+        }
+        for segment in segments:
+            yield {
+                "type": "segment",
+                "id": segment.segment_id,
+                "file": _segment_file(segment.segment_id),
+                "docs": segment.document_count,
+                "resources": segment.resource_count,
+            }
+        if buffer.resource_count:
+            yield {
+                "type": "buffer",
+                "file": _BUFFER_FILE,
+                "docs": buffer.document_count,
+                "resources": buffer.resource_count,
+            }
+
+    write_records(directory / _MANIFEST_FILE, MANIFEST_KIND, manifest_records())
+    for segment in segments:
+        write_records(
+            directory / _segment_file(segment.segment_id),
+            SEGMENT_KIND,
+            _slice_records(segment.term_index, segment.entity_index, segment.evidence),
+        )
+    if buffer.resource_count:
+        write_records(
+            directory / _BUFFER_FILE,
+            SEGMENT_KIND,
+            _slice_records(buffer.term_index, buffer.entity_index, buffer.evidence),
+        )
+
+
+def _load_meta(path: pathlib.Path) -> tuple[FinderConfig, int, dict[str, int], str]:
     version: int | None = None
+    index_mode: str | None = None
     config: FinderConfig | None = None
     indexed: int | None = None
     evidence_counts: dict[str, int] = {}
@@ -133,6 +246,11 @@ def _load_meta(path: pathlib.Path) -> tuple[FinderConfig, int, dict[str, int]]:
             if version != SNAPSHOT_VERSION:
                 raise StorageFormatError(
                     f"{path}: unsupported snapshot version {version!r}"
+                )
+            index_mode = record.get("index_mode", "monolithic")
+            if index_mode not in _INDEX_MODES:
+                raise StorageFormatError(
+                    f"{path}: unknown index mode {index_mode!r}"
                 )
         elif rtype == "config":
             try:
@@ -149,9 +267,9 @@ def _load_meta(path: pathlib.Path) -> tuple[FinderConfig, int, dict[str, int]]:
             evidence_counts[record["id"]] = record["evidence"]
         else:
             raise StorageFormatError(f"{path}: unknown meta record type {rtype!r}")
-    if version is None or config is None or indexed is None:
+    if version is None or index_mode is None or config is None or indexed is None:
         raise StorageFormatError(f"{path}: incomplete snapshot metadata")
-    return config, indexed, evidence_counts
+    return config, indexed, evidence_counts, index_mode
 
 
 def _load_term_index(path: pathlib.Path) -> InvertedIndex:
@@ -204,6 +322,120 @@ def _load_evidence(path: pathlib.Path) -> dict[str, list[tuple[str, int]]]:
     return evidence_of
 
 
+def _load_slice(
+    path: pathlib.Path,
+) -> tuple[InvertedIndex, EntityIndex, dict[str, tuple[tuple[str, int], ...]]]:
+    """Parse one segment (or buffer) file into restored indexes plus its
+    evidence rows, in stored order."""
+    doc_ids: list[str] | None = None
+    term_postings: dict[str, list[Posting]] = {}
+    entity_postings: dict[str, list[EntityPosting]] = {}
+    evidence: dict[str, tuple[tuple[str, int], ...]] = {}
+    for record in read_records(path, SEGMENT_KIND):
+        rtype = record.get("type")
+        if rtype == "docs":
+            doc_ids = record["ids"]
+        elif rtype == "term":
+            term_postings[record["t"]] = [
+                Posting(doc_id, frequency) for doc_id, frequency in record["p"]
+            ]
+        elif rtype == "entity":
+            entity_postings[record["e"]] = [
+                EntityPosting(doc_id, frequency, d_score)
+                for doc_id, frequency, d_score in record["p"]
+            ]
+        elif rtype == "evidence":
+            evidence[record["doc"]] = tuple(
+                (cid, distance) for cid, distance in record["s"]
+            )
+        else:
+            raise StorageFormatError(f"{path}: unknown record type {rtype!r}")
+    if doc_ids is None:
+        raise StorageFormatError(f"{path}: missing docs record")
+    term_index = InvertedIndex.restore(doc_ids, term_postings)
+    entity_index = EntityIndex.restore(doc_ids, entity_postings)
+    return term_index, entity_index, evidence
+
+
+def _load_segmented(
+    directory: pathlib.Path, config: FinderConfig
+) -> tuple[SegmentedIndex, dict[str, list[tuple[str, int]]]]:
+    """Restore a segmented index from its manifest + per-segment files,
+    without merging anything: per-segment postings orders, the segment
+    order, and the buffered tail all survive the round trip."""
+    manifest_path = directory / _MANIFEST_FILE
+    header: dict[str, Any] | None = None
+    entries: list[dict[str, Any]] = []
+    buffer_entry: dict[str, Any] | None = None
+    for record in read_records(manifest_path, MANIFEST_KIND):
+        rtype = record.get("type")
+        if rtype == "manifest":
+            header = record
+        elif rtype == "segment":
+            entries.append(record)
+        elif rtype == "buffer":
+            buffer_entry = record
+        else:
+            raise StorageFormatError(
+                f"{manifest_path}: unknown manifest record type {rtype!r}"
+            )
+    if header is None:
+        raise StorageFormatError(f"{manifest_path}: missing manifest header")
+    if header["segments"] != len(entries):
+        raise StorageFormatError(
+            f"{manifest_path}: manifest declares {header['segments']} "
+            f"segment(s) but lists {len(entries)}"
+        )
+
+    def load_entry(entry: dict[str, Any], path: pathlib.Path):
+        term_index, entity_index, evidence = _load_slice(path)
+        if term_index.document_count != entry["docs"]:
+            raise StorageFormatError(
+                f"{path}: segment holds {term_index.document_count} "
+                f"document(s), manifest says {entry['docs']}"
+            )
+        resources = len(frozenset(evidence) | term_index.doc_ids())
+        if resources != entry["resources"]:
+            raise StorageFormatError(
+                f"{path}: segment holds {resources} resource(s), "
+                f"manifest says {entry['resources']}"
+            )
+        return term_index, entity_index, evidence
+
+    segments = []
+    for entry in entries:
+        path = directory / entry["file"]
+        if not path.is_file():
+            raise StorageFormatError(
+                f"{manifest_path}: manifest names missing file {entry['file']!r}"
+            )
+        segments.append((entry["id"], *load_entry(entry, path)))
+    buffer = None
+    if buffer_entry is not None:
+        path = directory / buffer_entry["file"]
+        if not path.is_file():
+            raise StorageFormatError(
+                f"{manifest_path}: manifest names missing file "
+                f"{buffer_entry['file']!r}"
+            )
+        buffer = load_entry(buffer_entry, path)
+
+    segmented = SegmentedIndex.restore(
+        config,
+        segments,
+        buffer,
+        seal_threshold=header["seal_threshold"],
+        fanout=header.get("fanout", 4),
+    )
+    evidence_of: dict[str, list[tuple[str, int]]] = {}
+    for segment in segmented.iter_segments():
+        for doc_id, rows in segment.evidence.items():
+            evidence_of[doc_id] = list(rows)
+    for doc_id, rows in segmented.write_buffer.evidence.items():
+        evidence_of[doc_id] = list(rows)
+    return segmented, evidence_of
+
+
 def load_finder(
     directory: str | pathlib.Path, analyzer: ResourceAnalyzer
 ) -> ExpertFinder:
@@ -215,7 +447,25 @@ def load_finder(
     """
     directory = pathlib.Path(directory)
     try:
-        config, indexed, evidence_counts = _load_meta(directory / _META_FILE)
+        config, indexed, evidence_counts, index_mode = _load_meta(
+            directory / _META_FILE
+        )
+        if index_mode == "segmented":
+            segmented, evidence_of = _load_segmented(directory, config)
+            if segmented.document_count != indexed:
+                raise StorageFormatError(
+                    f"{directory}: segments hold {segmented.document_count} "
+                    f"indexed document(s), metadata says {indexed}"
+                )
+            return ExpertFinder(
+                analyzer,
+                None,
+                evidence_of,
+                config,
+                evidence_counts=evidence_counts,
+                indexed_count=indexed,
+                segmented=segmented,
+            )
         term_index = _load_term_index(directory / _TERM_FILE)
         entity_index = _load_entity_index(directory / _ENTITY_FILE)
         evidence_of = _load_evidence(directory / _EVIDENCE_FILE)

@@ -144,6 +144,71 @@ class TestObserve:
         assert service.observe("s:new:2", "guitar solo cover", [("bob", 1)])
         assert finder.indexed_resources == before + 1
 
+    def test_non_indexed_observe_keeps_cache(self, service):
+        cached = service.find_experts("freestyle swimming")
+        indexed = service.observe(
+            "it:1",
+            "questa e una bella giornata per andare in piscina con gli amici",
+            [("alice", 1)],
+        )
+        assert not indexed
+        # the language-cut resource cannot change any cached ranking, so
+        # the cache survives and the repeat query is a hit
+        assert service.cached_results == 1
+        assert service.find_experts("freestyle swimming") == cached
+        stats = service.stats
+        assert stats.cache_hits == 1
+        assert stats.invalidations == 0
+        assert stats.cache_survivals == 1
+
+    def test_indexed_observe_still_clears_cache(self, service):
+        service.find_experts("freestyle swimming")
+        assert service.observe(
+            "s:new:3", "freestyle swimming laps again", [("alice", 1)]
+        )
+        stats = service.stats
+        assert stats.invalidations == 1
+        assert stats.cache_survivals == 0
+        assert service.cached_results == 0
+
+
+class TestSegmentGauges:
+    def test_monolithic_gauges_are_zero(self, service):
+        stats = service.stats
+        assert (stats.segments, stats.buffered_docs, stats.compactions) == (0, 0, 0)
+
+    def test_segmented_gauges_track_index(self, analyzer):
+        g = SocialGraph(Platform.TWITTER)
+        for pid in ("alice", "bob"):
+            g.add_profile(
+                UserProfile(
+                    profile_id=pid, platform=Platform.TWITTER, display_name=pid
+                )
+            )
+        g.add_resource(
+            Resource(resource_id="t1", platform=Platform.TWITTER,
+                     text="freestyle swimming training at the pool", language="en")
+        )
+        g.link_resource("alice", "t1", RelationKind.CREATES)
+        finder = ExpertFinder.build(
+            g, ("alice", "bob"), analyzer, FinderConfig(window=None),
+            index_mode="segmented", seal_threshold=2,
+        )
+        service = ExpertSearchService(finder)
+        stats = service.stats
+        assert stats.segments == 1  # the base segment
+        assert stats.buffered_docs == 0
+
+        service.observe("s1", "guitar solo cover tonight", [("bob", 1)])
+        assert service.stats.buffered_docs == 1
+        # the second observe crosses the seal threshold; synchronous
+        # compaction runs but two differently-sized segments don't merge
+        service.observe("s2", "another swimming race recap", [("alice", 1)])
+        stats = service.stats
+        assert stats.buffered_docs == 0
+        assert stats.segments == 2
+        assert stats.invalidations == 2
+
 
 class TestBatchAndStats:
     def test_batch_matches_single_queries(self, service, finder):

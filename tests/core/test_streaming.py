@@ -5,7 +5,13 @@ import pytest
 from repro.core.config import FinderConfig
 from repro.core.expert_finder import ExpertFinder
 from repro.socialgraph.graph import SocialGraph
-from repro.socialgraph.metamodel import Platform, RelationKind, Resource, UserProfile
+from repro.socialgraph.metamodel import (
+    Platform,
+    RelationKind,
+    Resource,
+    SocialRelation,
+    UserProfile,
+)
 
 
 @pytest.fixture
@@ -155,3 +161,181 @@ class TestStreamingEngineEquivalence:
         assert finder.query_engine().document_count == finder.indexed_resources
         _both_engines(finder, "guitar rock song")
         _both_engines(finder, "piscina")
+
+
+# -- segmented streaming ------------------------------------------------------
+
+_CANDIDATES = ("alice", "bob", "cara")
+
+#: the streamed tail: (resource id, text, creator profiles for the cold
+#: rebuild, supporters for observe()). Creators and supporters describe
+#: the same graph state — "s3" is created by followed non-candidate
+#: "dave", which the gatherer reaches from alice at distance 2; "s2" has
+#: two creators, listed in candidate-seed order like the shared-frontier
+#: gather emits them. "s4" is Italian and auto-detects as non-indexed on
+#: both paths (languages are auto-detected symmetrically: the cold build
+#: analyzes every node with language=None, so observe() does too).
+_EVENTS = [
+    ("s1", "more freestyle swimming drills before the next race",
+     ("bob",), (("bob", 1),)),
+    ("s2", "a shared guitar practice session down by the swimming pool",
+     ("alice", "bob"), (("alice", 1), ("bob", 1))),
+    ("s3", "open water swimming race report with detailed timing splits",
+     ("dave",), (("alice", 2),)),
+    ("s4", "questa e una bella giornata per andare in piscina con gli amici",
+     ("cara",), (("cara", 1),)),
+    ("s5", "rock guitar chords for a brand new song",
+     ("cara",), (("cara", 1),)),
+]
+
+_NEEDS = (
+    "freestyle swimming race",
+    "rock guitar song",
+    "piscina",
+    "swimming pool practice",
+)
+
+
+def _stream_graph(events=()):
+    """The base social graph plus the resources of *events*."""
+    g = SocialGraph(Platform.TWITTER)
+    for pid in (*_CANDIDATES, "dave"):
+        g.add_profile(
+            UserProfile(profile_id=pid, platform=Platform.TWITTER, display_name=pid)
+        )
+    g.add_social_relation(
+        SocialRelation(source="alice", target="dave", kind=RelationKind.FOLLOWS)
+    )
+    g.add_resource(
+        Resource(resource_id="t1", platform=Platform.TWITTER,
+                 text="guitar chords and a new rock song")
+    )
+    g.link_resource("alice", "t1", RelationKind.CREATES)
+    for rid, text, creators, _supporters in events:
+        g.add_resource(
+            Resource(resource_id=rid, platform=Platform.TWITTER, text=text)
+        )
+        for pid in creators:
+            g.link_resource(pid, rid, RelationKind.CREATES)
+    return g
+
+
+class TestSegmentedStreamingEquivalence:
+    """The tentpole property: a segmented finder fed an interleaved
+    observe()/find_experts() stream ranks byte-identically to (a) a
+    monolithic finder fed the same stream and (b) a monolithic COLD
+    REBUILD over a graph containing the same resources — on both
+    engines, at every intermediate state."""
+
+    def test_interleaved_stream_matches_cold_rebuild(self, analyzer):
+        config = FinderConfig(window=None)
+        segmented = ExpertFinder.build(
+            _stream_graph(), _CANDIDATES, analyzer, config,
+            index_mode="segmented", seal_threshold=2,
+        )
+        monolithic = ExpertFinder.build(
+            _stream_graph(), _CANDIDATES, analyzer, config
+        )
+        for step, (rid, text, _creators, supporters) in enumerate(_EVENTS, 1):
+            seg_indexed = segmented.observe(rid, text, supporters)
+            mono_indexed = monolithic.observe(rid, text, supporters)
+            assert seg_indexed == mono_indexed
+            rebuilt = ExpertFinder.build(
+                _stream_graph(_EVENTS[:step]), _CANDIDATES, analyzer, config
+            )
+            for need in _NEEDS:
+                expected = _both_engines(rebuilt, need)
+                assert _both_engines(monolithic, need) == expected
+                assert _both_engines(segmented, need) == expected
+        # the stream crossed the seal threshold and indexed the Italian
+        # resource as evidence only
+        stats = segmented.index_stats
+        assert stats.seals >= 1
+        assert rebuilt.index_stats is None  # cold rebuilds stay monolithic
+        assert segmented.indexed_resources == monolithic.indexed_resources
+        # parameter overrides agree after the full stream too
+        for alpha, window in ((0.0, None), (1.0, 3), (0.5, 0.5)):
+            for need in _NEEDS:
+                assert segmented.find_experts(
+                    need, alpha=alpha, window=window
+                ) == monolithic.find_experts(need, alpha=alpha, window=window)
+
+    def test_match_resources_parity(self, analyzer):
+        config = FinderConfig(window=None)
+        segmented = ExpertFinder.build(
+            _stream_graph(), _CANDIDATES, analyzer, config,
+            index_mode="segmented", seal_threshold=2,
+        )
+        monolithic = ExpertFinder.build(
+            _stream_graph(), _CANDIDATES, analyzer, config
+        )
+        for rid, text, _creators, supporters in _EVENTS:
+            segmented.observe(rid, text, supporters)
+            monolithic.observe(rid, text, supporters)
+        for need in _NEEDS:
+            full = monolithic.match_resources(need)
+            assert segmented.match_resources(need) == full
+            for k in (1, 3, len(full) + 5):
+                assert segmented.match_resources(need, limit=k) == full[:k]
+
+    def test_compaction_preserves_stream_rankings(self, analyzer):
+        config = FinderConfig(window=None)
+        segmented = ExpertFinder.build(
+            _stream_graph(), _CANDIDATES, analyzer, config,
+            index_mode="segmented", seal_threshold=1, compaction="manual",
+        )
+        for rid, text, _creators, supporters in _EVENTS:
+            segmented.observe(rid, text, supporters)
+        before = [_both_engines(segmented, need) for need in _NEEDS]
+        assert segmented.segmented_index.compact(full=True) == 1
+        assert segmented.index_stats.segments == 1
+        assert [_both_engines(segmented, need) for need in _NEEDS] == before
+
+
+class TestSegmentedFinderSurface:
+    def test_observe_does_not_recompile_anything(self, analyzer):
+        # the acceptance criterion: after one observe the next query must
+        # not rebuild whole-collection compiled state — a segmented
+        # finder has none to rebuild (queries run over segments+buffer)
+        finder = ExpertFinder.build(
+            _stream_graph(), _CANDIDATES, analyzer, FinderConfig(window=None),
+            index_mode="segmented",
+        )
+        assert finder.index_mode == "segmented"
+        assert finder._engine is None
+        finder.observe("s1", "more freestyle swimming drills", [("bob", 1)])
+        assert finder.index_stats.buffered == 1
+        assert finder.find_experts("freestyle swimming") != []
+        assert finder._engine is None  # still nothing compiled
+        with pytest.raises(RuntimeError, match="whole-collection"):
+            finder.query_engine()
+        with pytest.raises(RuntimeError, match="monolithic"):
+            finder.retriever
+
+    def test_monolithic_engine_survives_non_indexed_observe(self, finder):
+        engine = finder.query_engine()
+        indexed = finder.observe(
+            "it1",
+            "questa e una bella giornata per andare in piscina con gli amici",
+            [("alice", 1)],
+        )
+        assert not indexed
+        assert finder.query_engine() is engine  # no recompile needed
+
+    def test_index_stats_surface(self, analyzer, finder):
+        assert finder.index_stats is None  # monolithic
+        segmented = ExpertFinder.build(
+            _stream_graph(), _CANDIDATES, analyzer, FinderConfig(window=None),
+            index_mode="segmented",
+        )
+        stats = segmented.index_stats
+        assert stats.segments == 1  # the base segment
+        assert stats.buffered == 0
+        assert stats.documents == segmented.indexed_resources
+
+    def test_build_rejects_unknown_index_mode(self, analyzer):
+        with pytest.raises(ValueError, match="index_mode"):
+            ExpertFinder.build(
+                _stream_graph(), _CANDIDATES, analyzer, FinderConfig(),
+                index_mode="sharded",
+            )

@@ -105,7 +105,7 @@ class TestEntityIndexMerge:
 
 
 class TestMergeStatisticsInvalidation:
-    def test_stale_stats_refresh_after_invalidate(self):
+    def test_stats_refresh_automatically_after_merge(self):
         terms = _term_index([("a", {"swim": 1})])
         entities = _entity_index([("a", {"ent:x": (1, 0.5)})])
         stats = CollectionStatistics(terms, entities)
@@ -116,12 +116,9 @@ class TestMergeStatisticsInvalidation:
         entities.merge(
             _entity_index([("b", {"ent:x": (1, 0.5)}), ("c", {})])
         )
-        # cached values survive until the caller invalidates...
-        assert stats.irf("swim") == stale_irf
-        assert stats.eirf("ent:x") == stale_eirf
-
-        stats.invalidate()
-        # ...then every ratio reflects the merged collection
+        # merging bumps the index versions, so every ratio reflects the
+        # merged collection on the very next read — no caller-side
+        # invalidate() is needed (stale irf must be impossible)
         assert stats.resource_count == 3
         assert stats.irf("swim") != stale_irf
         assert stats.eirf("ent:x") != stale_eirf

@@ -235,3 +235,269 @@ class TestLoadedEngine:
             InvertedIndex.restore(["d1"], {"t": [Posting("d2", 1)]})
         with pytest.raises(ValueError, match="unknown document"):
             EntityIndex.restore(["d1"], {"e": [EntityPosting("d2", 1, 0.5)]})
+
+
+# -- segmented snapshots ------------------------------------------------------
+
+from repro.core.expert_finder import ExpertFinder as _ExpertFinder  # noqa: E402
+from repro.socialgraph.graph import SocialGraph  # noqa: E402
+from repro.socialgraph.metamodel import (  # noqa: E402
+    Platform,
+    RelationKind,
+    Resource,
+    UserProfile,
+)
+
+_SEG_NEEDS = ("freestyle swimming race", "rock guitar song", "swimming pool")
+
+#: streamed after the build: crosses the seal threshold twice (the
+#: Italian resource is sealed as evidence-only) and leaves one indexed
+#: resource in the write buffer
+_SEG_EVENTS = [
+    ("s1", "more freestyle swimming drills before the next race", "bob"),
+    ("s2", "a shared guitar practice session down by the swimming pool", "alice"),
+    ("s3", "questa e una bella giornata per andare in piscina con gli amici", "alice"),
+    ("s4", "open water swimming race report with detailed timing splits", "bob"),
+    ("s5", "rock guitar chords for a brand new song", "alice"),
+]
+
+
+def _build_segmented(analyzer):
+    g = SocialGraph(Platform.TWITTER)
+    for pid in ("alice", "bob"):
+        g.add_profile(
+            UserProfile(profile_id=pid, platform=Platform.TWITTER, display_name=pid)
+        )
+    g.add_resource(
+        Resource(resource_id="t1", platform=Platform.TWITTER,
+                 text="guitar chords and a new rock song")
+    )
+    g.link_resource("alice", "t1", RelationKind.CREATES)
+    finder = _ExpertFinder.build(
+        g, ("alice", "bob"), analyzer, FinderConfig(window=None),
+        index_mode="segmented", seal_threshold=2,
+    )
+    for rid, text, supporter in _SEG_EVENTS:
+        finder.observe(rid, text, [(supporter, 1)])
+    return finder
+
+
+@pytest.fixture(scope="module")
+def segmented_finder(analyzer):
+    return _build_segmented(analyzer)
+
+
+@pytest.fixture(scope="module")
+def segmented_snapshot_dir(segmented_finder, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("segmented") / "finder"
+    segmented_finder.save(directory)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def loaded_segmented(segmented_snapshot_dir, analyzer):
+    return ExpertFinder.load(segmented_snapshot_dir, analyzer)
+
+
+def _edit_manifest(path, edit):
+    """Structurally rewrite the (plain jsonl) segment manifest."""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    records = edit([json.loads(line) for line in lines[1:]])
+    path.write_text(
+        "\n".join(
+            [lines[0]]
+            + [json.dumps(r, separators=(",", ":"), sort_keys=True) for r in records]
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+class TestSegmentedRoundTrip:
+    def test_stream_left_interesting_state(self, segmented_finder):
+        # the fixture must cover all three layout pieces: multiple sealed
+        # segments, an evidence-only doc inside a segment, and a
+        # non-empty write buffer
+        stats = segmented_finder.index_stats
+        assert stats.segments >= 2
+        assert stats.buffered == 1
+        assert stats.resources > stats.documents  # the Italian resource
+
+    def test_files_layout(self, segmented_snapshot_dir):
+        names = sorted(p.name for p in segmented_snapshot_dir.iterdir())
+        assert "meta.jsonl" in names
+        assert "segments.jsonl" in names
+        assert "buffer.jsonl.gz" in names
+        assert any(n.startswith("segment-") and n.endswith(".jsonl.gz")
+                   for n in names)
+        # the monolithic layout's merged files must NOT be written
+        assert "term_index.jsonl.gz" not in names
+
+    def test_load_preserves_segment_structure(
+        self, segmented_finder, loaded_segmented
+    ):
+        # the snapshot restores segments as they were — no silent merge
+        before = segmented_finder.index_stats
+        after = loaded_segmented.index_stats
+        assert loaded_segmented.index_mode == "segmented"
+        assert after.segments == before.segments
+        assert after.segment_docs == before.segment_docs
+        assert after.buffered == before.buffered
+        assert after.documents == before.documents
+        assert after.resources == before.resources
+
+    def test_identical_rankings(self, segmented_finder, loaded_segmented):
+        for need in _SEG_NEEDS:
+            assert loaded_segmented.find_experts(need) == (
+                segmented_finder.find_experts(need)
+            )
+            for alpha, window in ((0.0, None), (1.0, 2), (0.5, 0.5)):
+                assert loaded_segmented.find_experts(
+                    need, alpha=alpha, window=window
+                ) == segmented_finder.find_experts(need, alpha=alpha, window=window)
+
+    def test_counts_and_evidence_preserved(self, segmented_finder, loaded_segmented):
+        assert loaded_segmented.indexed_resources == (
+            segmented_finder.indexed_resources
+        )
+        assert dict(loaded_segmented.evidence_counts) == dict(
+            segmented_finder.evidence_counts
+        )
+        assert {
+            doc: list(map(tuple, rows))
+            for doc, rows in loaded_segmented.evidence_of.items()
+        } == {
+            doc: list(map(tuple, rows))
+            for doc, rows in segmented_finder.evidence_of.items()
+        }
+
+    def test_streaming_continues_after_load(self, segmented_snapshot_dir, analyzer):
+        finder = ExpertFinder.load(segmented_snapshot_dir, analyzer)
+        buffered = finder.index_stats.buffered
+        assert finder.observe(
+            "post-load:1", "another freestyle swimming session", [("bob", 1)]
+        )
+        assert finder.index_stats.buffered in (0, buffered + 1)  # may seal
+        assert "bob" in {
+            e.candidate_id for e in finder.find_experts("freestyle swimming")
+        }
+
+    def test_compacted_snapshot_round_trips_to_one_segment(
+        self, analyzer, tmp_path
+    ):
+        finder = _build_segmented(analyzer)
+        reference = {need: finder.find_experts(need) for need in _SEG_NEEDS}
+        assert finder.segmented_index.compact(full=True) == 1
+        directory = tmp_path / "compacted"
+        finder.save(directory)
+        loaded = ExpertFinder.load(directory, analyzer)
+        stats = loaded.index_stats
+        assert (stats.segments, stats.buffered) == (1, 0)
+        assert not (directory / "buffer.jsonl.gz").exists()
+        for need, expected in reference.items():
+            assert loaded.find_experts(need) == expected
+
+
+class TestSegmentedFormatGuards:
+    @pytest.fixture
+    def snapshot(self, segmented_finder, tmp_path):
+        directory = tmp_path / "seg"
+        save_finder(segmented_finder, directory)
+        return directory
+
+    def test_rejects_unknown_index_mode(self, snapshot, analyzer):
+        meta = snapshot / "meta.jsonl"
+        meta.write_text(
+            meta.read_text(encoding="utf-8").replace(
+                '"index_mode":"segmented"', '"index_mode":"sharded"'
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(StorageFormatError, match="index mode"):
+            load_finder(snapshot, analyzer)
+
+    def test_rejects_manifest_doc_count_mismatch(self, snapshot, analyzer):
+        def edit(records):
+            entry = next(r for r in records if r["type"] == "segment")
+            entry["docs"] += 1
+            return records
+
+        _edit_manifest(snapshot / "segments.jsonl", edit)
+        with pytest.raises(StorageFormatError, match="manifest says"):
+            load_finder(snapshot, analyzer)
+
+    def test_rejects_manifest_resource_count_mismatch(self, snapshot, analyzer):
+        def edit(records):
+            entry = next(r for r in records if r["type"] == "buffer")
+            entry["resources"] += 1
+            return records
+
+        _edit_manifest(snapshot / "segments.jsonl", edit)
+        with pytest.raises(StorageFormatError, match="manifest says"):
+            load_finder(snapshot, analyzer)
+
+    def test_rejects_missing_segment_file(self, snapshot, analyzer):
+        victim = next(iter(sorted(snapshot.glob("segment-*.jsonl.gz"))))
+        victim.unlink()
+        with pytest.raises(StorageFormatError, match="missing file"):
+            load_finder(snapshot, analyzer)
+
+    def test_rejects_segment_count_mismatch(self, snapshot, analyzer):
+        def edit(records):
+            header = next(r for r in records if r["type"] == "manifest")
+            header["segments"] += 1
+            return records
+
+        _edit_manifest(snapshot / "segments.jsonl", edit)
+        with pytest.raises(StorageFormatError, match="declares"):
+            load_finder(snapshot, analyzer)
+
+    def test_rejects_duplicate_doc_across_segments(self, snapshot, analyzer):
+        # list the first segment twice (bumping the declared count): the
+        # same doc then appears in two places, which restore() rejects
+        def edit(records):
+            header = next(r for r in records if r["type"] == "manifest")
+            entry = next(r for r in records if r["type"] == "segment")
+            duplicate = dict(entry)
+            duplicate["id"] = entry["id"] + 1000
+            header["segments"] += 1
+            return records + [duplicate]
+
+        _edit_manifest(snapshot / "segments.jsonl", edit)
+        with pytest.raises(StorageFormatError, match="more than one place"):
+            load_finder(snapshot, analyzer)
+
+    def test_rejects_indexed_count_mismatch(self, snapshot, analyzer):
+        meta = snapshot / "meta.jsonl"
+        text = meta.read_text(encoding="utf-8")
+        import re as _re
+
+        new_text = _re.sub(
+            r'"indexed":(\d+)',
+            lambda m: f'"indexed":{int(m.group(1)) + 1}',
+            text,
+            count=1,
+        )
+        assert new_text != text
+        meta.write_text(new_text, encoding="utf-8")
+        with pytest.raises(StorageFormatError, match="metadata says"):
+            load_finder(snapshot, analyzer)
+
+    def test_rejects_corrupt_segment_postings(self, snapshot, analyzer):
+        victim = next(iter(sorted(snapshot.glob("segment-*.jsonl.gz"))))
+
+        def mutate(record):
+            if record["type"] == "term" and record["p"]:
+                record["p"][0][0] = "ghost-doc"
+                return True
+
+        _mutate_records(victim, mutate)
+        with pytest.raises(StorageFormatError, match="ghost-doc"):
+            load_finder(snapshot, analyzer)
+
+
+class TestSegmentedLoadedSurface:
+    def test_no_monolithic_retriever_after_load(self, loaded_segmented):
+        with pytest.raises(RuntimeError, match="monolithic"):
+            loaded_segmented.retriever
+        assert loaded_segmented._engine is None  # nothing recompiled

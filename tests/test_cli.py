@@ -103,3 +103,110 @@ class TestCommands:
         code = main(["experiments", "--scale", "tiny", "--only", "nope"])
         assert code == 2
         assert "unknown experiments" in capsys.readouterr().err
+
+
+class TestSegmentedCommands:
+    def test_index_parser_accepts_segment_flags(self):
+        args = build_parser().parse_args(
+            ["index", "--scale", "tiny", "--index-mode", "segmented",
+             "--seal-threshold", "8", "--compact", "--out", "x"]
+        )
+        assert args.index_mode == "segmented"
+        assert args.seal_threshold == 8
+        assert args.compact
+
+    def test_index_segmented_snapshot_and_serve_bench(self, tmp_path, capsys):
+        snap = tmp_path / "seg"
+        code = main(
+            ["index", "--scale", "tiny", "--index-mode", "segmented",
+             "--out", str(snap)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "segments: 1 live" in out
+        assert (snap / "segments.jsonl").exists()
+
+        # the segmented snapshot answers queries identically to a cold
+        # monolithic build
+        code = main(
+            ["query", "best freestyle swimmer", "--scale", "tiny",
+             "--snapshot", str(snap), "--top-k", "3"]
+        )
+        assert code == 0
+        seg_out = capsys.readouterr().out
+        code = main(
+            ["query", "best freestyle swimmer", "--scale", "tiny", "--top-k", "3"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == seg_out
+
+        code = main(
+            ["serve-bench", "--scale", "tiny", "--snapshot", str(snap),
+             "--rounds", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        assert "segments: 1 live" in out
+        assert "cache survivals" in out
+
+    def test_index_compact_merges_multi_segment_snapshot(
+        self, tmp_path, capsys, tiny_dataset
+    ):
+        from repro.core.expert_finder import ExpertFinder
+
+        snap = tmp_path / "seg"
+        assert main(
+            ["index", "--scale", "tiny", "--index-mode", "segmented",
+             "--out", str(snap)]
+        ) == 0
+        capsys.readouterr()
+
+        # grow the snapshot into several segments plus a buffered tail
+        finder = ExpertFinder.load(snap, tiny_dataset.analyzer)
+        candidate = next(iter(finder.evidence_counts))
+        finder.observe(
+            "cli:s1", "an incredibly rare zorpify gadget review", [(candidate, 1)]
+        )
+        finder.segmented_index.seal()
+        finder.observe(
+            "cli:s2", "another zorpify gadget deep dive", [(candidate, 1)]
+        )
+        grown = tmp_path / "grown"
+        finder.save(grown)
+        stats = finder.index_stats
+        assert stats.segments >= 2 and stats.buffered == 1
+
+        optimized = tmp_path / "optimized"
+        assert main(
+            ["index", "--scale", "tiny", "--snapshot", str(grown),
+             "--compact", "--out", str(optimized)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"compacted {stats.segments} segment(s) + 1 buffered" in out
+        assert "→ 1 segment(s)" in out
+        assert "segments: 1 live" in out
+
+        # the optimized snapshot round-trips and ranks identically
+        for need in ("zorpify gadget", "best freestyle swimmer"):
+            code = main(
+                ["query", need, "--scale", "tiny",
+                 "--snapshot", str(grown), "--top-k", "5"]
+            )
+            grown_out = capsys.readouterr().out
+            assert code in (0, 1)
+            assert main(
+                ["query", need, "--scale", "tiny",
+                 "--snapshot", str(optimized), "--top-k", "5"]
+            ) == code
+            assert capsys.readouterr().out == grown_out
+
+    def test_compact_requires_segmented_finder(self, tmp_path, capsys):
+        snap = tmp_path / "mono"
+        assert main(["index", "--scale", "tiny", "--out", str(snap)]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="segmented"):
+            main(
+                ["index", "--scale", "tiny", "--snapshot", str(snap),
+                 "--compact", "--out", str(tmp_path / "x")]
+            )
