@@ -174,7 +174,7 @@ def _cmd_index(args: argparse.Namespace) -> int:
             f"{after.segments} segment(s)"
         )
     built = time.time()
-    finder.save(args.out)
+    finder.save(args.out, snapshot_format=args.snapshot_format)
     saved = time.time()
     print(
         f"indexed {finder.indexed_resources} resources "
@@ -366,6 +366,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="segmented mode: merge all segments (and the buffer) into "
         "one segment before saving",
+    )
+    p_index.add_argument(
+        "--snapshot-format",
+        choices=("v3", "jsonl"),
+        default="v3",
+        help="snapshot format: mmap-able binary generations (v3, the "
+        "default) or the flat jsonl debug/interchange layout",
     )
     p_index.set_defaults(func=_cmd_index)
 

@@ -70,15 +70,21 @@ class ExpertFinder:
         indexed_count: int,
         engine: str = "columnar",
         segmented: "SegmentedIndex | None" = None,
+        retriever_factory: Callable[[], VectorSpaceRetriever] | None = None,
     ):
         if engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
-        if (retriever is None) == (segmented is None):
+        sources = sum(
+            source is not None for source in (retriever, segmented, retriever_factory)
+        )
+        if sources != 1:
             raise ValueError(
-                "exactly one of retriever (monolithic) or segmented must be given"
+                "exactly one of retriever (monolithic), segmented, or "
+                "retriever_factory (lazy monolithic) must be given"
             )
         self._analyzer = analyzer
         self._retriever = retriever
+        self._retriever_factory = retriever_factory
         self._segmented = segmented
         self._evidence_of = evidence_of
         self._ranker = ExpertRanker(evidence_of, config)
@@ -259,14 +265,18 @@ class ExpertFinder:
 
     # -- persistence ---------------------------------------------------------------
 
-    def save(self, directory: str | pathlib.Path) -> None:
+    def save(
+        self, directory: str | pathlib.Path, *, snapshot_format: str = "v3"
+    ) -> None:
         """Persist the built indexes and evidence maps as a snapshot
         directory (see :mod:`repro.storage.snapshot`), so later processes
         warm-start with :meth:`load` instead of re-gathering and
-        re-analyzing the evidence."""
+        re-analyzing the evidence. ``snapshot_format="jsonl"`` writes the
+        line-oriented v2 interchange format instead of the default
+        binary v3."""
         from repro.storage.snapshot import save_finder
 
-        save_finder(self, directory)
+        save_finder(self, directory, snapshot_format=snapshot_format)
 
     @classmethod
     def load(
@@ -291,12 +301,26 @@ class ExpertFinder:
         """The underlying retriever (read-only use: snapshots, stats).
 
         Only monolithic finders have one — a segmented finder's
-        collection lives in its :attr:`segmented_index`."""
-        if self._retriever is None:
+        collection lives in its :attr:`segmented_index`. A v3-snapshot
+        finder serves queries from the mapped columnar engine and builds
+        the posting-object retriever here on first demand."""
+        if self._segmented is not None:
             raise RuntimeError(
                 "a segmented finder has no monolithic retriever; "
                 "use segmented_index"
             )
+        return self._ensure_retriever()
+
+    def _ensure_retriever(self) -> VectorSpaceRetriever:
+        if self._retriever is None:
+            factory = self._retriever_factory
+            if factory is None:
+                raise RuntimeError(
+                    "a segmented finder has no monolithic retriever; "
+                    "use segmented_index"
+                )
+            self._retriever_factory = None
+            self._retriever = factory()
         return self._retriever
 
     @property
@@ -374,7 +398,7 @@ class ExpertFinder:
             from repro.index.columnar import ColumnarQueryEngine
 
             self._engine = ColumnarQueryEngine.compile(
-                self._retriever, self._evidence_of, self._config
+                self._ensure_retriever(), self._evidence_of, self._config
             )
         return self._engine
 
@@ -423,8 +447,10 @@ class ExpertFinder:
         elif indexed:
             # the compiled engine snapshots the collection and the
             # evidence relation — drop it so the next query recompiles
+            # (hydrating the retriever first for v3-loaded finders)
+            retriever = self._ensure_retriever()
             self._engine = None
-            self._retriever.add_document(analyzed)
+            retriever.add_document(analyzed)
         self._evidence_of[node_id] = list(supporters)
         for candidate_id, _ in supporters:
             self._evidence_counts[candidate_id] += 1
@@ -454,9 +480,10 @@ class ExpertFinder:
             if limit is None:
                 return self._segmented.retrieve(query, effective_alpha)
             return self._segmented.retrieve_top_k(query, effective_alpha, limit)
+        retriever = self._ensure_retriever()
         if limit is None:
-            return self._retriever.retrieve(query, effective_alpha)
-        return self._retriever.retrieve_top_k(query, effective_alpha, limit)
+            return retriever.retrieve(query, effective_alpha)
+        return retriever.retrieve_top_k(query, effective_alpha, limit)
 
     def rank_matches(
         self,

@@ -195,6 +195,25 @@ class ColumnarQueryEngine:
 
     # -- introspection -------------------------------------------------------------
 
+    def snapshot_columns(self) -> dict[str, object]:
+        """The compiled columns, keyed for the snapshot-v3 writer.
+
+        Exposes the exact interned ids and weighted columns this engine
+        computed — serializing *these* float64 values (rather than
+        recomputing weights at load) is what keeps v3 rankings
+        byte-identical to a freshly compiled engine.
+        """
+        return {
+            "doc_ids": self._doc_ids,
+            "cand_ids": self._cand_ids,
+            "term_cols": self._term_cols,
+            "entity_cols": self._entity_cols,
+            "sup_offsets": self._sup_offsets,
+            "sup_cand": self._sup_cand,
+            "sup_weight": self._sup_weight,
+            "normalize": self._normalize,
+        }
+
     @property
     def document_count(self) -> int:
         return len(self._doc_ids)

@@ -101,9 +101,10 @@ class Segment:
 
     __slots__ = (
         "segment_id",
-        "term_index",
-        "entity_index",
         "evidence",
+        "_term_index",
+        "_entity_index",
+        "_hydrate",
         "_doc_ids",
         "_term_cols",
         "_entity_cols",
@@ -126,8 +127,9 @@ class Segment:
                 f"({term_index.document_count} vs {entity_index.document_count})"
             )
         self.segment_id = segment_id
-        self.term_index = term_index
-        self.entity_index = entity_index
+        self._term_index: InvertedIndex | None = term_index
+        self._entity_index: EntityIndex | None = entity_index
+        self._hydrate = None
         self.evidence = dict(evidence)
         self._resource_ids = frozenset(self.evidence) | term_index.doc_ids()
 
@@ -137,7 +139,7 @@ class Segment:
         # monolithic engine's compile-time expression)
         doc_ids = sorted(term_index.doc_ids())
         doc_of = {doc_id: i for i, doc_id in enumerate(doc_ids)}
-        self._doc_ids = doc_ids
+        self._doc_ids: list[str] = doc_ids
         self._term_cols: dict[str, tuple[array, array]] = {}
         for term, postings in term_index.items():
             self._term_cols[term] = (
@@ -153,6 +155,41 @@ class Segment:
             )
         self._init_scratch()
 
+    @classmethod
+    def from_columns(
+        cls,
+        segment_id: int,
+        doc_ids: Sequence[str],
+        term_cols: Mapping[str, tuple],
+        entity_cols: Mapping[str, tuple],
+        evidence: Mapping[str, _Rows],
+        hydrate,
+    ) -> "Segment":
+        """Adopt already-compiled columns (a v3 snapshot's mapped buffers)
+        without building the posting-object indexes.
+
+        *doc_ids* must be the segment's indexed doc ids in sorted order
+        (the interning order the columns were compiled under); column
+        values may be ``array``s or zero-copy ``memoryview`` casts.
+        *hydrate* is a zero-argument callable returning the
+        ``(InvertedIndex, EntityIndex)`` pair — invoked at most once, only
+        if a merge or snapshot re-save actually needs posting objects.
+        """
+        segment = cls.__new__(cls)
+        segment.segment_id = segment_id
+        segment._term_index = None
+        segment._entity_index = None
+        segment._hydrate = hydrate
+        segment.evidence = dict(evidence)
+        segment._doc_ids = list(doc_ids)
+        segment._resource_ids = frozenset(segment.evidence) | frozenset(
+            segment._doc_ids
+        )
+        segment._term_cols = dict(term_cols)
+        segment._entity_cols = dict(entity_cols)
+        segment._init_scratch()
+        return segment
+
     def _init_scratch(self) -> None:
         n_docs = len(self._doc_ids)
         self._term_acc = [0.0] * n_docs
@@ -160,8 +197,43 @@ class Segment:
         self._doc_flags = bytearray(n_docs)
 
     @property
+    def term_index(self) -> InvertedIndex:
+        """The posting-object term index, hydrating it on first use for
+        column-restored segments (merges and jsonl re-saves need it;
+        query evaluation and statistics never do)."""
+        if self._term_index is None:
+            self._run_hydrate()
+        return self._term_index
+
+    @property
+    def entity_index(self) -> EntityIndex:
+        if self._entity_index is None:
+            self._run_hydrate()
+        return self._entity_index
+
+    def _run_hydrate(self) -> None:
+        hydrate = self._hydrate
+        if hydrate is None:
+            raise RuntimeError(
+                f"segment {self.segment_id} has no hydrator for its indexes"
+            )
+        self._hydrate = None
+        self._term_index, self._entity_index = hydrate()
+
+    def term_df(self, term: str) -> int:
+        """Documents of this segment containing *term* — served from the
+        compiled column lengths, never hydrating."""
+        cols = self._term_cols.get(term)
+        return len(cols[0]) if cols is not None else 0
+
+    def entity_df(self, entity_uri: str) -> int:
+        """Documents of this segment annotated with *entity_uri*."""
+        cols = self._entity_cols.get(entity_uri)
+        return len(cols[0]) if cols is not None else 0
+
+    @property
     def document_count(self) -> int:
-        return self.term_index.document_count
+        return len(self._doc_ids)
 
     @property
     def resource_count(self) -> int:
@@ -419,6 +491,41 @@ class SegmentedIndex:
             index._doc_count += restored.document_count
         return index
 
+    @classmethod
+    def restore_compiled(
+        cls,
+        config: FinderConfig,
+        segments: Iterable[Segment],
+        buffer: tuple[InvertedIndex, EntityIndex, Mapping[str, _Rows]] | None,
+        *,
+        seal_threshold: int = DEFAULT_SEAL_THRESHOLD,
+        compaction: str = "synchronous",
+        fanout: int = DEFAULT_FANOUT,
+    ) -> "SegmentedIndex":
+        """Rebuild from already-compiled :class:`Segment` objects (the
+        snapshot-v3 mmap path, via :meth:`Segment.from_columns`) plus an
+        optional unsealed buffer; the same overlap/evidence validation as
+        :meth:`restore` applies."""
+        index = cls(
+            config,
+            seal_threshold=seal_threshold,
+            compaction=compaction,
+            fanout=fanout,
+        )
+        for segment in segments:
+            index._register(segment)
+            index._next_segment_id = max(
+                index._next_segment_id, segment.segment_id + 1
+            )
+        if buffer is not None:
+            term_index, entity_index, evidence = buffer
+            restored = _WriteBuffer.restore(term_index, entity_index, evidence)
+            index._absorb_ids(restored.resource_ids, "the write buffer")
+            index._validate_rows(restored.evidence.values())
+            index._buffer = restored
+            index._doc_count += restored.document_count
+        return index
+
     def _register(self, segment: Segment) -> None:
         self._absorb_ids(segment.resource_ids, f"segment {segment.segment_id}")
         self._validate_rows(segment.evidence.values())
@@ -596,12 +703,24 @@ class SegmentedIndex:
         flight finishes first; then any residual plan runs inline)."""
         self.compact()
 
-    def close(self) -> None:
-        """Stop the background compactor, if any. Idempotent."""
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop the background compactor, if any. Idempotent.
+
+        Raises :class:`RuntimeError` if the compactor thread is still
+        alive after *timeout* seconds — a wedged merge must surface, not
+        be silently abandoned mid-flight. The thread handle is kept so a
+        later :meth:`close` can retry the join.
+        """
         self._closed = True
-        if self._thread is not None:
+        thread = self._thread
+        if thread is not None:
             self._wake.set()
-            self._thread.join(timeout=10.0)
+            thread.join(timeout=timeout)
+            if thread.is_alive():
+                raise RuntimeError(
+                    f"segment compactor did not stop within {timeout} s; "
+                    "a compaction pass is still running"
+                )
             self._thread = None
 
     def __enter__(self) -> "SegmentedIndex":
@@ -633,7 +752,7 @@ class SegmentedIndex:
             return cached
         df = self._buffer.term_index.document_frequency(term)
         for segment in self._segments:
-            df += segment.term_index.document_frequency(term)
+            df += segment.term_df(term)
         value = math.log(1.0 + self._doc_count / df) if df else 0.0
         self._irf_cache[term] = value
         return value
@@ -645,7 +764,7 @@ class SegmentedIndex:
             return cached
         df = self._buffer.entity_index.document_frequency(entity_uri)
         for segment in self._segments:
-            df += segment.entity_index.document_frequency(entity_uri)
+            df += segment.entity_df(entity_uri)
         value = math.log(1.0 + self._doc_count / df) if df else 0.0
         self._eirf_cache[entity_uri] = value
         return value

@@ -14,22 +14,33 @@ loaded back bit-identically. This serves two needs:
 Format: one JSON object per line, first line is a header with a record
 ``kind`` and format version; subsequent lines are typed records
 (``profile``, ``resource``, ``container``, edges, analyses…).
+
+Finder snapshots additionally support a binary, mmap-able format
+(snapshot v3, the default — see :mod:`repro.storage.binary` and
+:mod:`repro.storage.snapshot`) for O(1) serving warm-starts; the jsonl
+layout stays available as the debug/interchange format.
 """
 
+from repro.storage.binary import MappedSections, pack_strings, write_sections
 from repro.storage.cache import load_or_build
 from repro.storage.corpus_io import load_corpus, save_corpus
 from repro.storage.dataset_io import load_dataset, save_dataset
 from repro.storage.graph_io import load_graph, save_graph
+from repro.storage.jsonl import StorageFormatError
 from repro.storage.snapshot import load_finder, save_finder
 
 __all__ = [
+    "MappedSections",
+    "StorageFormatError",
     "load_corpus",
     "load_dataset",
     "load_finder",
     "load_graph",
     "load_or_build",
+    "pack_strings",
     "save_corpus",
     "save_dataset",
     "save_finder",
     "save_graph",
+    "write_sections",
 ]

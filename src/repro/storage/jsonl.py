@@ -1,11 +1,24 @@
-"""JSON-lines files with a typed header, transparent gzip, and strict
-version checking."""
+"""JSON-lines files with a typed header, transparent gzip, strict
+version checking, and atomic writes.
+
+:func:`write_records` never exposes a partially-written file under the
+final name: it assembles the file in a same-directory temporary, flushes
+and fsyncs it, then ``os.replace``-s it into place — a process killed
+mid-write leaves only a stray ``.tmp`` file, never a truncated file
+with a valid header. :func:`read_records` converts every decode-layer
+failure (malformed JSON, truncated gzip streams, bad UTF-8) into
+:class:`StorageFormatError` naming the offending path, so callers never
+see a bare ``JSONDecodeError``/``EOFError`` from a corrupt file.
+"""
 
 from __future__ import annotations
 
+import contextlib
 import gzip
 import json
+import os
 import pathlib
+import tempfile
 from collections.abc import Iterable, Iterator
 from typing import Any
 
@@ -14,58 +27,109 @@ FORMAT_VERSION = 1
 
 class StorageFormatError(ValueError):
     """The file is not a repro storage file, or its version/kind is
-    incompatible."""
+    incompatible, or its content is corrupt."""
 
 
-def _open(path: pathlib.Path, mode: str):
+def _open_read(path: pathlib.Path):
     if path.suffix == ".gz":
-        return gzip.open(path, mode + "t", encoding="utf-8")
-    return open(path, mode, encoding="utf-8")
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
 
 
 def write_records(
     path: str | pathlib.Path, kind: str, records: Iterable[dict[str, Any]]
 ) -> int:
-    """Write a header line plus one JSON object per record; returns the
-    number of records written. ``.gz`` paths are gzip-compressed."""
+    """Atomically write a header line plus one JSON object per record;
+    returns the number of records written. ``.gz`` paths are
+    gzip-compressed."""
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     count = 0
-    with _open(path, "w") as fh:
-        header = {"format": "repro-jsonl", "version": FORMAT_VERSION, "kind": kind}
-        fh.write(json.dumps(header, separators=(",", ":")) + "\n")
-        for record in records:
-            fh.write(json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n")
-            count += 1
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as raw:
+            if path.suffix == ".gz":
+                fh = gzip.open(raw, "wt", encoding="utf-8")
+            else:
+                fh = open(raw.fileno(), "w", encoding="utf-8", closefd=False)
+            with fh:
+                header = {
+                    "format": "repro-jsonl",
+                    "version": FORMAT_VERSION,
+                    "kind": kind,
+                }
+                fh.write(json.dumps(header, separators=(",", ":")) + "\n")
+                for record in records:
+                    fh.write(
+                        json.dumps(record, separators=(",", ":"), sort_keys=True)
+                        + "\n"
+                    )
+                    count += 1
+            raw.flush()
+            os.fsync(raw.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+    _fsync_directory(path.parent)
     return count
 
 
-def read_records(path: str | pathlib.Path, kind: str) -> Iterator[dict[str, Any]]:
-    """Yield the records of a storage file, validating the header."""
-    path = pathlib.Path(path)
-    with _open(path, "r") as fh:
-        header_line = fh.readline()
-        if not header_line:
-            raise StorageFormatError(f"{path}: empty file")
+def _fsync_directory(directory: pathlib.Path) -> None:
+    """Flush the directory entry after a rename; best-effort where
+    directories cannot be opened."""
+    with contextlib.suppress(OSError):
+        fd = os.open(directory, os.O_RDONLY)
         try:
-            header = json.loads(header_line)
-        except json.JSONDecodeError as exc:
-            raise StorageFormatError(f"{path}: malformed header") from exc
-        if header.get("format") != "repro-jsonl":
-            raise StorageFormatError(f"{path}: not a repro storage file")
-        if header.get("version") != FORMAT_VERSION:
-            raise StorageFormatError(
-                f"{path}: unsupported version {header.get('version')!r}"
-            )
-        if header.get("kind") != kind:
-            raise StorageFormatError(
-                f"{path}: expected kind {kind!r}, found {header.get('kind')!r}"
-            )
-        for line_number, line in enumerate(fh, start=2):
-            line = line.strip()
-            if not line:
-                continue
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+def read_records(path: str | pathlib.Path, kind: str) -> Iterator[dict[str, Any]]:
+    """Yield the records of a storage file, validating the header.
+
+    Decode-layer failures — malformed JSON, a gzip stream cut short by a
+    crash, invalid UTF-8 — surface as :class:`StorageFormatError` with
+    the path, never as the underlying codec exception. A missing file
+    still raises ``FileNotFoundError``.
+    """
+    path = pathlib.Path(path)
+    try:
+        with _open_read(path) as fh:
+            header_line = fh.readline()
+            if not header_line:
+                raise StorageFormatError(f"{path}: empty file")
             try:
-                yield json.loads(line)
+                header = json.loads(header_line)
             except json.JSONDecodeError as exc:
-                raise StorageFormatError(f"{path}:{line_number}: malformed record") from exc
+                raise StorageFormatError(f"{path}: malformed header") from exc
+            if not isinstance(header, dict) or header.get("format") != "repro-jsonl":
+                raise StorageFormatError(f"{path}: not a repro storage file")
+            if header.get("version") != FORMAT_VERSION:
+                raise StorageFormatError(
+                    f"{path}: unsupported version {header.get('version')!r}"
+                )
+            if header.get("kind") != kind:
+                raise StorageFormatError(
+                    f"{path}: expected kind {kind!r}, found {header.get('kind')!r}"
+                )
+            for line_number, line in enumerate(fh, start=2):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise StorageFormatError(
+                        f"{path}:{line_number}: malformed record"
+                    ) from exc
+    except (EOFError, UnicodeDecodeError) as exc:
+        # a truncated gzip member raises EOFError mid-iteration; decode
+        # errors mean the compressed payload was damaged
+        raise StorageFormatError(f"{path}: corrupt file: {exc}") from exc
+    except gzip.BadGzipFile as exc:
+        raise StorageFormatError(f"{path}: corrupt gzip stream: {exc}") from exc

@@ -4,63 +4,87 @@ Building a finder is dominated by evidence gathering and text/entity
 analysis; serving deployments want to pay that once, persist the result,
 and warm-start query processes from disk (cf. production expert-mining
 systems, which serve ranked top-k from precomputed per-candidate
-indexes). A snapshot directory captures everything query evaluation
-needs — the two inverted indexes, the evidence relation, and the build
-configuration — and nothing generation-time:
+indexes). A snapshot captures everything query evaluation needs — the
+indexes, the evidence relation, and the build configuration — and
+nothing generation-time.
 
-``meta.jsonl``
-    snapshot version, index mode, the
-    :class:`~repro.core.config.FinderConfig`, the indexed-resource
-    count, and per-candidate evidence counts;
-``term_index.jsonl.gz``
-    indexed doc ids, then one record per term with its postings list;
-``entity_index.jsonl.gz``
-    indexed doc ids, then one record per entity with its postings list;
-``evidence.jsonl.gz``
-    one record per evidence resource with its supporting
-    ``(candidate, distance)`` pairs.
+Two formats share one directory convention and one loader:
 
-A **segmented** finder (``index_mode="segmented"``) replaces the three
-index/evidence files with a per-segment layout, so a loaded finder
-restores the exact segment structure instead of recompiling a merged
-monolith:
+**v3 (binary, the default)** — the serving format. The directory holds a
+``CURRENT`` pointer file plus numbered ``gen-NNNNNNN/`` generation
+subdirectories; ``CURRENT`` names the one complete generation. Inside a
+generation, ``meta.jsonl`` keeps the config/counts records and the
+columnar payload lives in mmap-able section containers
+(:mod:`repro.storage.binary`): ``index.bin`` + ``engine.bin`` for a
+monolithic finder, ``segments.jsonl`` + ``segment-NNNN.bin`` (and
+``buffer.bin``) for a segmented one. Loading maps the buffers and builds
+the :class:`~repro.index.columnar.ColumnarQueryEngine` (or each
+:class:`~repro.index.segments.Segment`) directly over zero-copy
+``memoryview`` casts — no JSON parsing, no posting objects, and N
+processes opening one snapshot share a single page-cache copy. The
+posting-object side (retriever, segment indexes) hydrates lazily, only
+if a merge, re-save, or object-path query actually needs it.
 
-``segments.jsonl``
-    the segment manifest: one header with the seal threshold and
-    segment count, then one entry per sealed segment (id, file name,
-    doc/resource counts) and an optional entry for the unsealed write
-    buffer;
-``segment-NNNN.jsonl.gz`` / ``buffer.jsonl.gz``
-    each segment's slice in one file: its indexed doc ids, term and
-    entity postings, and evidence rows (the same record shapes as the
-    monolithic files).
+A save writes the whole new generation (each file atomically:
+temp + fsync + rename), then atomically replaces ``CURRENT``, then
+prunes older generations — a crash at *any* instant leaves the previous
+``CURRENT`` target intact and loadable.
 
-Postings lists are stored in index order, so a loaded finder repeats
-the builder's float summation order exactly — rankings round-trip
-byte-identically. The text analyzer is *not* persisted (it is code, not
-state); :func:`load_finder` takes it as an argument.
+**jsonl (v2, the debug/interchange format)** — flat line-oriented files
+(``meta.jsonl``, ``term_index.jsonl.gz``, …), human-inspectable and
+diff-able; write it with ``save_finder(..., snapshot_format="jsonl")``.
+Each file is written atomically, but the *set* of files is not staged as
+one unit — v3 is the crash-safe format.
+
+Postings and evidence orders are preserved by both formats, and v3
+additionally stores the engine's own computed float64 weights, so a
+loaded finder repeats the builder's float operations exactly — rankings
+round-trip byte-identically on every path. The text analyzer is *not*
+persisted (it is code, not state); :func:`load_finder` takes it as an
+argument.
 """
 
 from __future__ import annotations
 
+import contextlib
+import os
 import pathlib
-from collections.abc import Iterator
+import re
+import shutil
+import tempfile
+from array import array
+from collections.abc import Iterator, Mapping, MutableMapping
 from typing import Any
 
 from repro.core.config import FinderConfig
 from repro.core.expert_finder import ExpertFinder
 from repro.index.analyzer import ResourceAnalyzer
+from repro.index.columnar import ColumnarQueryEngine
 from repro.index.entity_index import EntityIndex, EntityPosting
 from repro.index.inverted import InvertedIndex, Posting
 from repro.index.segments import Segment, SegmentedIndex, _WriteBuffer
 from repro.index.statistics import CollectionStatistics
-from repro.index.vsm import VectorSpaceRetriever
+from repro.index.vsm import VectorSpaceRetriever, entity_weight
+from repro.storage.binary import (
+    MappedSections,
+    _fsync_directory,
+    pack_strings,
+    write_sections,
+)
 from repro.storage.jsonl import StorageFormatError, read_records, write_records
 
-#: bump when the snapshot directory layout or record shapes change;
-#: loaders refuse mismatched snapshots instead of guessing
-#: (2: ``index_mode`` in the meta + the segmented manifest layout)
-SNAPSHOT_VERSION = 2
+#: bump when the snapshot layout or record shapes change; loaders refuse
+#: mismatched snapshots instead of guessing
+#: (2: ``index_mode`` + the segmented manifest layout; 3: the binary
+#: generation layout — the v2 flat-jsonl layout stays loadable and
+#: writable via ``snapshot_format="jsonl"``)
+SNAPSHOT_VERSION = 3
+
+#: the version written by (and required in) flat jsonl snapshots
+JSONL_SNAPSHOT_VERSION = 2
+
+#: accepted ``snapshot_format`` arguments
+SNAPSHOT_FORMATS = ("v3", "jsonl")
 
 META_KIND = "finder-snapshot-meta"
 TERM_INDEX_KIND = "finder-term-index"
@@ -76,11 +100,23 @@ _EVIDENCE_FILE = "evidence.jsonl.gz"
 _MANIFEST_FILE = "segments.jsonl"
 _BUFFER_FILE = "buffer.jsonl.gz"
 
+_CURRENT_FILE = "CURRENT"
+_CURRENT_MAGIC = "repro-snapshot-v3"
+_GEN_PATTERN = re.compile(r"gen-(\d{7})")
+_INDEX_BIN = "index.bin"
+_ENGINE_BIN = "engine.bin"
+_BUFFER_BIN = "buffer.bin"
+
 _INDEX_MODES = ("monolithic", "segmented")
 
 
 def _segment_file(segment_id: int) -> str:
     return f"segment-{segment_id:04d}.jsonl.gz"
+
+
+def _segment_bin(segment_id: int) -> str:
+    return f"segment-{segment_id:04d}.bin"
+
 
 _CONFIG_FIELDS = (
     "alpha",
@@ -92,75 +128,114 @@ _CONFIG_FIELDS = (
     "normalize",
 )
 
+#: flat-layout file names a save may prune when they no longer belong to
+#: the snapshot (stale segments after compaction, a drained buffer, or
+#: the other format's files after a format switch); only names matching
+#: these shapes are ever deleted
+_FLAT_V2_NAMES = (_META_FILE, _TERM_FILE, _ENTITY_FILE, _EVIDENCE_FILE,
+                  _MANIFEST_FILE, _BUFFER_FILE)
+_FLAT_V2_SEGMENT_PATTERN = re.compile(r"segment-\d{4}\.jsonl\.gz")
 
-def save_finder(finder: ExpertFinder, directory: str | pathlib.Path) -> None:
+
+def save_finder(
+    finder: ExpertFinder,
+    directory: str | pathlib.Path,
+    *,
+    snapshot_format: str = "v3",
+) -> None:
     """Write *finder*'s snapshot under *directory* (created if missing).
 
-    A monolithic finder writes the three whole-collection files; a
-    segmented finder writes the segment manifest plus one file per
-    sealed segment (and one for a non-empty write buffer), preserving
-    the live segment structure exactly.
+    The default ``"v3"`` format writes a new binary generation and
+    atomically repoints ``CURRENT`` at it — re-saving over an existing
+    snapshot (either format) is crash-safe: until the final rename the
+    previous snapshot loads, after it the new one does, and stale files
+    from the previous save are pruned afterwards. ``"jsonl"`` writes the
+    flat v2 interchange layout (each file atomic, the file set not).
     """
+    if snapshot_format not in SNAPSHOT_FORMATS:
+        raise ValueError(
+            f"snapshot_format must be one of {SNAPSHOT_FORMATS}, "
+            f"got {snapshot_format!r}"
+        )
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    if snapshot_format == "jsonl":
+        _save_jsonl(finder, directory)
+    else:
+        _save_v3(finder, directory)
+
+
+def _meta_records(finder: ExpertFinder, version: int) -> Iterator[dict[str, Any]]:
+    yield {
+        "type": "snapshot",
+        "snapshot_version": version,
+        "index_mode": finder.index_mode,
+    }
     config = finder.config
-
-    def meta_records() -> Iterator[dict[str, Any]]:
+    record: dict[str, Any] = {"type": "config"}
+    for name in _CONFIG_FIELDS:
+        value = getattr(config, name)
+        record[name] = list(value) if isinstance(value, tuple) else value
+    yield record
+    yield {"type": "counts", "indexed": finder.indexed_resources}
+    for cid in sorted(finder.evidence_counts):
         yield {
-            "type": "snapshot",
-            "snapshot_version": SNAPSHOT_VERSION,
-            "index_mode": finder.index_mode,
+            "type": "candidate",
+            "id": cid,
+            "evidence": finder.evidence_counts[cid],
         }
-        record: dict[str, Any] = {"type": "config"}
-        for name in _CONFIG_FIELDS:
-            value = getattr(config, name)
-            record[name] = list(value) if isinstance(value, tuple) else value
-        yield record
-        yield {"type": "counts", "indexed": finder.indexed_resources}
-        for cid in sorted(finder.evidence_counts):
-            yield {
-                "type": "candidate",
-                "id": cid,
-                "evidence": finder.evidence_counts[cid],
-            }
 
-    write_records(directory / _META_FILE, META_KIND, meta_records())
+
+# -- jsonl (v2) writer -------------------------------------------------------------
+
+
+def _save_jsonl(finder: ExpertFinder, directory: pathlib.Path) -> None:
+    keep: set[str] = {_META_FILE}
     if finder.index_mode == "segmented":
-        _save_segmented(finder.segmented_index, directory)
-        return
-    retriever = finder.retriever
+        keep |= _save_segmented(finder.segmented_index, directory)
+    else:
+        retriever = finder.retriever
 
-    def term_records() -> Iterator[dict[str, Any]]:
-        yield {"type": "docs", "ids": sorted(retriever.term_index.doc_ids())}
-        for term, postings in retriever.term_index.items():
-            yield {
-                "type": "term",
-                "t": term,
-                "p": [[p.doc_id, p.term_frequency] for p in postings],
-            }
+        def term_records() -> Iterator[dict[str, Any]]:
+            yield {"type": "docs", "ids": sorted(retriever.term_index.doc_ids())}
+            for term, postings in retriever.term_index.items():
+                yield {
+                    "type": "term",
+                    "t": term,
+                    "p": [[p.doc_id, p.term_frequency] for p in postings],
+                }
 
-    def entity_records() -> Iterator[dict[str, Any]]:
-        yield {"type": "docs", "ids": sorted(retriever.entity_index.doc_ids())}
-        for uri, postings in retriever.entity_index.items():
-            yield {
-                "type": "entity",
-                "e": uri,
-                "p": [
-                    [p.doc_id, p.entity_frequency, p.d_score] for p in postings
-                ],
-            }
+        def entity_records() -> Iterator[dict[str, Any]]:
+            yield {"type": "docs", "ids": sorted(retriever.entity_index.doc_ids())}
+            for uri, postings in retriever.entity_index.items():
+                yield {
+                    "type": "entity",
+                    "e": uri,
+                    "p": [
+                        [p.doc_id, p.entity_frequency, p.d_score] for p in postings
+                    ],
+                }
 
-    def evidence_records() -> Iterator[dict[str, Any]]:
-        for doc_id, supporters in finder.evidence_of.items():
-            yield {
-                "type": "evidence",
-                "doc": doc_id,
-                "s": [[cid, distance] for cid, distance in supporters],
-            }
+        def evidence_records() -> Iterator[dict[str, Any]]:
+            for doc_id, supporters in finder.evidence_of.items():
+                yield {
+                    "type": "evidence",
+                    "doc": doc_id,
+                    "s": [[cid, distance] for cid, distance in supporters],
+                }
 
-    write_records(directory / _TERM_FILE, TERM_INDEX_KIND, term_records())
-    write_records(directory / _ENTITY_FILE, ENTITY_INDEX_KIND, entity_records())
-    write_records(directory / _EVIDENCE_FILE, EVIDENCE_KIND, evidence_records())
+        write_records(directory / _TERM_FILE, TERM_INDEX_KIND, term_records())
+        write_records(directory / _ENTITY_FILE, ENTITY_INDEX_KIND, entity_records())
+        write_records(directory / _EVIDENCE_FILE, EVIDENCE_KIND, evidence_records())
+        keep |= {_TERM_FILE, _ENTITY_FILE, _EVIDENCE_FILE}
+    # data files first, meta last: a fresh snapshot torn mid-save lacks
+    # its meta file and is rejected cleanly at load
+    write_records(
+        directory / _META_FILE,
+        META_KIND,
+        _meta_records(finder, JSONL_SNAPSHOT_VERSION),
+    )
+    _prune_snapshot_files(directory, keep)
 
 
 def _slice_records(
@@ -191,49 +266,262 @@ def _slice_records(
         }
 
 
-def _save_segmented(segmented: SegmentedIndex, directory: pathlib.Path) -> None:
+def _manifest_records(
+    segmented: SegmentedIndex,
+    segments: tuple[Segment, ...],
+    buffer: _WriteBuffer,
+    segment_name,
+    buffer_name: str,
+) -> Iterator[dict[str, Any]]:
+    yield {
+        "type": "manifest",
+        "seal_threshold": segmented.seal_threshold,
+        "fanout": segmented.fanout,
+        "segments": len(segments),
+    }
+    for segment in segments:
+        yield {
+            "type": "segment",
+            "id": segment.segment_id,
+            "file": segment_name(segment.segment_id),
+            "docs": segment.document_count,
+            "resources": segment.resource_count,
+        }
+    if buffer.resource_count:
+        yield {
+            "type": "buffer",
+            "file": buffer_name,
+            "docs": buffer.document_count,
+            "resources": buffer.resource_count,
+        }
+
+
+def _save_segmented(segmented: SegmentedIndex, directory: pathlib.Path) -> set[str]:
     segments = segmented.iter_segments()
     buffer = segmented.write_buffer
-
-    def manifest_records() -> Iterator[dict[str, Any]]:
-        yield {
-            "type": "manifest",
-            "seal_threshold": segmented.seal_threshold,
-            "fanout": segmented.fanout,
-            "segments": len(segments),
-        }
-        for segment in segments:
-            yield {
-                "type": "segment",
-                "id": segment.segment_id,
-                "file": _segment_file(segment.segment_id),
-                "docs": segment.document_count,
-                "resources": segment.resource_count,
-            }
-        if buffer.resource_count:
-            yield {
-                "type": "buffer",
-                "file": _BUFFER_FILE,
-                "docs": buffer.document_count,
-                "resources": buffer.resource_count,
-            }
-
-    write_records(directory / _MANIFEST_FILE, MANIFEST_KIND, manifest_records())
+    keep = {_MANIFEST_FILE}
     for segment in segments:
+        name = _segment_file(segment.segment_id)
         write_records(
-            directory / _segment_file(segment.segment_id),
+            directory / name,
             SEGMENT_KIND,
             _slice_records(segment.term_index, segment.entity_index, segment.evidence),
         )
+        keep.add(name)
     if buffer.resource_count:
         write_records(
             directory / _BUFFER_FILE,
             SEGMENT_KIND,
             _slice_records(buffer.term_index, buffer.entity_index, buffer.evidence),
         )
+        keep.add(_BUFFER_FILE)
+    write_records(
+        directory / _MANIFEST_FILE,
+        MANIFEST_KIND,
+        _manifest_records(segmented, segments, buffer, _segment_file, _BUFFER_FILE),
+    )
+    return keep
 
 
-def _load_meta(path: pathlib.Path) -> tuple[FinderConfig, int, dict[str, int], str]:
+def _prune_snapshot_files(directory: pathlib.Path, keep: set[str]) -> None:
+    """Remove snapshot files a previous save left behind — only names the
+    format owns (recognized v2 shapes, binary generations, ``CURRENT``);
+    anything else in the directory is not ours to delete."""
+    for child in directory.iterdir():
+        name = child.name
+        if name in keep:
+            continue
+        if child.is_dir():
+            if _GEN_PATTERN.fullmatch(name):
+                with contextlib.suppress(OSError):
+                    shutil.rmtree(child)
+            continue
+        if (
+            name in _FLAT_V2_NAMES
+            or _FLAT_V2_SEGMENT_PATTERN.fullmatch(name)
+            or name == _CURRENT_FILE
+        ):
+            with contextlib.suppress(OSError):
+                child.unlink()
+
+
+# -- binary (v3) writer ------------------------------------------------------------
+
+
+def _slice_sections(
+    term_index: InvertedIndex,
+    entity_index: EntityIndex,
+    evidence: Mapping[str, Any],
+) -> list[tuple[str, str, Any]]:
+    """One collection slice (the whole monolith, one segment, or the
+    buffer) as binary sections: string tables + element-offset CSR
+    columns, preserving postings and evidence-row order exactly.
+
+    Entities carry both the raw ``d_score`` (``ent#ds``, for hydrating
+    posting objects) and the folded ``we = 1 + d_score`` (``ent#we``, the
+    ready-to-map query column) — ``d_score`` is not exactly recoverable
+    from ``we`` in floating point, so both are stored.
+    """
+    docs = sorted(term_index.doc_ids())
+    doc_of = {doc_id: i for i, doc_id in enumerate(docs)}
+    sections: list[tuple[str, str, Any]] = [*pack_strings("docs", docs)]
+
+    terms: list[str] = []
+    toff = array("l", [0])
+    tdoc = array("l")
+    ttf = array("l")
+    for term, postings in term_index.items():
+        terms.append(term)
+        for p in postings:
+            tdoc.append(doc_of[p.doc_id])
+            ttf.append(p.term_frequency)
+        toff.append(len(tdoc))
+    sections += pack_strings("terms", terms)
+    sections += [("term#off", "q", toff), ("term#doc", "q", tdoc),
+                 ("term#tf", "q", ttf)]
+
+    entities: list[str] = []
+    eoff = array("l", [0])
+    edoc = array("l")
+    eef = array("l")
+    ewe = array("d")
+    eds = array("d")
+    for uri, postings in entity_index.items():
+        entities.append(uri)
+        for p in postings:
+            edoc.append(doc_of[p.doc_id])
+            eef.append(p.entity_frequency)
+            ewe.append(entity_weight(p.d_score))
+            eds.append(p.d_score)
+        eoff.append(len(edoc))
+    sections += pack_strings("entities", entities)
+    sections += [("ent#off", "q", eoff), ("ent#doc", "q", edoc),
+                 ("ent#ef", "q", eef), ("ent#we", "d", ewe), ("ent#ds", "d", eds)]
+
+    resources = list(evidence)
+    cands = sorted({cid for rows in evidence.values() for cid, _ in rows})
+    cand_of = {cid: i for i, cid in enumerate(cands)}
+    voff = array("l", [0])
+    vcand = array("l")
+    vdist = array("l")
+    for doc_id in resources:
+        for cid, distance in evidence[doc_id]:
+            vcand.append(cand_of[cid])
+            vdist.append(distance)
+        voff.append(len(vcand))
+    sections += pack_strings("resources", resources)
+    sections += pack_strings("cands", cands)
+    sections += [("ev#off", "q", voff), ("ev#cand", "q", vcand),
+                 ("ev#dist", "q", vdist)]
+    return sections
+
+
+def _engine_sections(engine: ColumnarQueryEngine) -> list[tuple[str, str, Any]]:
+    """The compiled engine's columns as binary sections. Doc and
+    candidate id tables are not repeated here — they are identical to
+    ``index.bin``'s ``docs``/``cands`` (both sorted over the same sets)."""
+    cols = engine.snapshot_columns()
+    sections: list[tuple[str, str, Any]] = []
+    for prefix, col_dict in (("term", cols["term_cols"]),
+                             ("ent", cols["entity_cols"])):
+        keys = list(col_dict)
+        off = array("l", [0])
+        doc = array("l")
+        weight = array("d")
+        for key in keys:
+            doc_col, weight_col = col_dict[key]
+            doc.extend(doc_col)
+            weight.extend(weight_col)
+            off.append(len(doc))
+        name = "terms" if prefix == "term" else "entities"
+        sections += pack_strings(name, keys)
+        sections += [(f"{prefix}#off", "q", off), (f"{prefix}#doc", "q", doc),
+                     (f"{prefix}#w", "d", weight)]
+    sections += [("sup#off", "q", cols["sup_offsets"]),
+                 ("sup#cand", "q", cols["sup_cand"]),
+                 ("sup#w", "d", cols["sup_weight"])]
+    return sections
+
+
+def _next_generation(directory: pathlib.Path) -> str:
+    highest = 0
+    for child in directory.iterdir():
+        match = _GEN_PATTERN.fullmatch(child.name)
+        if match and child.is_dir():
+            highest = max(highest, int(match.group(1)))
+    return f"gen-{highest + 1:07d}"
+
+
+def _write_current(directory: pathlib.Path, gen_name: str) -> None:
+    data = f"{_CURRENT_MAGIC}\n{gen_name}\n".encode("utf-8")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=directory, prefix=f".{_CURRENT_FILE}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, directory / _CURRENT_FILE)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+    _fsync_directory(directory)
+
+
+def _save_v3(finder: ExpertFinder, directory: pathlib.Path) -> None:
+    gen_name = _next_generation(directory)
+    gen_dir = directory / gen_name
+    gen_dir.mkdir()
+    write_records(
+        gen_dir / _META_FILE, META_KIND, _meta_records(finder, SNAPSHOT_VERSION)
+    )
+    if finder.index_mode == "segmented":
+        segmented = finder.segmented_index
+        segments = segmented.iter_segments()
+        buffer = segmented.write_buffer
+        for segment in segments:
+            write_sections(
+                gen_dir / _segment_bin(segment.segment_id),
+                _slice_sections(
+                    segment.term_index, segment.entity_index, segment.evidence
+                ),
+            )
+        if buffer.resource_count:
+            write_sections(
+                gen_dir / _BUFFER_BIN,
+                _slice_sections(
+                    buffer.term_index, buffer.entity_index, buffer.evidence
+                ),
+            )
+        write_records(
+            gen_dir / _MANIFEST_FILE,
+            MANIFEST_KIND,
+            _manifest_records(segmented, segments, buffer, _segment_bin, _BUFFER_BIN),
+        )
+    else:
+        retriever = finder.retriever
+        write_sections(
+            gen_dir / _INDEX_BIN,
+            _slice_sections(
+                retriever.term_index, retriever.entity_index, finder.evidence_of
+            ),
+        )
+        write_sections(gen_dir / _ENGINE_BIN, _engine_sections(finder.query_engine()))
+    # the generation is complete and durable; flip CURRENT, then prune
+    # what the flip obsoleted (older generations, flat v2 files) — a
+    # crash anywhere here leaves a loadable snapshot on both sides
+    _write_current(directory, gen_name)
+    _prune_snapshot_files(directory, {_CURRENT_FILE, gen_name})
+
+
+# -- jsonl (v2) reader -------------------------------------------------------------
+
+
+def _load_meta(
+    path: pathlib.Path, expected_version: int
+) -> tuple[FinderConfig, int, dict[str, int], str]:
     version: int | None = None
     index_mode: str | None = None
     config: FinderConfig | None = None
@@ -243,9 +531,10 @@ def _load_meta(path: pathlib.Path) -> tuple[FinderConfig, int, dict[str, int], s
         rtype = record.get("type")
         if rtype == "snapshot":
             version = record.get("snapshot_version")
-            if version != SNAPSHOT_VERSION:
+            if version != expected_version:
                 raise StorageFormatError(
-                    f"{path}: unsupported snapshot version {version!r}"
+                    f"{path}: unsupported snapshot version {version!r} "
+                    f"(expected {expected_version})"
                 )
             index_mode = record.get("index_mode", "monolithic")
             if index_mode not in _INDEX_MODES:
@@ -357,13 +646,9 @@ def _load_slice(
     return term_index, entity_index, evidence
 
 
-def _load_segmented(
-    directory: pathlib.Path, config: FinderConfig
-) -> tuple[SegmentedIndex, dict[str, list[tuple[str, int]]]]:
-    """Restore a segmented index from its manifest + per-segment files,
-    without merging anything: per-segment postings orders, the segment
-    order, and the buffered tail all survive the round trip."""
-    manifest_path = directory / _MANIFEST_FILE
+def _read_manifest(
+    manifest_path: pathlib.Path,
+) -> tuple[dict[str, Any], list[dict[str, Any]], dict[str, Any] | None]:
     header: dict[str, Any] | None = None
     entries: list[dict[str, Any]] = []
     buffer_entry: dict[str, Any] | None = None
@@ -386,6 +671,17 @@ def _load_segmented(
             f"{manifest_path}: manifest declares {header['segments']} "
             f"segment(s) but lists {len(entries)}"
         )
+    return header, entries, buffer_entry
+
+
+def _load_segmented(
+    directory: pathlib.Path, config: FinderConfig
+) -> tuple[SegmentedIndex, dict[str, list[tuple[str, int]]]]:
+    """Restore a segmented index from its manifest + per-segment files,
+    without merging anything: per-segment postings orders, the segment
+    order, and the buffered tail all survive the round trip."""
+    manifest_path = directory / _MANIFEST_FILE
+    header, entries, buffer_entry = _read_manifest(manifest_path)
 
     def load_entry(entry: dict[str, Any], path: pathlib.Path):
         term_index, entity_index, evidence = _load_slice(path)
@@ -427,13 +723,351 @@ def _load_segmented(
         seal_threshold=header["seal_threshold"],
         fanout=header.get("fanout", 4),
     )
+    return segmented, _collect_evidence(segmented)
+
+
+def _collect_evidence(
+    segmented: SegmentedIndex,
+) -> dict[str, list[tuple[str, int]]]:
     evidence_of: dict[str, list[tuple[str, int]]] = {}
     for segment in segmented.iter_segments():
         for doc_id, rows in segment.evidence.items():
             evidence_of[doc_id] = list(rows)
     for doc_id, rows in segmented.write_buffer.evidence.items():
         evidence_of[doc_id] = list(rows)
-    return segmented, evidence_of
+    return evidence_of
+
+
+# -- binary (v3) reader ------------------------------------------------------------
+
+
+class _LazyEvidence(MutableMapping):
+    """The resource → supporters relation, hydrated from the mapped
+    evidence CSR on first access.
+
+    Columnar query evaluation never touches it — only the object path
+    (``rank_matches``), ``observe``, and re-saves do — so a v3 snapshot
+    open defers decoding the evidence string tables entirely.
+    """
+
+    __slots__ = ("_hydrate", "_data")
+
+    def __init__(self, hydrate):
+        self._hydrate = hydrate
+        self._data: dict[str, list[tuple[str, int]]] | None = None
+
+    def _ensure(self) -> dict[str, list[tuple[str, int]]]:
+        data = self._data
+        if data is None:
+            hydrate = self._hydrate
+            self._hydrate = None
+            data = self._data = hydrate()
+        return data
+
+    def __getitem__(self, key):
+        return self._ensure()[key]
+
+    def __setitem__(self, key, value):
+        self._ensure()[key] = value
+
+    def __delitem__(self, key):
+        del self._ensure()[key]
+
+    def __iter__(self):
+        return iter(self._ensure())
+
+    def __len__(self):
+        return len(self._ensure())
+
+
+def _read_current(directory: pathlib.Path) -> pathlib.Path:
+    path = directory / _CURRENT_FILE
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise
+    except (OSError, UnicodeDecodeError) as exc:
+        raise StorageFormatError(f"{path}: unreadable CURRENT file: {exc}") from exc
+    lines = text.splitlines()
+    if len(lines) != 2 or lines[0] != _CURRENT_MAGIC:
+        raise StorageFormatError(f"{path}: not a {_CURRENT_MAGIC} pointer file")
+    gen_name = lines[1]
+    if not _GEN_PATTERN.fullmatch(gen_name):
+        raise StorageFormatError(f"{path}: malformed generation name {gen_name!r}")
+    gen_dir = directory / gen_name
+    if not gen_dir.is_dir():
+        raise StorageFormatError(
+            f"{path}: CURRENT names missing generation {gen_name!r}"
+        )
+    return gen_dir
+
+
+def _csr(
+    mapped: MappedSections, prefix: str, n_keys: int, columns: tuple[str, ...]
+):
+    """The offsets array + parallel column views of one CSR group, with
+    the length cross-checks (per-element content is covered by the
+    container checksum)."""
+    path = mapped.path
+    off = mapped.array(f"{prefix}#off")
+    if len(off) != n_keys + 1:
+        raise StorageFormatError(
+            f"{path}: section {prefix}#off has {len(off)} offsets "
+            f"for {n_keys} key(s)"
+        )
+    views = [mapped.array(f"{prefix}#{column}") for column in columns]
+    total = len(views[0])
+    if off[0] != 0 or off[n_keys] != total:
+        raise StorageFormatError(
+            f"{path}: section {prefix}#off does not span its columns"
+        )
+    for column, view in zip(columns[1:], views[1:]):
+        if len(view) != total:
+            raise StorageFormatError(
+                f"{path}: section {prefix}#{column} length {len(view)} != {total}"
+            )
+    return off, views
+
+
+def _col_dict(keys, off, views) -> dict[str, tuple]:
+    out: dict[str, tuple] = {}
+    for i, key in enumerate(keys):
+        start, stop = off[i], off[i + 1]
+        out[key] = tuple(view[start:stop] for view in views)
+    return out
+
+
+def _decode_evidence(
+    mapped: MappedSections,
+) -> dict[str, tuple[tuple[str, int], ...]]:
+    resources = mapped.strings("resources")
+    cands = mapped.strings("cands")
+    off, (vcand, vdist) = _csr(mapped, "ev", len(resources), ("cand", "dist"))
+    evidence: dict[str, tuple[tuple[str, int], ...]] = {}
+    for i, doc_id in enumerate(resources):
+        evidence[doc_id] = tuple(
+            (cands[vcand[j]], vdist[j]) for j in range(off[i], off[i + 1])
+        )
+    return evidence
+
+
+def _slice_hydrator(mapped: MappedSections, docs: list[str]):
+    """A closure rebuilding the posting-object indexes of one mapped
+    slice — run at most once, only when merges/re-saves need objects."""
+
+    def hydrate() -> tuple[InvertedIndex, EntityIndex]:
+        terms = mapped.strings("terms")
+        toff, (tdoc, ttf) = _csr(mapped, "term", len(terms), ("doc", "tf"))
+        term_postings = {
+            term: [
+                Posting(docs[tdoc[j]], ttf[j])
+                for j in range(toff[i], toff[i + 1])
+            ]
+            for i, term in enumerate(terms)
+        }
+        entities = mapped.strings("entities")
+        eoff, (edoc, eef, eds) = _csr(mapped, "ent", len(entities), ("doc", "ef", "ds"))
+        entity_postings = {
+            uri: [
+                EntityPosting(docs[edoc[j]], eef[j], eds[j])
+                for j in range(eoff[i], eoff[i + 1])
+            ]
+            for i, uri in enumerate(entities)
+        }
+        return (
+            InvertedIndex.restore(docs, term_postings),
+            EntityIndex.restore(docs, entity_postings),
+        )
+
+    return hydrate
+
+
+def _load_v3_monolithic(
+    gen_dir: pathlib.Path,
+    analyzer: ResourceAnalyzer,
+    config: FinderConfig,
+    indexed: int,
+    evidence_counts: dict[str, int],
+) -> ExpertFinder:
+    index_mapped = MappedSections.open(gen_dir / _INDEX_BIN)
+    engine_mapped = MappedSections.open(gen_dir / _ENGINE_BIN)
+    docs = index_mapped.strings("docs")
+    if len(docs) != indexed:
+        raise StorageFormatError(
+            f"{gen_dir / _INDEX_BIN}: index holds {len(docs)} document(s), "
+            f"metadata says {indexed}"
+        )
+    cands = index_mapped.strings("cands")
+
+    terms = engine_mapped.strings("terms")
+    toff, term_views = _csr(engine_mapped, "term", len(terms), ("doc", "w"))
+    entities = engine_mapped.strings("entities")
+    eoff, entity_views = _csr(engine_mapped, "ent", len(entities), ("doc", "w"))
+    sup_off, (sup_cand, sup_weight) = _csr(
+        engine_mapped, "sup", len(docs), ("cand", "w")
+    )
+    engine = ColumnarQueryEngine(
+        doc_ids=docs,
+        cand_ids=cands,
+        term_cols=_col_dict(terms, toff, term_views),
+        entity_cols=_col_dict(entities, eoff, entity_views),
+        sup_offsets=sup_off,
+        sup_cand=sup_cand,
+        sup_weight=sup_weight,
+        normalize=config.normalize,
+    )
+
+    def evidence_hydrate() -> dict[str, list[tuple[str, int]]]:
+        return {
+            doc_id: list(rows)
+            for doc_id, rows in _decode_evidence(index_mapped).items()
+        }
+
+    index_hydrate = _slice_hydrator(index_mapped, docs)
+
+    def retriever_factory() -> VectorSpaceRetriever:
+        term_index, entity_index = index_hydrate()
+        return VectorSpaceRetriever(
+            term_index,
+            entity_index,
+            CollectionStatistics(term_index, entity_index),
+            idf_exponent=config.idf_exponent,
+        )
+
+    finder = ExpertFinder(
+        analyzer,
+        None,
+        _LazyEvidence(evidence_hydrate),
+        config,
+        evidence_counts=evidence_counts,
+        indexed_count=indexed,
+        retriever_factory=retriever_factory,
+    )
+    finder._engine = engine
+    return finder
+
+
+def _load_v3_segment(path: pathlib.Path, segment_id: int, entry: dict[str, Any]):
+    mapped = MappedSections.open(path)
+    docs = mapped.strings("docs")
+    if len(docs) != entry["docs"]:
+        raise StorageFormatError(
+            f"{path}: segment holds {len(docs)} document(s), "
+            f"manifest says {entry['docs']}"
+        )
+    terms = mapped.strings("terms")
+    toff, term_views = _csr(mapped, "term", len(terms), ("doc", "tf"))
+    entities = mapped.strings("entities")
+    eoff, entity_views = _csr(mapped, "ent", len(entities), ("doc", "ef", "we", "ds"))
+    evidence = _decode_evidence(mapped)
+    resources = len(frozenset(evidence) | frozenset(docs))
+    if resources != entry["resources"]:
+        raise StorageFormatError(
+            f"{path}: segment holds {resources} resource(s), "
+            f"manifest says {entry['resources']}"
+        )
+    return Segment.from_columns(
+        segment_id,
+        docs,
+        _col_dict(terms, toff, term_views),
+        # the query columns are (doc, ef, we); ds is hydration-only
+        _col_dict(entities, eoff, entity_views[:3]),
+        evidence,
+        _slice_hydrator(mapped, docs),
+    )
+
+
+def _load_v3_buffer(path: pathlib.Path, entry: dict[str, Any]):
+    """The unsealed buffer rehydrates eagerly — it is small by
+    construction (below the seal threshold) and mutable on the very next
+    observe, so mapping it lazily buys nothing."""
+    mapped = MappedSections.open(path)
+    docs = mapped.strings("docs")
+    if len(docs) != entry["docs"]:
+        raise StorageFormatError(
+            f"{path}: buffer holds {len(docs)} document(s), "
+            f"manifest says {entry['docs']}"
+        )
+    term_index, entity_index = _slice_hydrator(mapped, docs)()
+    evidence = _decode_evidence(mapped)
+    resources = len(frozenset(evidence) | frozenset(docs))
+    if resources != entry["resources"]:
+        raise StorageFormatError(
+            f"{path}: buffer holds {resources} resource(s), "
+            f"manifest says {entry['resources']}"
+        )
+    mapped.close()
+    return term_index, entity_index, evidence
+
+
+def _load_v3_segmented(
+    gen_dir: pathlib.Path,
+    analyzer: ResourceAnalyzer,
+    config: FinderConfig,
+    indexed: int,
+    evidence_counts: dict[str, int],
+) -> ExpertFinder:
+    manifest_path = gen_dir / _MANIFEST_FILE
+    header, entries, buffer_entry = _read_manifest(manifest_path)
+    segments = []
+    for entry in entries:
+        path = gen_dir / entry["file"]
+        if not path.is_file():
+            raise StorageFormatError(
+                f"{manifest_path}: manifest names missing file {entry['file']!r}"
+            )
+        segments.append(_load_v3_segment(path, entry["id"], entry))
+    buffer = None
+    if buffer_entry is not None:
+        path = gen_dir / buffer_entry["file"]
+        if not path.is_file():
+            raise StorageFormatError(
+                f"{manifest_path}: manifest names missing file "
+                f"{buffer_entry['file']!r}"
+            )
+        buffer = _load_v3_buffer(path, buffer_entry)
+    segmented = SegmentedIndex.restore_compiled(
+        config,
+        segments,
+        buffer,
+        seal_threshold=header["seal_threshold"],
+        fanout=header.get("fanout", 4),
+    )
+    if segmented.document_count != indexed:
+        raise StorageFormatError(
+            f"{gen_dir}: segments hold {segmented.document_count} "
+            f"indexed document(s), metadata says {indexed}"
+        )
+    return ExpertFinder(
+        analyzer,
+        None,
+        _collect_evidence(segmented),
+        config,
+        evidence_counts=evidence_counts,
+        indexed_count=indexed,
+        segmented=segmented,
+    )
+
+
+def _load_v3(
+    directory: pathlib.Path, analyzer: ResourceAnalyzer
+) -> ExpertFinder:
+    gen_dir = _read_current(directory)
+    try:
+        config, indexed, evidence_counts, index_mode = _load_meta(
+            gen_dir / _META_FILE, SNAPSHOT_VERSION
+        )
+        if index_mode == "segmented":
+            return _load_v3_segmented(
+                gen_dir, analyzer, config, indexed, evidence_counts
+            )
+        return _load_v3_monolithic(
+            gen_dir, analyzer, config, indexed, evidence_counts
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, StorageFormatError):
+            raise
+        raise StorageFormatError(f"{directory}: malformed snapshot: {exc}") from exc
 
 
 def load_finder(
@@ -441,14 +1075,19 @@ def load_finder(
 ) -> ExpertFinder:
     """Load a finder previously written by :func:`save_finder`.
 
-    *analyzer* must be equivalent to the one the finder was built with —
-    it analyzes incoming queries (and streamed resources), and the paper
-    requires need and resource analysis to be symmetric (Sec. 2.3).
+    The format is negotiated from the directory layout: a ``CURRENT``
+    pointer selects the binary v3 generation it names; otherwise the
+    flat jsonl (v2) layout is read. *analyzer* must be equivalent to the
+    one the finder was built with — it analyzes incoming queries (and
+    streamed resources), and the paper requires need and resource
+    analysis to be symmetric (Sec. 2.3).
     """
     directory = pathlib.Path(directory)
+    if (directory / _CURRENT_FILE).exists():
+        return _load_v3(directory, analyzer)
     try:
         config, indexed, evidence_counts, index_mode = _load_meta(
-            directory / _META_FILE
+            directory / _META_FILE, JSONL_SNAPSHOT_VERSION
         )
         if index_mode == "segmented":
             segmented, evidence_of = _load_segmented(directory, config)

@@ -319,3 +319,33 @@ class TestBackgroundCompaction:
         # close() stopped the compactor thread and is idempotent
         assert index._thread is None
         index.close()
+
+    def test_close_raises_when_compactor_is_wedged(self, config):
+        import threading
+
+        index = SegmentedIndex(config, seal_threshold=1, compaction="background")
+        try:
+            entered = threading.Event()
+            release = threading.Event()
+
+            def wedged_compact():
+                entered.set()
+                release.wait()
+
+            # shadow the bound method: the worker loop calls self.compact()
+            index.compact = wedged_compact
+            index._wake.set()
+            assert entered.wait(timeout=5.0)
+
+            # the compactor is stuck mid-"merge": close must surface it,
+            # not silently abandon the thread
+            with pytest.raises(RuntimeError, match="did not stop"):
+                index.close(timeout=0.1)
+            assert index._thread is not None  # handle kept for a retry
+
+            release.set()
+            index.close(timeout=5.0)  # the retry succeeds once unwedged
+            assert index._thread is None
+            index.close()  # and stays idempotent
+        finally:
+            release.set()

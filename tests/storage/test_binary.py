@@ -1,0 +1,258 @@
+"""Unit tests for the binary section container (snapshot v3 storage)."""
+
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.storage.binary import (
+    CONTAINER_VERSION,
+    HEADER_SIZE,
+    MAGIC,
+    MappedSections,
+    encode_values,
+    pack_strings,
+    write_sections,
+)
+from repro.storage.jsonl import StorageFormatError
+
+
+@pytest.fixture
+def container(tmp_path):
+    path = tmp_path / "data.bin"
+    write_sections(
+        path,
+        [
+            ("ints", "q", [0, 1, -2, 2**40, -(2**40)]),
+            ("floats", "d", [0.0, -1.5, 3.141592653589793, 1e300]),
+            ("raw", "B", b"\x00\x01\xff binary payload"),
+            *pack_strings("labels", ["alpha", "", "日本語", "tail"]),
+        ],
+    )
+    return path
+
+
+class TestRoundTrip:
+    def test_numeric_sections(self, container):
+        mapped = MappedSections.open(container)
+        assert list(mapped.array("ints")) == [0, 1, -2, 2**40, -(2**40)]
+        assert list(mapped.array("floats")) == [
+            0.0, -1.5, 3.141592653589793, 1e300,
+        ]
+        mapped.close()
+
+    def test_blob_and_strings(self, container):
+        mapped = MappedSections.open(container)
+        assert bytes(mapped.blob("raw")) == b"\x00\x01\xff binary payload"
+        assert mapped.strings("labels") == ["alpha", "", "日本語", "tail"]
+        mapped.close()
+
+    def test_names_and_path(self, container):
+        mapped = MappedSections.open(container)
+        assert set(mapped.names()) == {
+            "ints", "floats", "raw", "labels", "labels#off",
+        }
+        assert mapped.path == container
+        mapped.close()
+
+    def test_empty_sections_round_trip(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        write_sections(
+            path,
+            [("nothing", "q", []), ("blank", "B", b""),
+             *pack_strings("none", [])],
+        )
+        mapped = MappedSections.open(path)
+        assert list(mapped.array("nothing")) == []
+        assert bytes(mapped.blob("blank")) == b""
+        assert mapped.strings("none") == []
+        mapped.close()
+
+    def test_many_sections_toc_sizing(self, tmp_path):
+        # enough sections that the TOC length feeds back into offsets
+        path = tmp_path / "many.bin"
+        sections = [(f"col-{i:04d}", "q", [i, i * i]) for i in range(120)]
+        write_sections(path, sections)
+        mapped = MappedSections.open(path)
+        for i in range(120):
+            assert list(mapped.array(f"col-{i:04d}")) == [i, i * i]
+        mapped.close()
+
+    def test_sections_are_eight_byte_aligned(self, container):
+        mapped = MappedSections.open(container)
+        for name in mapped.names():
+            _dtype, offset, _length = mapped._toc[name]
+            assert offset % 8 == 0
+        mapped.close()
+
+    def test_no_temporary_files_left_behind(self, container):
+        leftovers = [p for p in container.parent.iterdir() if p != container]
+        assert leftovers == []
+
+
+class TestWriterGuards:
+    def test_rejects_duplicate_section_names(self, tmp_path):
+        with pytest.raises(ValueError, match="duplicate section"):
+            write_sections(
+                tmp_path / "dup.bin", [("x", "q", [1]), ("x", "q", [2])]
+            )
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError, match="dtype"):
+            encode_values("f", [1.0])
+
+    def test_blob_rejects_numbers(self):
+        with pytest.raises(TypeError, match="bytes-like"):
+            encode_values("B", [1, 2, 3])
+
+    def test_encode_normalizes_narrow_int_arrays(self):
+        from array import array
+
+        assert encode_values("q", array("l", [1, 2])) == encode_values(
+            "q", [1, 2]
+        )
+
+
+class TestCorruptionDetection:
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            MappedSections.open(tmp_path / "nope.bin")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "zero.bin"
+        path.write_bytes(b"")
+        with pytest.raises(StorageFormatError, match="empty file"):
+            MappedSections.open(path)
+
+    def test_bad_magic(self, tmp_path, container):
+        data = bytearray(container.read_bytes())
+        data[:8] = b"NOTMAGIC"
+        bad = tmp_path / "badmagic.bin"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(StorageFormatError, match="not a repro binary"):
+            MappedSections.open(bad)
+
+    def test_future_container_version(self, tmp_path, container):
+        data = bytearray(container.read_bytes())
+        header = struct.Struct("<8sIIQI4x")
+        _magic, _version, toc_len, size, crc = header.unpack_from(data, 0)
+        header.pack_into(
+            data, 0, MAGIC, CONTAINER_VERSION + 1, toc_len, size, crc
+        )
+        bad = tmp_path / "future.bin"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(StorageFormatError, match="container version"):
+            MappedSections.open(bad)
+
+    def test_truncation_at_every_region(self, tmp_path, container):
+        data = container.read_bytes()
+        # header, mid-header, TOC, payload, last byte
+        for cut in (0, 7, HEADER_SIZE - 1, HEADER_SIZE + 3,
+                    len(data) // 2, len(data) - 1):
+            bad = tmp_path / f"cut-{cut}.bin"
+            bad.write_bytes(data[:cut])
+            with pytest.raises(StorageFormatError) as err:
+                MappedSections.open(bad)
+            assert str(bad) in str(err.value)
+
+    def test_bit_flip_breaks_checksum(self, tmp_path, container):
+        data = bytearray(container.read_bytes())
+        data[-3] ^= 0x40
+        bad = tmp_path / "flip.bin"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(StorageFormatError, match="checksum mismatch"):
+            MappedSections.open(bad)
+
+    def test_trailing_garbage_detected(self, tmp_path, container):
+        bad = tmp_path / "grown.bin"
+        bad.write_bytes(container.read_bytes() + b"xxxx")
+        with pytest.raises(StorageFormatError, match="declares"):
+            MappedSections.open(bad)
+
+    def test_toc_section_out_of_bounds(self, tmp_path):
+        toc = b'{"sections":[{"name":"x","dtype":"q","offset":96,"length":64}]}'
+        toc = toc.ljust((len(toc) + 7) & ~7, b"\0")
+        body = toc + b"\0" * 8
+        header = struct.Struct("<8sIIQI4x").pack(
+            MAGIC, CONTAINER_VERSION, len(toc),
+            HEADER_SIZE + len(body), zlib.crc32(body),
+        )
+        bad = tmp_path / "oob.bin"
+        bad.write_bytes(header + body)
+        with pytest.raises(StorageFormatError, match="table of contents"):
+            MappedSections.open(bad)
+
+
+class TestAccessGuards:
+    def test_missing_section(self, container):
+        mapped = MappedSections.open(container)
+        try:
+            with pytest.raises(StorageFormatError, match="missing section"):
+                mapped.array("ghost")
+        finally:
+            mapped.close()
+
+    def test_dtype_mismatch(self, container):
+        mapped = MappedSections.open(container)
+        try:
+            with pytest.raises(StorageFormatError, match="dtype"):
+                mapped.array("raw")
+            with pytest.raises(StorageFormatError, match="dtype"):
+                mapped.blob("ints")
+        finally:
+            mapped.close()
+
+    def test_invalid_utf8_strings(self, tmp_path):
+        path = tmp_path / "badutf8.bin"
+        write_sections(
+            path,
+            [
+                ("s#off", "q", [0, 2]),
+                ("s", "B", b"\xff\xfe"),
+            ],
+        )
+        mapped = MappedSections.open(path)
+        try:
+            with pytest.raises(StorageFormatError, match="not valid UTF-8"):
+                mapped.strings("s")
+        finally:
+            mapped.close()
+
+    def test_string_offsets_must_span_blob(self, tmp_path):
+        path = tmp_path / "span.bin"
+        write_sections(
+            path,
+            [("s#off", "q", [0, 2]), ("s", "B", b"abcdef")],
+        )
+        mapped = MappedSections.open(path)
+        try:
+            with pytest.raises(StorageFormatError, match="offsets disagree"):
+                mapped.strings("s")
+        finally:
+            mapped.close()
+
+
+class TestAtomicity:
+    def test_failed_write_leaves_existing_file_intact(self, tmp_path):
+        path = tmp_path / "keep.bin"
+        write_sections(path, [("v", "q", [1])])
+        before = path.read_bytes()
+        with pytest.raises(TypeError):
+            write_sections(path, [("v", "q", [1]), ("bad", "B", [1, 2])])
+        assert path.read_bytes() == before
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []
+
+    def test_replace_failure_cleans_up_temp(self, tmp_path, monkeypatch):
+        path = tmp_path / "out.bin"
+
+        def boom(src, dst):
+            raise OSError("disk detached")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="disk detached"):
+            write_sections(path, [("v", "q", [1])])
+        monkeypatch.undo()
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []

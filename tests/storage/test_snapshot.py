@@ -10,7 +10,18 @@ from repro.core.expert_finder import ExpertFinder
 from repro.index.entity_index import EntityIndex, EntityPosting
 from repro.index.inverted import InvertedIndex, Posting
 from repro.storage.jsonl import StorageFormatError
-from repro.storage.snapshot import SNAPSHOT_VERSION, load_finder, save_finder
+from repro.storage.snapshot import (
+    JSONL_SNAPSHOT_VERSION,
+    SNAPSHOT_VERSION,
+    load_finder,
+    save_finder,
+)
+
+
+def _generation_dir(snapshot_dir):
+    """The generation a v3 snapshot's CURRENT file points at."""
+    lines = (snapshot_dir / "CURRENT").read_text(encoding="utf-8").splitlines()
+    return snapshot_dir / lines[1]
 
 
 def _mutate_records(path, mutate):
@@ -120,8 +131,25 @@ class TestFormatGuards:
         self, built_finder, tiny_dataset, tmp_path
     ):
         directory = tmp_path / "future"
-        save_finder(built_finder, directory)
+        save_finder(built_finder, directory, snapshot_format="jsonl")
         meta = directory / "meta.jsonl"
+        text = meta.read_text(encoding="utf-8")
+        meta.write_text(
+            text.replace(
+                f'"snapshot_version":{JSONL_SNAPSHOT_VERSION}',
+                f'"snapshot_version":{JSONL_SNAPSHOT_VERSION + 99}',
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(StorageFormatError):
+            load_finder(directory, tiny_dataset.analyzer)
+
+    def test_v3_load_rejects_future_snapshot_version(
+        self, built_finder, tiny_dataset, tmp_path
+    ):
+        directory = tmp_path / "future-v3"
+        save_finder(built_finder, directory)
+        meta = _generation_dir(directory) / "meta.jsonl"
         text = meta.read_text(encoding="utf-8")
         meta.write_text(
             text.replace(
@@ -135,9 +163,29 @@ class TestFormatGuards:
 
     def test_load_rejects_corrupt_meta(self, built_finder, tiny_dataset, tmp_path):
         directory = tmp_path / "corrupt"
-        save_finder(built_finder, directory)
+        save_finder(built_finder, directory, snapshot_format="jsonl")
         (directory / "meta.jsonl").write_text("not json\n", encoding="utf-8")
         with pytest.raises(StorageFormatError):
+            load_finder(directory, tiny_dataset.analyzer)
+
+    def test_load_rejects_corrupt_current_pointer(
+        self, built_finder, tiny_dataset, tmp_path
+    ):
+        directory = tmp_path / "badcurrent"
+        save_finder(built_finder, directory)
+        (directory / "CURRENT").write_text("garbage\n", encoding="utf-8")
+        with pytest.raises(StorageFormatError, match="CURRENT|pointer"):
+            load_finder(directory, tiny_dataset.analyzer)
+
+    def test_load_rejects_dangling_current_pointer(
+        self, built_finder, tiny_dataset, tmp_path
+    ):
+        directory = tmp_path / "dangling"
+        save_finder(built_finder, directory)
+        import shutil
+
+        shutil.rmtree(_generation_dir(directory))
+        with pytest.raises(StorageFormatError, match="missing generation"):
             load_finder(directory, tiny_dataset.analyzer)
 
 
@@ -148,7 +196,7 @@ class TestContentValidation:
     @pytest.fixture
     def snapshot(self, built_finder, tmp_path):
         directory = tmp_path / "snap"
-        save_finder(built_finder, directory)
+        save_finder(built_finder, directory, snapshot_format="jsonl")
         return directory
 
     def test_rejects_unknown_doc_in_term_postings(self, snapshot, tiny_dataset):
@@ -324,7 +372,22 @@ class TestSegmentedRoundTrip:
         assert stats.resources > stats.documents  # the Italian resource
 
     def test_files_layout(self, segmented_snapshot_dir):
-        names = sorted(p.name for p in segmented_snapshot_dir.iterdir())
+        assert (segmented_snapshot_dir / "CURRENT").exists()
+        gen = _generation_dir(segmented_snapshot_dir)
+        names = sorted(p.name for p in gen.iterdir())
+        assert "meta.jsonl" in names
+        assert "segments.jsonl" in names
+        assert "buffer.bin" in names
+        assert any(n.startswith("segment-") and n.endswith(".bin")
+                   for n in names)
+        # the monolithic layout's merged files must NOT be written
+        assert "index.bin" not in names
+        assert "engine.bin" not in names
+
+    def test_jsonl_files_layout(self, segmented_finder, tmp_path):
+        directory = tmp_path / "seg-jsonl"
+        save_finder(segmented_finder, directory, snapshot_format="jsonl")
+        names = sorted(p.name for p in directory.iterdir())
         assert "meta.jsonl" in names
         assert "segments.jsonl" in names
         assert "buffer.jsonl.gz" in names
@@ -393,7 +456,7 @@ class TestSegmentedRoundTrip:
         loaded = ExpertFinder.load(directory, analyzer)
         stats = loaded.index_stats
         assert (stats.segments, stats.buffered) == (1, 0)
-        assert not (directory / "buffer.jsonl.gz").exists()
+        assert not (_generation_dir(directory) / "buffer.bin").exists()
         for need, expected in reference.items():
             assert loaded.find_experts(need) == expected
 
@@ -402,7 +465,7 @@ class TestSegmentedFormatGuards:
     @pytest.fixture
     def snapshot(self, segmented_finder, tmp_path):
         directory = tmp_path / "seg"
-        save_finder(segmented_finder, directory)
+        save_finder(segmented_finder, directory, snapshot_format="jsonl")
         return directory
 
     def test_rejects_unknown_index_mode(self, snapshot, analyzer):
@@ -501,3 +564,98 @@ class TestSegmentedLoadedSurface:
         with pytest.raises(RuntimeError, match="monolithic"):
             loaded_segmented.retriever
         assert loaded_segmented._engine is None  # nothing recompiled
+
+
+class TestV3Lifecycle:
+    """Generation management and cross-format migration of the binary
+    snapshot layout."""
+
+    def test_resave_replaces_generation_and_prunes_old(
+        self, built_finder, tiny_dataset, tmp_path
+    ):
+        directory = tmp_path / "resave"
+        built_finder.save(directory)
+        first_gen = _generation_dir(directory)
+        built_finder.save(directory)
+        second_gen = _generation_dir(directory)
+        assert second_gen != first_gen
+        assert not first_gen.exists()  # stale generation pruned
+        loaded = ExpertFinder.load(directory, tiny_dataset.analyzer)
+        for need in tiny_dataset.queries:
+            assert loaded.find_experts(need) == built_finder.find_experts(need)
+
+    def test_jsonl_to_v3_migration(self, built_finder, tiny_dataset, tmp_path):
+        v2_dir = tmp_path / "v2"
+        save_finder(built_finder, v2_dir, snapshot_format="jsonl")
+        migrated = ExpertFinder.load(v2_dir, tiny_dataset.analyzer)
+        v3_dir = tmp_path / "v3"
+        migrated.save(v3_dir)
+        assert (v3_dir / "CURRENT").exists()
+        reloaded = ExpertFinder.load(v3_dir, tiny_dataset.analyzer)
+        for need in tiny_dataset.queries:
+            assert reloaded.find_experts(need) == built_finder.find_experts(need)
+
+    def test_format_switch_prunes_other_layout(
+        self, built_finder, tiny_dataset, tmp_path
+    ):
+        directory = tmp_path / "switch"
+        built_finder.save(directory)
+        assert (directory / "CURRENT").exists()
+        # v3 -> jsonl: the generation layout must disappear
+        built_finder.save(directory, snapshot_format="jsonl")
+        assert not (directory / "CURRENT").exists()
+        assert not any(directory.glob("gen-*"))
+        assert (directory / "term_index.jsonl.gz").exists()
+        # jsonl -> v3: the flat files must disappear
+        built_finder.save(directory)
+        assert (directory / "CURRENT").exists()
+        assert not (directory / "term_index.jsonl.gz").exists()
+        loaded = ExpertFinder.load(directory, tiny_dataset.analyzer)
+        for need in tiny_dataset.queries:
+            assert loaded.find_experts(need) == built_finder.find_experts(need)
+
+    def test_prune_leaves_unrecognized_files_alone(
+        self, built_finder, tiny_dataset, tmp_path
+    ):
+        directory = tmp_path / "shared"
+        built_finder.save(directory)
+        stranger = directory / "NOTES.txt"
+        stranger.write_text("hands off\n", encoding="utf-8")
+        built_finder.save(directory)
+        assert stranger.read_text(encoding="utf-8") == "hands off\n"
+
+    def test_v3_rankings_match_jsonl_rankings(
+        self, built_finder, tiny_dataset, tmp_path
+    ):
+        v3 = tmp_path / "as-v3"
+        v2 = tmp_path / "as-jsonl"
+        built_finder.save(v3)
+        built_finder.save(v2, snapshot_format="jsonl")
+        from_v3 = ExpertFinder.load(v3, tiny_dataset.analyzer)
+        from_v2 = ExpertFinder.load(v2, tiny_dataset.analyzer)
+        for need in tiny_dataset.queries:
+            assert from_v3.find_experts(need) == from_v2.find_experts(need)
+
+    def test_save_rejects_unknown_format(self, built_finder, tmp_path):
+        with pytest.raises(ValueError, match="snapshot_format"):
+            built_finder.save(tmp_path / "bad", snapshot_format="v9")
+
+    def test_segmented_v3_lazy_segments_hydrate_on_demand(
+        self, analyzer, tmp_path
+    ):
+        finder = _build_segmented(analyzer)
+        reference = {need: finder.find_experts(need) for need in _SEG_NEEDS}
+        directory = tmp_path / "lazy"
+        finder.save(directory)
+        loaded = ExpertFinder.load(directory, analyzer)
+        # sealed segments come back cold: columns mapped, indexes unbuilt
+        segments = loaded.segmented_index._segments
+        assert all(seg._term_index is None for seg in segments)
+        for need, expected in reference.items():
+            assert loaded.find_experts(need) == expected
+        # queries score straight off the mapped columns — no hydration
+        assert all(seg._term_index is None for seg in segments)
+        # explicit index access (merge/re-save path) hydrates on demand
+        for seg in segments:
+            assert seg.term_index.document_count == seg.document_count
+        assert all(seg._term_index is not None for seg in segments)

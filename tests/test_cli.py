@@ -5,6 +5,12 @@ import pytest
 from repro.cli import build_parser, main
 
 
+def _generation_dir(snapshot_dir):
+    """The generation a v3 snapshot's CURRENT file points at."""
+    lines = (snapshot_dir / "CURRENT").read_text(encoding="utf-8").splitlines()
+    return snapshot_dir / lines[1]
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -60,7 +66,8 @@ class TestCommands:
         snap = tmp_path / "snap"
         assert main(["index", "--scale", "tiny", "--out", str(snap)]) == 0
         assert "indexed" in capsys.readouterr().out
-        assert (snap / "meta.jsonl").exists()
+        assert (snap / "CURRENT").exists()
+        assert (_generation_dir(snap) / "meta.jsonl").exists()
 
         code = main(
             ["query", "best freestyle swimmer", "--scale", "tiny",
@@ -91,7 +98,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "build stages:" in out
         assert "workers=2" in out
+        assert (snap / "CURRENT").exists()
+
+    def test_index_jsonl_format_writes_flat_layout(self, tmp_path, capsys):
+        snap = tmp_path / "snap"
+        code = main(
+            ["index", "--scale", "tiny", "--snapshot-format", "jsonl",
+             "--out", str(snap)]
+        )
+        assert code == 0
         assert (snap / "meta.jsonl").exists()
+        assert (snap / "term_index.jsonl.gz").exists()
+        assert not (snap / "CURRENT").exists()
+        capsys.readouterr()
+        code = main(
+            ["query", "best freestyle swimmer", "--scale", "tiny",
+             "--snapshot", str(snap), "--top-k", "3"]
+        )
+        assert code == 0
 
     def test_experiments_subset(self, capsys):
         code = main(["experiments", "--scale", "tiny", "--only", "fig5"])
@@ -124,7 +148,7 @@ class TestSegmentedCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "segments: 1 live" in out
-        assert (snap / "segments.jsonl").exists()
+        assert (_generation_dir(snap) / "segments.jsonl").exists()
 
         # the segmented snapshot answers queries identically to a cold
         # monolithic build
