@@ -1,17 +1,31 @@
-"""Query-engine benchmark: columnar fast path vs object reference path.
+"""Query-engine benchmark: object reference path vs columnar fast path
+vs block-max pruned evaluation.
 
-Measures the two claims the columnar engine makes:
+Measures the three claims the engines make:
 
-* **equivalence** — both engines return byte-identical rankings for the
-  full query set (asserted unconditionally, at every scale);
-* **throughput** — the columnar engine must answer uncached queries at
-  ≥2× the object path's QPS (asserted on machines with ≥4 cores, where
-  timing noise is low enough to hold a threshold; the measured numbers
-  are always recorded).
+* **equivalence** — all three engines return byte-identical rankings for
+  the full query set, across absolute, fractional, and disabled windows
+  (asserted unconditionally, at every scale), and pruned evaluation
+  never silently falls back for an absolute window;
+* **columnar throughput** — the columnar engine must answer uncached
+  queries at ≥2× the object path's QPS;
+* **pruned throughput** — with the Eq. 1 window at 10, block-max
+  pruning must evaluate queries at ≥1.5× the exhaustive columnar rate
+  while skipping a nonzero fraction of candidate blocks.
 
-Uncached QPS and p50/p95 latencies for both engines go to
+The QPS thresholds are asserted on machines with ≥4 cores, where timing
+noise is low enough to hold them; the measured numbers are always
+recorded. Service-level rates (analyzer + Eq. 3 included) and
+engine-level rates (pre-analyzed queries, scoring only — where pruning's
+savings actually live) both go to
 ``benchmarks/results/BENCH_query.json`` in the shared machine-readable
 schema (see ``conftest.save_json``) plus a rendered text report.
+
+The benchmark config pins ``window=10``: pruning can only skip blocks
+whose upper bound cannot reach the top-``window`` floor, so a window
+comparable to the matched-document count (e.g. the config default of 100
+at the tiny scale) leaves almost nothing to skip — the interesting
+serving regime is a window well below the match count.
 """
 
 from __future__ import annotations
@@ -22,32 +36,60 @@ import time
 from repro.core.config import FinderConfig
 from repro.core.service import ExpertSearchService
 
-#: timed passes over the query set (every pass uncached: cache_size=0)
+#: timed service-level passes over the query set (every pass uncached)
 _ROUNDS = 15
+#: interleaved engine-level rounds; best-of to shed scheduler noise
+_ENGINE_ROUNDS = 9
+#: the Eq. 1 window under test (see module docstring)
+_WINDOW = 10
 
 
 def bench_query(ctx, save_result, save_json):
     dataset = ctx.dataset
     queries = list(dataset.queries)
+    # the runner caches finders per (platform, distance, ...) ignoring
+    # window, so the window under test is passed per call, not baked in
     finder = ctx.runner.finder(None, FinderConfig())
 
-    # equivalence first, and unconditionally: the fast path is only a
-    # fast path if it returns the reference ranking bit for bit
-    finder.engine = "object"
-    reference = [finder.find_experts(need) for need in queries]
-    finder.engine = "columnar"
-    columnar = [finder.find_experts(need) for need in queries]
-    assert columnar == reference, "columnar ranking diverged from object path"
+    # equivalence first, and unconditionally: a fast path is only a fast
+    # path if it returns the reference ranking bit for bit — across
+    # window shapes, including the fractional/None shapes the pruned
+    # mode must route to its exhaustive fallback
+    windows = (_WINDOW, 5, 1000, 0.25, None)
+    rankings: dict[str, list] = {}
+    for engine in ("object", "columnar", "columnar-pruned"):
+        finder.engine = engine
+        rankings[engine] = [
+            finder.find_experts(need, window=window)
+            for need in queries
+            for window in windows
+        ]
+    assert rankings["columnar"] == rankings["object"], (
+        "columnar ranking diverged from object path"
+    )
+    assert rankings["columnar-pruned"] == rankings["object"], (
+        "pruned ranking diverged from object path"
+    )
+    # loud failure on silent fallback: every absolute window must have
+    # taken the block-max path, every fractional/None one the fallback
+    pstats = finder.pruning_stats
+    absolute = sum(1 for w in windows if type(w) is int) * len(queries)
+    fractional = len(queries) * len(windows) - absolute
+    assert pstats.pruned_queries == absolute, (
+        f"{absolute - pstats.pruned_queries} absolute-window queries "
+        f"silently fell back to exhaustive evaluation"
+    )
+    assert pstats.fallback_queries == fractional
 
     def measure(engine: str) -> dict:
         finder.engine = engine
-        if engine == "columnar":
+        if engine != "object":
             finder.query_engine()  # compile outside the timed region
         service = ExpertSearchService(finder, cache_size=0)  # every query a miss
-        service.find_experts_batch(queries, top_k=10)  # warm caches/JIT-free
+        service.find_experts_batch(queries, top_k=10, window=_WINDOW)  # warm
         t0 = time.perf_counter()
         for _ in range(_ROUNDS):
-            service.find_experts_batch(queries, top_k=10)
+            service.find_experts_batch(queries, top_k=10, window=_WINDOW)
         elapsed = time.perf_counter() - t0
         stats = service.stats
         return {
@@ -58,22 +100,63 @@ def bench_query(ctx, save_result, save_json):
 
     object_m = measure("object")
     columnar_m = measure("columnar")
+    pruned_m = measure("columnar-pruned")
     speedup = columnar_m["uncached_qps"] / object_m["uncached_qps"]
 
+    # engine-level timing: pre-analyzed queries, scoring only. The
+    # service rate above buries pruning's savings under the per-query
+    # analyzer cost; this is the rate at which the engines themselves
+    # evaluate Eq. 1-3. Rounds interleave the two modes so drift hits
+    # both alike, and best-of sheds scheduler noise.
     engine = finder.query_engine()
+    analyzed = [
+        finder._analyzer.analyze("__query__", need.text, language="en")
+        for need in queries
+    ]
+    for query in analyzed:  # build pruned block records outside timing
+        engine.find_experts(query, alpha=0.6, window=_WINDOW, pruned=True)
+
+    def engine_pass(pruned: bool) -> float:
+        t0 = time.perf_counter()
+        for query in analyzed:
+            engine.find_experts(
+                query, alpha=0.6, window=_WINDOW, top_k=10, pruned=pruned
+            )
+        return time.perf_counter() - t0
+
+    best_exhaustive = best_pruned = float("inf")
+    for _ in range(_ENGINE_ROUNDS):
+        best_exhaustive = min(best_exhaustive, engine_pass(False))
+        best_pruned = min(best_pruned, engine_pass(True))
+    engine_columnar_qps = len(analyzed) / best_exhaustive
+    engine_pruned_qps = len(analyzed) / best_pruned
+    pruned_speedup = engine_pruned_qps / engine_columnar_qps
+    skip_rate = engine.pruning_stats.skip_rate
+
     lines = [
-        "Query engine — columnar fast path vs object reference path",
+        "Query engines — object reference vs columnar vs block-max pruned",
         f"dataset: scale={dataset.scale.value} seed={dataset.seed} "
         f"({engine.document_count} docs, {engine.candidate_count} candidates, "
-        f"{len(queries)} queries x {_ROUNDS} uncached rounds)",
+        f"{len(queries)} queries x {_ROUNDS} uncached rounds, "
+        f"window={_WINDOW})",
         "",
+        "service level (analyze + score + rank):",
         f"object   (reference): {object_m['uncached_qps']:8.0f} q/s   "
         f"p50 {object_m['p50_latency_s'] * 1e6:7.1f}µs   "
         f"p95 {object_m['p95_latency_s'] * 1e6:7.1f}µs",
         f"columnar (compiled):  {columnar_m['uncached_qps']:8.0f} q/s   "
         f"p50 {columnar_m['p50_latency_s'] * 1e6:7.1f}µs   "
         f"p95 {columnar_m['p95_latency_s'] * 1e6:7.1f}µs",
-        f"speedup:              {speedup:7.2f}x",
+        f"columnar-pruned:      {pruned_m['uncached_qps']:8.0f} q/s   "
+        f"p50 {pruned_m['p50_latency_s'] * 1e6:7.1f}µs   "
+        f"p95 {pruned_m['p95_latency_s'] * 1e6:7.1f}µs",
+        f"columnar vs object:   {speedup:7.2f}x",
+        "",
+        "engine level (pre-analyzed, scoring only):",
+        f"columnar exhaustive:  {engine_columnar_qps:8.0f} q/s",
+        f"columnar pruned:      {engine_pruned_qps:8.0f} q/s   "
+        f"({skip_rate:.0%} of blocks skipped)",
+        f"pruned vs exhaustive: {pruned_speedup:7.2f}x",
     ]
     save_result("query", "\n".join(lines))
     save_json(
@@ -82,6 +165,7 @@ def bench_query(ctx, save_result, save_json):
         {
             "queries": len(queries),
             "rounds": _ROUNDS,
+            "window": _WINDOW,
             "documents": engine.document_count,
             "candidates": engine.candidate_count,
             "object_uncached_qps": object_m["uncached_qps"],
@@ -91,12 +175,27 @@ def bench_query(ctx, save_result, save_json):
             "columnar_p50_latency_s": columnar_m["p50_latency_s"],
             "columnar_p95_latency_s": columnar_m["p95_latency_s"],
             "columnar_speedup": speedup,
+            "pruned_uncached_qps": pruned_m["uncached_qps"],
+            "pruned_p50_latency_s": pruned_m["p50_latency_s"],
+            "pruned_p95_latency_s": pruned_m["p95_latency_s"],
+            "engine_columnar_qps": engine_columnar_qps,
+            "engine_pruned_qps": engine_pruned_qps,
+            "pruned_speedup": pruned_speedup,
+            "block_skip_rate": skip_rate,
+            "block_span": engine.block_span,
         },
     )
 
+    finder.engine = "columnar"  # the finder is shared across benchmarks
+
+    assert skip_rate > 0.0, "pruned mode never skipped a block"
     cpu_count = os.cpu_count() or 1
     if cpu_count >= 4:
         assert speedup >= 2.0, (
             f"columnar ({columnar_m['uncached_qps']:.0f} q/s) not ≥2x object "
             f"({object_m['uncached_qps']:.0f} q/s)"
+        )
+        assert pruned_speedup >= 1.5, (
+            f"pruned ({engine_pruned_qps:.0f} q/s) not ≥1.5x exhaustive "
+            f"({engine_columnar_qps:.0f} q/s)"
         )

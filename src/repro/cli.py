@@ -139,6 +139,8 @@ def _build_finder(
         build_kwargs["index_mode"] = args.index_mode
     if getattr(args, "seal_threshold", None):
         build_kwargs["seal_threshold"] = args.seal_threshold
+    if getattr(args, "block_span", None):
+        build_kwargs["block_span"] = args.block_span
     return ExpertFinder.build(
         dataset.graph_for(platform),
         dataset.candidates_for(platform),
@@ -206,7 +208,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         finder = _build_finder(dataset, args)
         source = "cold build"
     finder.engine = args.engine
-    if args.engine == "columnar" and finder.index_mode == "monolithic":
+    if args.engine != "object" and finder.index_mode == "monolithic":
         finder.query_engine()  # compile before timing starts
     ready = time.time()
     service = ExpertSearchService(finder, cache_size=args.cache_size)
@@ -235,6 +237,14 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             f"{stats.compactions} compactions, "
             f"cache survivals {stats.cache_survivals} vs "
             f"clears {stats.invalidations}"
+        )
+    if args.engine == "columnar-pruned":
+        print(
+            f"pruning: {stats.pruned_queries} pruned + "
+            f"{stats.fallback_queries} fallback queries, "
+            f"{stats.blocks_scanned} blocks scanned / "
+            f"{stats.blocks_skipped} skipped "
+            f"({stats.block_skip_rate:.0%} skip rate)"
         )
     return 0
 
@@ -362,6 +372,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="segmented mode: buffer size (resources) at which it seals",
     )
     p_index.add_argument(
+        "--block-span",
+        type=int,
+        help="doc-index span per block-max pruning block (default: the "
+        "engine default); rankings are unaffected",
+    )
+    p_index.add_argument(
         "--compact",
         action="store_true",
         help="segmented mode: merge all segments (and the buffer) into "
@@ -392,9 +408,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache-size", type=int, default=1024)
     p_serve.add_argument(
         "--engine",
-        choices=("columnar", "object"),
+        choices=("columnar", "columnar-pruned", "object"),
         default="columnar",
-        help="query engine for cache misses (object = reference path)",
+        help="query engine for cache misses (columnar-pruned = block-max "
+        "dynamic pruning, object = reference path)",
     )
     p_serve.add_argument(
         "--index-mode",

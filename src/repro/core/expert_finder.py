@@ -29,6 +29,7 @@ from repro.core.build_stats import BuildStats
 from repro.core.config import FinderConfig
 from repro.core.need import ExpertiseNeed
 from repro.core.ranking import ExpertRanker, ExpertScore
+from repro.index.blockmax import PruningStats
 from repro.index.analyzer import AnalyzedResource, ResourceAnalyzer
 from repro.index.parallel import DEFAULT_CHUNK_SIZE, AnalysisTask, analyze_tasks, build_indexes
 from repro.index.statistics import CollectionStatistics
@@ -45,9 +46,12 @@ _INDEXABLE_LANGUAGES = frozenset({"en", "und"})
 _UNSET: EllipsisType = ...
 
 #: query-engine selectors: "columnar" serves from the compiled
-#: :class:`~repro.index.columnar.ColumnarQueryEngine`, "object" from the
-#: reference retriever/ranker path; both rank byte-identically
-_ENGINES = ("columnar", "object")
+#: :class:`~repro.index.columnar.ColumnarQueryEngine` (or the segmented
+#: index), "columnar-pruned" adds block-max dynamic pruning on the same
+#: path (exact for absolute windows, automatic exhaustive fallback
+#: otherwise), "object" is the reference retriever/ranker path; all
+#: rank byte-identically
+_ENGINES = ("columnar", "columnar-pruned", "object")
 
 #: index layouts: "monolithic" keeps one retriever/engine over the whole
 #: collection (observes invalidate the compiled engine); "segmented"
@@ -71,9 +75,12 @@ class ExpertFinder:
         engine: str = "columnar",
         segmented: "SegmentedIndex | None" = None,
         retriever_factory: Callable[[], VectorSpaceRetriever] | None = None,
+        block_span: int | None = None,
     ):
         if engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        if block_span is not None and block_span <= 0:
+            raise ValueError(f"block_span must be positive, got {block_span}")
         sources = sum(
             source is not None for source in (retriever, segmented, retriever_factory)
         )
@@ -94,6 +101,15 @@ class ExpertFinder:
         self._build_stats: BuildStats | None = None
         self._engine_kind = engine
         self._engine: "ColumnarQueryEngine | None" = None
+        #: doc-index span per pruning block for engines this finder
+        #: compiles (None = the blockmax default); a segmented finder's
+        #: span lives on its SegmentedIndex instead
+        self._block_span = block_span
+        #: cumulative block-max counters for this finder's pruned
+        #: queries; survives engine recompiles and snapshot reloads of
+        #: the same object (monolithic engines and the segmented index
+        #: report into it when selected via "columnar-pruned")
+        self._pruning_stats = PruningStats()
 
     # -- construction ------------------------------------------------------------
 
@@ -113,6 +129,7 @@ class ExpertFinder:
         index_mode: str = "monolithic",
         seal_threshold: int | None = None,
         compaction: str = "synchronous",
+        block_span: int | None = None,
     ) -> "ExpertFinder":
         """Build a finder over *graph*.
 
@@ -141,6 +158,11 @@ class ExpertFinder:
         then touch only its write buffer, which seals every
         *seal_threshold* resources and compacts per *compaction* —
         rankings are byte-identical either way).
+
+        *block_span* sets the doc-index span per block-max pruning block
+        for the engines this finder compiles (None = the default in
+        :mod:`repro.index.blockmax`); it never changes rankings, only
+        how coarsely the "columnar-pruned" engine can skip.
         """
         config = config or FinderConfig()
         if index_mode not in _INDEX_MODES:
@@ -217,6 +239,7 @@ class ExpertFinder:
                     else seal_threshold
                 ),
                 compaction=compaction,
+                block_span=block_span,
             )
             finder = cls(
                 analyzer,
@@ -251,6 +274,7 @@ class ExpertFinder:
             config,
             evidence_counts=evidence_counts,
             indexed_count=len(documents),
+            block_span=block_span,
         )
         finder._build_stats = BuildStats(
             workers=workers,
@@ -369,11 +393,21 @@ class ExpertFinder:
     @property
     def engine(self) -> str:
         """Which path :meth:`find_experts` takes: "columnar" (compiled
-        fast path, the default) or "object" (the reference
-        retriever/ranker path). Rankings are byte-identical either way;
-        the object path additionally powers :meth:`match_resources` and
-        :meth:`rank_matches`, which expose per-resource breakdowns."""
+        fast path, the default), "columnar-pruned" (the same path with
+        block-max dynamic pruning — exact for absolute-count windows,
+        automatic exhaustive fallback otherwise), or "object" (the
+        reference retriever/ranker path). Rankings are byte-identical
+        on every engine; the object path additionally powers
+        :meth:`match_resources` and :meth:`rank_matches`, which expose
+        per-resource breakdowns."""
         return self._engine_kind
+
+    @property
+    def pruning_stats(self) -> PruningStats:
+        """Cumulative block-max counters (pruned/fallback queries,
+        blocks scanned/skipped) across this finder's "columnar-pruned"
+        queries — all zero until that engine is selected."""
+        return self._pruning_stats
 
     @engine.setter
     def engine(self, kind: str) -> None:
@@ -398,7 +432,10 @@ class ExpertFinder:
             from repro.index.columnar import ColumnarQueryEngine
 
             self._engine = ColumnarQueryEngine.compile(
-                self._ensure_retriever(), self._evidence_of, self._config
+                self._ensure_retriever(),
+                self._evidence_of,
+                self._config,
+                block_span=self._block_span,
             )
         return self._engine
 
@@ -543,7 +580,8 @@ class ExpertFinder:
         retrieve fully.
         """
         effective_window = self._config.window if window is _UNSET else window
-        if self._engine_kind == "columnar":
+        if self._engine_kind != "object":
+            pruned = self._engine_kind == "columnar-pruned"
             text = need.text if isinstance(need, ExpertiseNeed) else need
             query = self._analyzer.analyze("__query__", text, language="en")
             effective_alpha = self._config.alpha if alpha is None else alpha
@@ -553,9 +591,16 @@ class ExpertFinder:
                     alpha=effective_alpha,
                     window=effective_window,
                     top_k=top_k,
+                    pruned=pruned,
+                    stats=self._pruning_stats,
                 )
             return self.query_engine().find_experts(
-                query, alpha=effective_alpha, window=effective_window, top_k=top_k
+                query,
+                alpha=effective_alpha,
+                window=effective_window,
+                top_k=top_k,
+                pruned=pruned,
+                stats=self._pruning_stats,
             )
         limit = (
             effective_window

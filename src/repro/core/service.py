@@ -48,12 +48,17 @@ def normalize_need_text(text: str) -> str:
 class ServiceStats:
     """Operational counters of one :class:`ExpertSearchService`.
 
-    The last four fields are segment/buffer gauges for streaming steady
-    state: observes that could not change any cached result keep the
-    cache (``cache_survivals``) instead of clearing it
-    (``invalidations``), and a segmented finder additionally reports its
-    live segment count, buffered resources, and compaction merges
-    (all 0 for monolithic finders).
+    The segment/buffer fields are streaming gauges: observes that could
+    not change any cached result keep the cache (``cache_survivals``)
+    instead of clearing it (``invalidations``), and a segmented finder
+    additionally reports its live segment count, buffered resources, and
+    compaction merges (all 0 for monolithic finders).
+
+    The pruning fields mirror the finder's cumulative block-max counters
+    (see :class:`~repro.index.blockmax.PruningStats`) — all 0 unless the
+    finder serves with the "columnar-pruned" engine. ``fallback_queries``
+    counts pruned-mode requests that routed to the exhaustive path
+    because their window was fractional or ``None``.
     """
 
     queries: int
@@ -68,10 +73,20 @@ class ServiceStats:
     segments: int = 0
     buffered_docs: int = 0
     compactions: int = 0
+    pruned_queries: int = 0
+    fallback_queries: int = 0
+    blocks_scanned: int = 0
+    blocks_skipped: int = 0
 
     @property
     def hit_rate(self) -> float:
         return self.cache_hits / self.queries if self.queries else 0.0
+
+    @property
+    def block_skip_rate(self) -> float:
+        """Fraction of candidate blocks the pruned queries never scanned."""
+        total = self.blocks_scanned + self.blocks_skipped
+        return self.blocks_skipped / total if total else 0.0
 
 
 def _percentile(sorted_values: Sequence[float], percentile: float) -> float:
@@ -243,6 +258,7 @@ class ExpertSearchService:
     def stats(self) -> ServiceStats:
         ordered = sorted(self._latencies)
         index_stats = self._finder.index_stats
+        pruning = self._finder.pruning_stats
         return ServiceStats(
             queries=self._queries,
             cache_hits=self._hits,
@@ -256,6 +272,10 @@ class ExpertSearchService:
             segments=0 if index_stats is None else index_stats.segments,
             buffered_docs=0 if index_stats is None else index_stats.buffered,
             compactions=0 if index_stats is None else index_stats.compactions,
+            pruned_queries=pruning.pruned_queries,
+            fallback_queries=pruning.fallback_queries,
+            blocks_scanned=pruning.blocks_scanned,
+            blocks_skipped=pruning.blocks_skipped,
         )
 
     def _record_latency(self, elapsed: float) -> None:

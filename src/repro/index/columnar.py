@@ -17,22 +17,39 @@ ids and precomputed per-candidate arrays — Spasojevic et al.):
   the object path's ``(-score, id)`` string tie-breaks exactly;
 * **flat postings** — each term's / entity's weighted postings
   (``tf·irf²`` and ``ef·eirf²·we``, the same memoized products the
-  retriever uses) are stored as parallel ``array('l')`` /``array('d')``
-  columns;
+  retriever uses) are stored as parallel int64/float64 columns, iterated
+  through ``memoryview`` casts (measurably faster than raw ``array``
+  iteration, and the natural form for mmap-backed v3 snapshots);
 * **fused scoring** — Eq. 1 accumulates document-at-a-time into a flat
   float accumulator plus a touched-docs list (no string-keyed dicts, no
   per-document objects), the window selects top docs over ``(-score,
-  doc index)`` tuples, and Eq. 3 walks a CSR supporters layout
-  (per-doc offsets → candidate index + precomputed ``wr`` weight)
-  straight into a flat per-candidate accumulator.
+  doc index)`` tuples, and Eq. 3 walks per-doc supporter pair lists
+  (candidate index + precomputed ``wr`` weight, prebuilt from the CSR
+  layout) straight into a flat per-candidate accumulator.
 
-Rankings are **byte-identical** to the object path: the engine repeats
-its float operations in the same order — per-posting products from the
-same collection statistics, per-document accumulation in postings
-order, ``α·t + (1−α)·e`` combination, rank-ordered Eq.-3 folding with
-table-looked-up ``wr`` — and breaks ties on interned ids, which order
-exactly like the underlying strings. ``tests/index/test_columnar.py``
-pins the equivalence over randomized collections and parameter sweeps.
+Two evaluation modes share that skeleton:
+
+* the **exhaustive** mode scores every posting of every query item;
+* the **block-max pruned** mode (``pruned=True``, exact top-k for
+  absolute-count windows) sorts each column by doc index, chunks the
+  doc-index space into shared spans of ``block_span`` (see
+  :mod:`repro.index.blockmax`), and processes blocks in descending
+  order of their summed per-item upper bounds, maintaining a
+  size-``width`` min-heap of block-complete scores; once the heap is
+  full, every remaining block whose inflated bound cannot reach the
+  heap floor is skipped outright. Fractional and ``None`` windows fall
+  back to the exhaustive path automatically (their width depends on the
+  total match count, which pruning never learns).
+
+Rankings are **byte-identical** to the object path in both modes: the
+engine repeats its float operations in the same order — per-posting
+products from the same collection statistics, per-document accumulation
+(each doc appears at most once per column, so column order is
+irrelevant to its sums), ``α·t + (1−α)·e`` combination, rank-ordered
+Eq.-3 folding with table-looked-up ``wr`` — and breaks ties on interned
+ids, which order exactly like the underlying strings.
+``tests/index/test_columnar.py`` pins the equivalence over randomized
+collections and parameter sweeps, for all engine modes.
 
 The engine is a *snapshot* of the collection: after streaming updates
 (``ExpertFinder.observe``) it must be recompiled (the finder does this
@@ -42,6 +59,7 @@ instance must not be shared across threads.
 
 from __future__ import annotations
 
+import heapq
 from array import array
 from collections.abc import Mapping, Sequence
 
@@ -51,7 +69,19 @@ from repro.core.config import FinderConfig
 from repro.core.ranking import ExpertScore
 from repro.core.scoring import distance_weight_table, window_size
 from repro.index.analyzer import AnalyzedResource
+from repro.index.blockmax import (
+    DEFAULT_BLOCK_SPAN,
+    PruningStats,
+    compute_blocks,
+    is_doc_sorted,
+    sort_column,
+    ub_slack,
+)
 from repro.index.vsm import VectorSpaceRetriever, entity_weight
+
+
+def _pair_weight(pair: tuple[int, float]) -> float:
+    return pair[1]
 
 
 class ColumnarQueryEngine:
@@ -70,28 +100,60 @@ class ColumnarQueryEngine:
         *,
         doc_ids: list[str],
         cand_ids: list[str],
-        term_cols: dict[str, tuple[array, array]],
-        entity_cols: dict[str, tuple[array, array]],
-        sup_offsets: array,
-        sup_cand: array,
-        sup_weight: array,
+        term_cols: dict[str, tuple],
+        entity_cols: dict[str, tuple],
+        sup_offsets,
+        sup_cand,
+        sup_weight,
         normalize: bool,
+        block_span: int | None = None,
+        term_blocks: Mapping[str, tuple] | None = None,
+        entity_blocks: Mapping[str, tuple] | None = None,
     ):
         self._doc_ids = doc_ids
         self._cand_ids = cand_ids
-        self._term_cols = term_cols
-        self._entity_cols = entity_cols
+        # memoryview casts for the Eq. 1 hot loop; mmap-backed columns
+        # arrive as memoryviews already, arrays are wrapped zero-copy
+        # (the cast keeps the underlying buffer alive)
+        self._term_cols = {
+            key: (memoryview(docs), memoryview(ws))
+            for key, (docs, ws) in term_cols.items()
+        }
+        self._entity_cols = {
+            key: (memoryview(docs), memoryview(ws))
+            for key, (docs, ws) in entity_cols.items()
+        }
         self._sup_offsets = sup_offsets
         self._sup_cand = sup_cand
         self._sup_weight = sup_weight
-        #: per-doc iteration windows over the CSR columns, precreated so
-        #: the rank loop pays one list getitem instead of two offset
-        #: reads and a range allocation per windowed document
-        self._sup_ranges = [
-            range(sup_offsets[i], sup_offsets[i + 1])
+        #: per-doc supporter (candidate, wr) pair lists prebuilt from the
+        #: CSR columns: the Eq. 3 fold pays one list iteration per
+        #: windowed doc instead of two indexed reads per supporter
+        self._sup_pairs = [
+            list(
+                zip(
+                    sup_cand[sup_offsets[i] : sup_offsets[i + 1]],
+                    sup_weight[sup_offsets[i] : sup_offsets[i + 1]],
+                )
+            )
             for i in range(len(doc_ids))
         ]
         self._normalize = normalize
+        if block_span is not None and block_span <= 0:
+            raise ValueError(f"block_span must be positive, got {block_span}")
+        self._block_span = block_span or DEFAULT_BLOCK_SPAN
+        self._n_blocks = (
+            len(doc_ids) + self._block_span - 1
+        ) // self._block_span or 1
+        #: per-column ``(bids, boff, bmax)`` adopted from a v3 snapshot
+        #: (columns doc-sorted by the writer) or computed on first pruned
+        #: use — the recompute-on-absent compatibility rule
+        self._term_blocks: dict[str, tuple] = dict(term_blocks or ())
+        self._entity_blocks: dict[str, tuple] = dict(entity_blocks or ())
+        #: lazily built pruned-mode records: (bids, bmax, span pair lists)
+        self._term_pruned: dict[str, tuple] = {}
+        self._entity_pruned: dict[str, tuple] = {}
+        self.pruning_stats = PruningStats()
         self._init_scratch()
 
     def _init_scratch(self) -> None:
@@ -107,6 +169,8 @@ class ColumnarQueryEngine:
         self._cand_acc = [0.0] * n_cands
         self._cand_support = [0] * n_cands
         self._cand_flags = bytearray(n_cands)
+        self._block_ub = [0.0] * self._n_blocks
+        self._block_flags = bytearray(self._n_blocks)
 
     # -- compilation ---------------------------------------------------------------
 
@@ -116,13 +180,18 @@ class ColumnarQueryEngine:
         retriever: VectorSpaceRetriever,
         evidence_of: Mapping[str, Sequence[tuple[str, int]]],
         config: FinderConfig,
+        *,
+        block_span: int | None = None,
     ) -> "ColumnarQueryEngine":
         """Compile *retriever* + *evidence_of* under *config*.
 
         The per-posting weights are computed with the retriever's own
         :class:`~repro.index.statistics.CollectionStatistics` and
         exponent, repeating ``tf·irf^p`` / ``ef·eirf^p·we`` with the
-        exact float operations of the object path.
+        exact float operations of the object path; columns are stored
+        doc-sorted (the order blocks are chunked in — per-doc sums and
+        all downstream sorts are order-invariant, see
+        :mod:`repro.index.blockmax`).
         """
         term_index = retriever.term_index
         entity_index = retriever.entity_index
@@ -137,9 +206,12 @@ class ColumnarQueryEngine:
             weight = stats.irf(term) ** exponent
             if weight == 0.0:
                 continue
+            pairs = sorted(
+                (doc_of[p.doc_id], p.term_frequency * weight) for p in postings
+            )
             term_cols[term] = (
-                array("l", (doc_of[p.doc_id] for p in postings)),
-                array("d", (p.term_frequency * weight for p in postings)),
+                array("l", (d for d, _ in pairs)),
+                array("d", (w for _, w in pairs)),
             )
 
         entity_cols: dict[str, tuple[array, array]] = {}
@@ -147,15 +219,16 @@ class ColumnarQueryEngine:
             weight = stats.eirf(uri) ** exponent
             if weight == 0.0:
                 continue
+            pairs = sorted(
+                (
+                    doc_of[p.doc_id],
+                    p.entity_frequency * weight * entity_weight(p.d_score),
+                )
+                for p in postings
+            )
             entity_cols[uri] = (
-                array("l", (doc_of[p.doc_id] for p in postings)),
-                array(
-                    "d",
-                    (
-                        p.entity_frequency * weight * entity_weight(p.d_score)
-                        for p in postings
-                    ),
-                ),
+                array("l", (d for d, _ in pairs)),
+                array("d", (w for _, w in pairs)),
             )
 
         # CSR supporters: per-doc offsets into parallel candidate-index
@@ -191,6 +264,7 @@ class ColumnarQueryEngine:
             sup_cand=sup_cand,
             sup_weight=sup_weight,
             normalize=config.normalize,
+            block_span=block_span,
         )
 
     # -- introspection -------------------------------------------------------------
@@ -201,8 +275,15 @@ class ColumnarQueryEngine:
         Exposes the exact interned ids and weighted columns this engine
         computed — serializing *these* float64 values (rather than
         recomputing weights at load) is what keeps v3 rankings
-        byte-identical to a freshly compiled engine.
+        byte-identical to a freshly compiled engine. Block metadata is
+        materialized for every column first (sorting any column that a
+        pre-block snapshot delivered in postings order), so the written
+        sections always describe doc-sorted columns.
         """
+        for term in self._term_cols:
+            self._pruned_term(term)
+        for uri in self._entity_cols:
+            self._pruned_entity(uri)
         return {
             "doc_ids": self._doc_ids,
             "cand_ids": self._cand_ids,
@@ -212,6 +293,9 @@ class ColumnarQueryEngine:
             "sup_cand": self._sup_cand,
             "sup_weight": self._sup_weight,
             "normalize": self._normalize,
+            "block_span": self._block_span,
+            "term_blocks": self._term_blocks,
+            "entity_blocks": self._entity_blocks,
         }
 
     @property
@@ -222,6 +306,66 @@ class ColumnarQueryEngine:
     def candidate_count(self) -> int:
         return len(self._cand_ids)
 
+    @property
+    def block_span(self) -> int:
+        return self._block_span
+
+    # -- pruned-mode column records ------------------------------------------------
+
+    def _build_pruned(self, key: str, col_dict: dict, blocks: dict) -> tuple:
+        docs, ws = col_dict[key]
+        blk = blocks.get(key)
+        if blk is None:
+            # recompute-on-absent: columns from pre-block snapshots may
+            # still be in postings order — re-sort by doc index (per-doc
+            # sums and every downstream sort are order-invariant)
+            if not is_doc_sorted(docs):
+                sdocs, sws = sort_column(docs, ws)
+                docs, ws = memoryview(sdocs), memoryview(sws)
+                col_dict[key] = (docs, ws)
+            blk = compute_blocks(docs, ws, self._block_span)
+            blocks[key] = blk
+        bids, boff, bmax = blk
+        pairs = list(zip(docs, ws))
+        # two per-column structures: pre-zipped (block id, block max)
+        # pairs for the agenda's upper-bound walk, and a block → span
+        # map consulted only for blocks that survive pruning — skipped
+        # blocks never touch their postings. Spans are kept
+        # weight-descending: multi-item accumulation is
+        # order-insensitive (flags dedup in any order), and single-item
+        # blocks can stop at the first posting whose score falls below
+        # the heap floor (multiplication rounding is monotone, so every
+        # later posting scores no higher).
+        spans = {
+            bids[i]: sorted(
+                pairs[boff[i] : boff[i + 1]], key=_pair_weight, reverse=True
+            )
+            for i in range(len(bids))
+        }
+        # trailing dict caches leg-scaled upper-bound lists per leg
+        # factor (α for terms, 1−α for entities) — the scaling floats
+        # are identical to computing them inline, queries just stop
+        # repeating the multiply
+        return (list(zip(bids, bmax)), spans, {})
+
+    def _pruned_term(self, term: str) -> tuple | None:
+        rec = self._term_pruned.get(term)
+        if rec is None:
+            if term not in self._term_cols:
+                return None
+            rec = self._build_pruned(term, self._term_cols, self._term_blocks)
+            self._term_pruned[term] = rec
+        return rec
+
+    def _pruned_entity(self, uri: str) -> tuple | None:
+        rec = self._entity_pruned.get(uri)
+        if rec is None:
+            if uri not in self._entity_cols:
+                return None
+            rec = self._build_pruned(uri, self._entity_cols, self._entity_blocks)
+            self._entity_pruned[uri] = rec
+        return rec
+
     # -- query evaluation ----------------------------------------------------------
 
     def find_experts(
@@ -231,15 +375,32 @@ class ColumnarQueryEngine:
         alpha: float,
         window: int | float | None,
         top_k: int | None = None,
+        pruned: bool = False,
+        stats: PruningStats | None = None,
     ) -> list[ExpertScore]:
         """Rank the candidate experts for an analyzed *query* — exactly
         the object path's ``retrieve → apply_window → ExpertRanker.rank``
         result (scores, support counts, and order), without materializing
-        per-resource match objects."""
+        per-resource match objects. With ``pruned=True``, absolute-count
+        windows are evaluated in the block-max mode (identical output,
+        fewer postings touched); other window shapes fall back to the
+        exhaustive path and are counted in *stats*."""
         if not 0.0 <= alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {alpha}")
         window_size(window, 0)  # validate the window shape up front
         try:
+            if pruned:
+                if stats is None:
+                    stats = self.pruning_stats
+                # strictly-positive absolute counts only (bools excluded:
+                # type(True) is bool); every other shape — fractional or
+                # None — takes the exhaustive path
+                if type(window) is int and window > 0:
+                    stats.pruned_queries += 1
+                    return self._find_experts_pruned(
+                        query, alpha, window, top_k, stats
+                    )
+                stats.fallback_queries += 1
             return self._find_experts(query, alpha, window, top_k)
         except BaseException:
             # scratch accumulators may be mid-query; rebuild them clean
@@ -255,7 +416,8 @@ class ColumnarQueryEngine:
     ) -> list[ExpertScore]:
         # Eq. 1, document-at-a-time: flat accumulators + touched list.
         # Accumulation order matches the object path: query terms in
-        # need order, postings in index order, entities after terms.
+        # need order, entities after terms (column order is per-doc
+        # irrelevant — at most one posting per doc per column).
         term_acc = self._term_acc
         entity_acc = self._entity_acc
         flags = self._doc_flags
@@ -303,11 +465,217 @@ class ColumnarQueryEngine:
         width = window_size(window, len(entries))
         if width < len(entries):
             del entries[width:]
+        return self._fold_entries(entries, top_k)
 
-        # Eq. 3 fused over the windowed docs (rank order) via CSR
-        sup_ranges = self._sup_ranges
-        sup_cand = self._sup_cand
-        sup_weight = self._sup_weight
+    def _find_experts_pruned(
+        self,
+        query: AnalyzedResource,
+        alpha: float,
+        window: int,
+        top_k: int | None,
+        stats: PruningStats,
+    ) -> list[ExpertScore]:
+        # agenda build: per query item, accumulate the leg-weighted block
+        # maxima into the shared per-block upper bound and collect the
+        # item's block → span map (consulted only for processed blocks)
+        term_acc = self._term_acc
+        entity_acc = self._entity_acc
+        flags = self._doc_flags
+        one_minus_alpha = 1.0 - alpha
+        ub = self._block_ub
+        bflags = self._block_flags
+        tblocks: list[int] = []
+        tblock = tblocks.append
+        tmaps: list[dict] = []
+        emaps: list[dict] = []
+        n_items = 0
+        if alpha > 0.0:
+            for term in query.term_counts:
+                rec = self._pruned_term(term)
+                if rec is None:
+                    continue
+                n_items += 1
+                ubrec, smap, scaled = rec
+                tmaps.append(smap)
+                sub = scaled.get(alpha)
+                if sub is None:
+                    sub = [(b, alpha * mx) for b, mx in ubrec]
+                    scaled[alpha] = sub
+                for b, smx in sub:
+                    if bflags[b]:
+                        ub[b] += smx
+                    else:
+                        bflags[b] = 1
+                        ub[b] = smx
+                        tblock(b)
+        if alpha < 1.0:
+            for uri in query.entity_counts:
+                rec = self._pruned_entity(uri)
+                if rec is None:
+                    continue
+                n_items += 1
+                ubrec, smap, scaled = rec
+                emaps.append(smap)
+                sub = scaled.get(one_minus_alpha)
+                if sub is None:
+                    sub = [(b, one_minus_alpha * mx) for b, mx in ubrec]
+                    scaled[one_minus_alpha] = sub
+                for b, smx in sub:
+                    if bflags[b]:
+                        ub[b] += smx
+                    else:
+                        bflags[b] = 1
+                        ub[b] = smx
+                        tblock(b)
+        slack = ub_slack(n_items)
+        tblocks.sort(key=ub.__getitem__, reverse=True)
+
+        # Process blocks best-bound first, maintaining a min-heap of
+        # ``(score, -doc)`` pairs: the heap minimum is exactly the worst
+        # element under the window order ``(-score, doc)``, so the heap
+        # *is* the current window set — a candidate enters iff its pair
+        # beats the floor (score ties resolved toward lower doc index,
+        # as in the exhaustive sort) and no separate entry list or final
+        # selection pass is needed. Once the heap holds ``window`` docs,
+        # a block whose inflated bound is below the floor *score* — and
+        # every later block, bounds are descending — cannot contribute a
+        # window doc even on ties (its scores sit strictly below all
+        # kept scores) and is skipped outright.
+        W = window
+        heappush = heapq.heappush
+        heapreplace = heapq.heapreplace
+        heap: list[tuple[float, int]] = []
+        nheap = 0
+        floor = 0.0
+        h0 = (0.0, 0)
+        btouched: list[int] = []
+        btouch = btouched.append
+        scanned = 0
+        for bi, b in enumerate(tblocks):
+            if nheap == W and ub[b] * slack < floor:
+                scanned = bi
+                break
+            ts = []
+            for m in tmaps:
+                sp = m.get(b)
+                if sp is not None:
+                    ts.append(sp)
+            es = []
+            for m in emaps:
+                sp = m.get(b)
+                if sp is not None:
+                    es.append(sp)
+            if not es and len(ts) == 1:
+                # single-item block: the combined score collapses to
+                # α·w + (1−α)·0.0 == α·w, bit for bit — and the span is
+                # weight-descending, so the first posting below the heap
+                # floor (or at 0.0 before the heap fills) ends the block
+                for d, w in ts[0]:
+                    sc = alpha * w
+                    if nheap == W:
+                        if sc < floor:
+                            break
+                        pair = (sc, -d)
+                        if pair > h0:
+                            heapreplace(heap, pair)
+                            h0 = heap[0]
+                            floor = h0[0]
+                    elif sc > 0.0:
+                        heappush(heap, (sc, -d))
+                        nheap += 1
+                        if nheap == W:
+                            h0 = heap[0]
+                            floor = h0[0]
+                    else:
+                        break
+                continue
+            if not ts and len(es) == 1:
+                for d, w in es[0]:
+                    sc = one_minus_alpha * w
+                    if nheap == W:
+                        if sc < floor:
+                            break
+                        pair = (sc, -d)
+                        if pair > h0:
+                            heapreplace(heap, pair)
+                            h0 = heap[0]
+                            floor = h0[0]
+                    elif sc > 0.0:
+                        heappush(heap, (sc, -d))
+                        nheap += 1
+                        if nheap == W:
+                            h0 = heap[0]
+                            floor = h0[0]
+                    else:
+                        break
+                continue
+            # multi-item block: accumulate into the preallocated per-doc
+            # scratch (allocation-free — temp dicts measured slower at
+            # block granularity), then finalize each touched doc. Blocks
+            # are doc-range complete — every posting of a block's
+            # documents sits in this block — so scores are final here
+            # and the heap floor may rise before the next block. One-leg
+            # blocks skip the other leg's accumulator: its slots are all
+            # zero, and α·T + (1−α)·0.0 == α·T (and its mirror), bit
+            # for bit.
+            for sp in ts:
+                for d, w in sp:
+                    term_acc[d] += w
+                    if not flags[d]:
+                        flags[d] = 1
+                        btouch(d)
+            for sp in es:
+                for d, w in sp:
+                    entity_acc[d] += w
+                    if not flags[d]:
+                        flags[d] = 1
+                        btouch(d)
+            for d in btouched:
+                if not es:
+                    sc = alpha * term_acc[d]
+                    term_acc[d] = 0.0
+                elif not ts:
+                    sc = one_minus_alpha * entity_acc[d]
+                    entity_acc[d] = 0.0
+                else:
+                    sc = alpha * term_acc[d] + one_minus_alpha * entity_acc[d]
+                    term_acc[d] = 0.0
+                    entity_acc[d] = 0.0
+                flags[d] = 0
+                if nheap < W:
+                    if sc > 0.0:
+                        heappush(heap, (sc, -d))
+                        nheap += 1
+                        if nheap == W:
+                            h0 = heap[0]
+                            floor = h0[0]
+                elif sc >= floor:
+                    pair = (sc, -d)
+                    if pair > h0:
+                        heapreplace(heap, pair)
+                        h0 = heap[0]
+                        floor = h0[0]
+            del btouched[:]
+        else:
+            scanned = len(tblocks)
+        for b in tblocks:
+            bflags[b] = 0
+        stats.blocks_scanned += scanned
+        stats.blocks_skipped += len(tblocks) - scanned
+
+        # the heap holds min(window, total matches) docs — exactly the
+        # exhaustive path's window cut (``window_size`` would return
+        # ``len(entries)`` here); re-key to its ``(-score, doc)`` order
+        entries = [(-sc, -nd) for sc, nd in heap]
+        entries.sort()
+        return self._fold_entries(entries, top_k)
+
+    def _fold_entries(
+        self, entries: list[tuple[float, int]], top_k: int | None
+    ) -> list[ExpertScore]:
+        # Eq. 3 fused over the windowed docs (rank order) via the
+        # per-doc supporter pair lists
+        sup_pairs = self._sup_pairs
         cand_acc = self._cand_acc
         cand_support = self._cand_support
         cand_flags = self._cand_flags
@@ -315,9 +683,8 @@ class ColumnarQueryEngine:
         cand_touch = cand_touched.append
         for neg_score, doc in entries:
             score = -neg_score
-            for j in sup_ranges[doc]:
-                cand = sup_cand[j]
-                cand_acc[cand] += score * sup_weight[j]
+            for cand, weight in sup_pairs[doc]:
+                cand_acc[cand] += score * weight
                 cand_support[cand] += 1
                 if not cand_flags[cand]:
                     cand_flags[cand] = 1
@@ -342,10 +709,6 @@ class ColumnarQueryEngine:
             results = results[:top_k]
         cand_ids = self._cand_ids
         return [
-            ExpertScore(
-                candidate_id=cand_ids[cand],
-                score=-neg_score,
-                supporting_resources=support,
-            )
+            ExpertScore(cand_ids[cand], -neg_score, support)
             for neg_score, cand, support in results
         ]

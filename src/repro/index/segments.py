@@ -52,6 +52,14 @@ from repro.core.config import FinderConfig
 from repro.core.ranking import ExpertScore
 from repro.core.scoring import distance_weight_table, window_size
 from repro.index.analyzer import AnalyzedResource
+from repro.index.blockmax import (
+    DEFAULT_BLOCK_SPAN,
+    PruningStats,
+    compute_blocks,
+    is_doc_sorted,
+    sort_column,
+    ub_slack,
+)
 from repro.index.entity_index import EntityIndex
 from repro.index.inverted import InvertedIndex
 from repro.index.vsm import ResourceMatch, _match_order, entity_weight
@@ -112,6 +120,11 @@ class Segment:
         "_term_acc",
         "_entity_acc",
         "_doc_flags",
+        "_block_span",
+        "_term_blocks",
+        "_entity_blocks",
+        "_term_pruned",
+        "_entity_pruned",
     )
 
     def __init__(
@@ -120,6 +133,8 @@ class Segment:
         term_index: InvertedIndex,
         entity_index: EntityIndex,
         evidence: Mapping[str, _Rows],
+        *,
+        block_span: int | None = None,
     ):
         if term_index.doc_ids() != entity_index.doc_ids():
             raise ValueError(
@@ -153,6 +168,7 @@ class Segment:
                 array("l", (p.entity_frequency for p in postings)),
                 array("d", (entity_weight(p.d_score) for p in postings)),
             )
+        self._init_blocks(block_span)
         self._init_scratch()
 
     @classmethod
@@ -164,6 +180,10 @@ class Segment:
         entity_cols: Mapping[str, tuple],
         evidence: Mapping[str, _Rows],
         hydrate,
+        *,
+        block_span: int | None = None,
+        term_blocks: Mapping[str, tuple] | None = None,
+        entity_blocks: Mapping[str, tuple] | None = None,
     ) -> "Segment":
         """Adopt already-compiled columns (a v3 snapshot's mapped buffers)
         without building the posting-object indexes.
@@ -174,6 +194,10 @@ class Segment:
         *hydrate* is a zero-argument callable returning the
         ``(InvertedIndex, EntityIndex)`` pair — invoked at most once, only
         if a merge or snapshot re-save actually needs posting objects.
+        *term_blocks*/*entity_blocks* adopt per-column ``(bids, boff,
+        bmax)`` block metadata written by a v3+blocks snapshot (whose
+        columns are doc-sorted); when absent, pruning recomputes it on
+        first use — the recompute-on-absent compatibility rule.
         """
         segment = cls.__new__(cls)
         segment.segment_id = segment_id
@@ -187,8 +211,28 @@ class Segment:
         )
         segment._term_cols = dict(term_cols)
         segment._entity_cols = dict(entity_cols)
+        segment._init_blocks(block_span)
+        if term_blocks:
+            segment._term_blocks.update(term_blocks)
+        if entity_blocks:
+            segment._entity_blocks.update(entity_blocks)
         segment._init_scratch()
         return segment
+
+    def _init_blocks(self, block_span: int | None) -> None:
+        if block_span is not None and block_span <= 0:
+            raise ValueError(f"block_span must be positive, got {block_span}")
+        self._block_span = block_span or DEFAULT_BLOCK_SPAN
+        #: per-column ``(bids, boff, bmax)`` with *raw* maxima — max
+        #: ``tf`` per block for terms, max ``ef·we`` for entities — the
+        #: collection statistics (and so ``tw``/``ew``) keep moving as
+        #: the buffer grows, so bounds are scaled per query
+        self._term_blocks: dict[str, tuple] = {}
+        self._entity_blocks: dict[str, tuple] = {}
+        #: lazily built pruned-mode records: ((bid, raw max) pairs for
+        #: the agenda walk, block id → posting-span map)
+        self._term_pruned: dict[str, tuple] = {}
+        self._entity_pruned: dict[str, tuple] = {}
 
     def _init_scratch(self) -> None:
         n_docs = len(self._doc_ids)
@@ -230,6 +274,10 @@ class Segment:
         """Documents of this segment annotated with *entity_uri*."""
         cols = self._entity_cols.get(entity_uri)
         return len(cols[0]) if cols is not None else 0
+
+    @property
+    def block_span(self) -> int:
+        return self._block_span
 
     @property
     def document_count(self) -> int:
@@ -284,6 +332,63 @@ class Segment:
             term_acc[doc] = 0.0
             entity_acc[doc] = 0.0
             flags[doc] = 0
+
+    # -- block-max metadata (see repro.index.blockmax) -----------------------------
+
+    def _pruned_term(self, term: str) -> tuple | None:
+        """The term's agenda record ``((bid, max tf) pairs, block id →
+        span map)``, built on first pruned use from compiled columns only
+        — column-restored segments stay unhydrated."""
+        rec = self._term_pruned.get(term)
+        if rec is None:
+            cols = self._term_cols.get(term)
+            if cols is None:
+                return None
+            docs, tf = cols
+            blk = self._term_blocks.get(term)
+            if blk is None:
+                if not is_doc_sorted(docs):
+                    docs, tf = sort_column(docs, tf)
+                    self._term_cols[term] = (docs, tf)
+                blk = compute_blocks(docs, tf, self._block_span)
+                self._term_blocks[term] = blk
+            bids, boff, bmax = blk
+            pairs = list(zip(docs, tf))
+            spans = {
+                bids[i]: pairs[boff[i] : boff[i + 1]] for i in range(len(bids))
+            }
+            rec = (list(zip(bids, bmax)), spans)
+            self._term_pruned[term] = rec
+        return rec
+
+    def _pruned_entity(self, uri: str) -> tuple | None:
+        """The entity's agenda record; block maxima bound the raw
+        ``ef·we`` product (its ``·ew`` scaling happens per query, and the
+        association difference against the evaluated ``ef·ew·we`` is
+        ulp-level — covered by :func:`~repro.index.blockmax.ub_slack`)."""
+        rec = self._entity_pruned.get(uri)
+        if rec is None:
+            cols = self._entity_cols.get(uri)
+            if cols is None:
+                return None
+            docs, ef, we = cols
+            blk = self._entity_blocks.get(uri)
+            if blk is None:
+                if not is_doc_sorted(docs):
+                    docs, ef, we = sort_column(docs, ef, we)
+                    self._entity_cols[uri] = (docs, ef, we)
+                raw = array("d", (f * w for f, w in zip(ef, we)))
+                blk = compute_blocks(docs, raw, self._block_span)
+                self._entity_blocks[uri] = blk
+            bids, boff, bmax = blk
+            triples = list(zip(docs, ef, we))
+            spans = {
+                bids[i]: triples[boff[i] : boff[i + 1]]
+                for i in range(len(bids))
+            }
+            rec = (list(zip(bids, bmax)), spans)
+            self._entity_pruned[uri] = rec
+        return rec
 
 
 class _WriteBuffer:
@@ -387,6 +492,7 @@ class SegmentedIndex:
         seal_threshold: int = DEFAULT_SEAL_THRESHOLD,
         compaction: str = "synchronous",
         fanout: int = DEFAULT_FANOUT,
+        block_span: int | None = None,
     ):
         if seal_threshold < 1:
             raise ValueError(f"seal_threshold must be >= 1, got {seal_threshold}")
@@ -396,6 +502,10 @@ class SegmentedIndex:
             raise ValueError(
                 f"compaction must be one of {_COMPACTION_MODES}, got {compaction!r}"
             )
+        if block_span is not None and block_span <= 0:
+            raise ValueError(f"block_span must be positive, got {block_span}")
+        self._block_span = block_span or DEFAULT_BLOCK_SPAN
+        self.pruning_stats = PruningStats()
         self._config = config
         self._idf_exponent = config.idf_exponent
         self._normalize = config.normalize
@@ -440,6 +550,7 @@ class SegmentedIndex:
         seal_threshold: int = DEFAULT_SEAL_THRESHOLD,
         compaction: str = "synchronous",
         fanout: int = DEFAULT_FANOUT,
+        block_span: int | None = None,
     ) -> "SegmentedIndex":
         """Wrap a cold build's indexes + evidence as the base segment."""
         index = cls(
@@ -447,6 +558,7 @@ class SegmentedIndex:
             seal_threshold=seal_threshold,
             compaction=compaction,
             fanout=fanout,
+            block_span=block_span,
         )
         if evidence_of or term_index.document_count:
             evidence = {
@@ -454,7 +566,13 @@ class SegmentedIndex:
                 for doc_id, rows in evidence_of.items()
             }
             index._register(
-                Segment(index._next_id(), term_index, entity_index, evidence)
+                Segment(
+                    index._next_id(),
+                    term_index,
+                    entity_index,
+                    evidence,
+                    block_span=index._block_span,
+                )
             )
         return index
 
@@ -468,6 +586,7 @@ class SegmentedIndex:
         seal_threshold: int = DEFAULT_SEAL_THRESHOLD,
         compaction: str = "synchronous",
         fanout: int = DEFAULT_FANOUT,
+        block_span: int | None = None,
     ) -> "SegmentedIndex":
         """Rebuild from snapshot state: sealed segments in manifest order
         (each ``(segment_id, term_index, entity_index, evidence)``) plus
@@ -478,9 +597,18 @@ class SegmentedIndex:
             seal_threshold=seal_threshold,
             compaction=compaction,
             fanout=fanout,
+            block_span=block_span,
         )
         for segment_id, term_index, entity_index, evidence in segments:
-            index._register(Segment(segment_id, term_index, entity_index, evidence))
+            index._register(
+                Segment(
+                    segment_id,
+                    term_index,
+                    entity_index,
+                    evidence,
+                    block_span=index._block_span,
+                )
+            )
             index._next_segment_id = max(index._next_segment_id, segment_id + 1)
         if buffer is not None:
             term_index, entity_index, evidence = buffer
@@ -501,6 +629,7 @@ class SegmentedIndex:
         seal_threshold: int = DEFAULT_SEAL_THRESHOLD,
         compaction: str = "synchronous",
         fanout: int = DEFAULT_FANOUT,
+        block_span: int | None = None,
     ) -> "SegmentedIndex":
         """Rebuild from already-compiled :class:`Segment` objects (the
         snapshot-v3 mmap path, via :meth:`Segment.from_columns`) plus an
@@ -511,6 +640,7 @@ class SegmentedIndex:
             seal_threshold=seal_threshold,
             compaction=compaction,
             fanout=fanout,
+            block_span=block_span,
         )
         for segment in segments:
             index._register(segment)
@@ -613,7 +743,11 @@ class SegmentedIndex:
         if buffer.resource_count == 0:
             return None
         segment = Segment(
-            self._next_id(), buffer.term_index, buffer.entity_index, buffer.evidence
+            self._next_id(),
+            buffer.term_index,
+            buffer.entity_index,
+            buffer.evidence,
+            block_span=self._block_span,
         )
         with self._lock:
             self._segments = [*self._segments, segment]
@@ -684,7 +818,13 @@ class SegmentedIndex:
             term_index.merge(segment.term_index)
             entity_index.merge(segment.entity_index)
             evidence.update(segment.evidence)
-        merged = Segment(self._next_id(), term_index, entity_index, evidence)
+        merged = Segment(
+            self._next_id(),
+            term_index,
+            entity_index,
+            evidence,
+            block_span=self._block_span,
+        )
         with self._lock:
             live = self._segments
             self._segments = [*live[:start], merged, *live[stop:]]
@@ -730,6 +870,11 @@ class SegmentedIndex:
         self.close()
 
     # -- shared collection statistics ----------------------------------------------
+
+    @property
+    def block_span(self) -> int:
+        """Doc-index span per pruning block, shared by every segment."""
+        return self._block_span
 
     @property
     def document_count(self) -> int:
@@ -807,15 +952,32 @@ class SegmentedIndex:
         alpha: float,
         window: int | float | None,
         top_k: int | None = None,
+        pruned: bool = False,
+        stats: PruningStats | None = None,
     ) -> list[ExpertScore]:
         """Rank the candidate experts for an analyzed *query* across all
         live segments plus the buffer — byte-identical to the monolithic
-        engines at the same collection state."""
+        engines at the same collection state. With ``pruned=True``,
+        absolute-count windows evaluate in the block-max mode (identical
+        output, fewer segment postings touched); other window shapes
+        fall back to the exhaustive path and are counted in *stats*."""
         if not 0.0 <= alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {alpha}")
         window_size(window, 0)  # validate the window shape up front
         segments = self._segments
         try:
+            if pruned:
+                if stats is None:
+                    stats = self.pruning_stats
+                # strictly-positive absolute counts only (bools excluded);
+                # every other shape — fractional or None — takes the
+                # exhaustive path
+                if type(window) is int and window > 0:
+                    stats.pruned_queries += 1
+                    return self._find_experts_pruned(
+                        segments, query, alpha, window, top_k, stats
+                    )
+                stats.fallback_queries += 1
             return self._find_experts(segments, query, alpha, window, top_k)
         except BaseException:
             for segment in segments:
@@ -852,7 +1014,155 @@ class SegmentedIndex:
         width = window_size(window, len(entries))
         if width < len(entries):
             del entries[width:]
+        return self._fold_entries(entries, top_k)
 
+    def _find_experts_pruned(
+        self,
+        segments: Sequence[Segment],
+        query: AnalyzedResource,
+        alpha: float,
+        window: int,
+        top_k: int | None,
+        stats: PruningStats,
+    ) -> list[ExpertScore]:
+        """Block-max evaluation across segments (exact, absolute windows).
+
+        The buffer — small, uncompiled, and touched by every observe —
+        is scored exhaustively first, seeding the window-floor heap; the
+        segments' blocks then evaluate in one global best-bound-first
+        agenda, and once ``window`` positive matches are held, every
+        block whose inflated upper bound sits below the worst kept
+        *score* is skipped without touching its postings. Scores of
+        processed docs repeat the exhaustive float operations exactly,
+        skipped docs are strictly below the final window threshold, and
+        the final sort + cut resolves score ties on ``doc_id`` exactly
+        as the exhaustive path does — rankings stay byte-identical.
+        """
+        terms, entities = self._query_weights(query, alpha)
+        one_minus_alpha = 1.0 - alpha
+        W = window
+        heappush = heapq.heappush
+        heapreplace = heapq.heapreplace
+
+        entries: list[tuple[float, str, _Rows]] = []
+        entry = entries.append
+        heap: list[float] = []  # the W best scores seen (floor = heap[0])
+        nheap = 0
+        floor = 0.0
+
+        buffer = self._buffer
+        scored: list[tuple[str, float, float]] = []
+        buffer._score_docs(terms, entities, scored)
+        evidence = buffer.evidence
+        for doc_id, term_score, entity_score in scored:
+            score = alpha * term_score + one_minus_alpha * entity_score
+            if score > 0.0:
+                entry((-score, doc_id, evidence.get(doc_id, ())))
+                if nheap < W:
+                    heappush(heap, score)
+                    nheap += 1
+                elif score > heap[0]:
+                    heapreplace(heap, score)
+        if nheap == W:
+            floor = heap[0]
+
+        # global agenda: per segment, fold each item's leg-scaled raw
+        # block maxima into a per-block bound, then merge all segments'
+        # blocks into one descending-bound order
+        agenda: list[tuple[float, int, int]] = []
+        per_seg: list[tuple[Segment, list, list]] = []
+        for si, segment in enumerate(segments):
+            ubmap: dict[int, float] = {}
+            tsp: list[tuple[dict, float]] = []
+            esp: list[tuple[dict, float]] = []
+            for term, tw in terms:
+                rec = segment._pruned_term(term)
+                if rec is None:
+                    continue
+                ubrec, smap = rec
+                tsp.append((smap, tw))
+                factor = alpha * tw
+                for b, mx in ubrec:
+                    ubmap[b] = ubmap.get(b, 0.0) + factor * mx
+            for uri, ew in entities:
+                rec = segment._pruned_entity(uri)
+                if rec is None:
+                    continue
+                ubrec, smap = rec
+                esp.append((smap, ew))
+                factor = one_minus_alpha * ew
+                for b, mx in ubrec:
+                    ubmap[b] = ubmap.get(b, 0.0) + factor * mx
+            per_seg.append((segment, tsp, esp))
+            for b, bound in ubmap.items():
+                agenda.append((bound, si, b))
+        agenda.sort(reverse=True)
+        slack = ub_slack(len(terms) + len(entities))
+
+        scanned = 0
+        for bound, si, b in agenda:
+            if nheap == W and bound * slack < floor:
+                break  # bounds are descending: every later block is below too
+            scanned += 1
+            segment, tsp, esp = per_seg[si]
+            term_acc = segment._term_acc
+            entity_acc = segment._entity_acc
+            flags = segment._doc_flags
+            btouched: list[int] = []
+            btouch = btouched.append
+            for smap, tw in tsp:
+                span = smap.get(b)
+                if span is None:
+                    continue
+                for d, tf in span:
+                    term_acc[d] += tf * tw
+                    if not flags[d]:
+                        flags[d] = 1
+                        btouch(d)
+            for smap, ew in esp:
+                span = smap.get(b)
+                if span is None:
+                    continue
+                for d, ef, we in span:
+                    entity_acc[d] += ef * ew * we
+                    if not flags[d]:
+                        flags[d] = 1
+                        btouch(d)
+            # blocks are doc-range complete (every posting of a block's
+            # documents sits in this block), so scores are final here
+            doc_ids = segment._doc_ids
+            evidence = segment.evidence
+            for d in btouched:
+                score = alpha * term_acc[d] + one_minus_alpha * entity_acc[d]
+                term_acc[d] = 0.0
+                entity_acc[d] = 0.0
+                flags[d] = 0
+                if score > 0.0:
+                    doc_id = doc_ids[d]
+                    entry((-score, doc_id, evidence.get(doc_id, ())))
+                    if nheap < W:
+                        heappush(heap, score)
+                        nheap += 1
+                        if nheap == W:
+                            floor = heap[0]
+                    elif score > floor:
+                        heapreplace(heap, score)
+                        floor = heap[0]
+        stats.blocks_scanned += scanned
+        stats.blocks_skipped += len(agenda) - scanned
+
+        # entries hold every processed positive match; once any block
+        # was skipped the heap is full, so min(window, len(entries)) is
+        # exactly the exhaustive path's window_size
+        entries.sort()
+        width = window_size(window, len(entries))
+        if width < len(entries):
+            del entries[width:]
+        return self._fold_entries(entries, top_k)
+
+    def _fold_entries(
+        self, entries: list[tuple[float, str, _Rows]], top_k: int | None
+    ) -> list[ExpertScore]:
         # Eq. 3 fold in rank order, mirroring ExpertRanker.rank
         weight_of = self._weight_of
         scores: dict[str, float] = {}

@@ -36,10 +36,17 @@ diff-able; write it with ``save_finder(..., snapshot_format="jsonl")``.
 Each file is written atomically, but the *set* of files is not staged as
 one unit — v3 is the crash-safe format.
 
-Postings and evidence orders are preserved by both formats, and v3
-additionally stores the engine's own computed float64 weights, so a
-loaded finder repeats the builder's float operations exactly — rankings
-round-trip byte-identically on every path. The text analyzer is *not*
+Evidence-row order is preserved by both formats, and v3 additionally
+stores the engine's own computed float64 weights, so a loaded finder
+repeats the builder's float operations exactly — rankings round-trip
+byte-identically on every path. Posting order is preserved too, with
+one deliberate exception: v3 writes engine and sealed-segment columns
+sorted by doc index, alongside the block-max metadata that order makes
+possible (``blk#span`` + flattened per-column block sections), so pruned
+evaluation works straight off the mmap. Re-sorting a column never moves
+a ranking (see :mod:`repro.index.blockmax`), and snapshots written
+before the block sections existed still load — their columns are
+re-sorted and their maxima recomputed lazily on first pruned use. The text analyzer is *not*
 persisted (it is code, not state); :func:`load_finder` takes it as an
 argument.
 """
@@ -59,6 +66,7 @@ from typing import Any
 from repro.core.config import FinderConfig
 from repro.core.expert_finder import ExpertFinder
 from repro.index.analyzer import ResourceAnalyzer
+from repro.index.blockmax import compute_blocks
 from repro.index.columnar import ColumnarQueryEngine
 from repro.index.entity_index import EntityIndex, EntityPosting
 from repro.index.inverted import InvertedIndex, Posting
@@ -348,39 +356,82 @@ def _prune_snapshot_files(directory: pathlib.Path, keep: set[str]) -> None:
 # -- binary (v3) writer ------------------------------------------------------------
 
 
+def _block_sections(
+    prefix: str, blocks: list[tuple], bmax_dtype: str
+) -> list[tuple[str, str, Any]]:
+    """Flatten per-column ``(bids, boff, bmax)`` block metadata (one
+    entry per column, in key order) into four ragged sections.
+
+    ``{prefix}#blkoff`` delimits each column's run in the concatenated
+    ``{prefix}#bid``/``{prefix}#bmax`` arrays; the per-column posting
+    offsets (each ``len(bids) + 1`` long) are concatenated into
+    ``{prefix}#boff``, so column ``c``'s offsets live at
+    ``boff[blkoff[c] + c : blkoff[c + 1] + c + 1]``.
+    """
+    blkoff = array("l", [0])
+    bid = array("l")
+    bmax = array("l" if bmax_dtype == "q" else "d")
+    boff = array("l")
+    for bids, offs, maxima in blocks:
+        bid.extend(bids)
+        bmax.extend(maxima)
+        boff.extend(offs)
+        blkoff.append(len(bid))
+    return [(f"{prefix}#bid", "q", bid), (f"{prefix}#bmax", bmax_dtype, bmax),
+            (f"{prefix}#blkoff", "q", blkoff), (f"{prefix}#boff", "q", boff)]
+
+
 def _slice_sections(
     term_index: InvertedIndex,
     entity_index: EntityIndex,
     evidence: Mapping[str, Any],
+    *,
+    block_span: int | None = None,
 ) -> list[tuple[str, str, Any]]:
     """One collection slice (the whole monolith, one segment, or the
     buffer) as binary sections: string tables + element-offset CSR
-    columns, preserving postings and evidence-row order exactly.
+    columns, preserving postings and evidence-row order exactly — unless
+    *block_span* is given (sealed segments), in which case each posting
+    column is stored sorted by doc index with block-max sections
+    alongside, ready for pruned evaluation straight off the mmap.
+    Re-sorting is invisible in the rankings (each document appears at
+    most once per column — see :mod:`repro.index.blockmax`).
 
     Entities carry both the raw ``d_score`` (``ent#ds``, for hydrating
     posting objects) and the folded ``we = 1 + d_score`` (``ent#we``, the
     ready-to-map query column) — ``d_score`` is not exactly recoverable
-    from ``we`` in floating point, so both are stored.
+    from ``we`` in floating point, so both are stored. Entity block
+    maxima bound the raw ``ef·we`` product, the same values a
+    :class:`~repro.index.segments.Segment` computes for itself.
     """
     docs = sorted(term_index.doc_ids())
     doc_of = {doc_id: i for i, doc_id in enumerate(docs)}
     sections: list[tuple[str, str, Any]] = [*pack_strings("docs", docs)]
 
     terms: list[str] = []
+    term_blocks: list[tuple] = []
     toff = array("l", [0])
     tdoc = array("l")
     ttf = array("l")
     for term, postings in term_index.items():
         terms.append(term)
-        for p in postings:
-            tdoc.append(doc_of[p.doc_id])
-            ttf.append(p.term_frequency)
+        rows = [(doc_of[p.doc_id], p.term_frequency) for p in postings]
+        if block_span is not None:
+            rows.sort()
+            term_blocks.append(
+                compute_blocks([d for d, _ in rows], [f for _, f in rows],
+                               block_span)
+            )
+        for d, tf in rows:
+            tdoc.append(d)
+            ttf.append(tf)
         toff.append(len(tdoc))
     sections += pack_strings("terms", terms)
     sections += [("term#off", "q", toff), ("term#doc", "q", tdoc),
                  ("term#tf", "q", ttf)]
 
     entities: list[str] = []
+    entity_blocks: list[tuple] = []
     eoff = array("l", [0])
     edoc = array("l")
     eef = array("l")
@@ -388,15 +439,30 @@ def _slice_sections(
     eds = array("d")
     for uri, postings in entity_index.items():
         entities.append(uri)
-        for p in postings:
-            edoc.append(doc_of[p.doc_id])
-            eef.append(p.entity_frequency)
-            ewe.append(entity_weight(p.d_score))
-            eds.append(p.d_score)
+        rows = [
+            (doc_of[p.doc_id], p.entity_frequency,
+             entity_weight(p.d_score), p.d_score)
+            for p in postings
+        ]
+        if block_span is not None:
+            rows.sort(key=lambda r: r[0])
+            entity_blocks.append(
+                compute_blocks([d for d, _, _, _ in rows],
+                               [f * w for _, f, w, _ in rows], block_span)
+            )
+        for d, ef, we, ds in rows:
+            edoc.append(d)
+            eef.append(ef)
+            ewe.append(we)
+            eds.append(ds)
         eoff.append(len(edoc))
     sections += pack_strings("entities", entities)
     sections += [("ent#off", "q", eoff), ("ent#doc", "q", edoc),
                  ("ent#ef", "q", eef), ("ent#we", "d", ewe), ("ent#ds", "d", eds)]
+    if block_span is not None:
+        sections += [("blk#span", "q", array("l", [block_span]))]
+        sections += _block_sections("term", term_blocks, "q")
+        sections += _block_sections("ent", entity_blocks, "d")
 
     resources = list(evidence)
     cands = sorted({cid for rows in evidence.values() for cid, _ in rows})
@@ -419,11 +485,18 @@ def _slice_sections(
 def _engine_sections(engine: ColumnarQueryEngine) -> list[tuple[str, str, Any]]:
     """The compiled engine's columns as binary sections. Doc and
     candidate id tables are not repeated here — they are identical to
-    ``index.bin``'s ``docs``/``cands`` (both sorted over the same sets)."""
+    ``index.bin``'s ``docs``/``cands`` (both sorted over the same sets).
+
+    ``snapshot_columns`` materializes block metadata for every column
+    (doc-sorting any stragglers first), so the block-max sections are
+    always written and a loaded engine starts pruned queries without
+    recomputing anything.
+    """
     cols = engine.snapshot_columns()
     sections: list[tuple[str, str, Any]] = []
-    for prefix, col_dict in (("term", cols["term_cols"]),
-                             ("ent", cols["entity_cols"])):
+    for prefix, col_key in (("term", "term"), ("ent", "entity")):
+        col_dict = cols[f"{col_key}_cols"]
+        blocks = cols[f"{col_key}_blocks"]
         keys = list(col_dict)
         off = array("l", [0])
         doc = array("l")
@@ -437,6 +510,8 @@ def _engine_sections(engine: ColumnarQueryEngine) -> list[tuple[str, str, Any]]:
         sections += pack_strings(name, keys)
         sections += [(f"{prefix}#off", "q", off), (f"{prefix}#doc", "q", doc),
                      (f"{prefix}#w", "d", weight)]
+        sections += _block_sections(prefix, [blocks[k] for k in keys], "d")
+    sections += [("blk#span", "q", array("l", [engine.block_span]))]
     sections += [("sup#off", "q", cols["sup_offsets"]),
                  ("sup#cand", "q", cols["sup_cand"]),
                  ("sup#w", "d", cols["sup_weight"])]
@@ -481,11 +556,15 @@ def _save_v3(finder: ExpertFinder, directory: pathlib.Path) -> None:
         segmented = finder.segmented_index
         segments = segmented.iter_segments()
         buffer = segmented.write_buffer
+        # sealed segments get doc-sorted columns + block-max sections so
+        # a loaded finder prunes straight off the mmap; the buffer stays
+        # in postings order (it is hydrated into mutable indexes anyway)
         for segment in segments:
             write_sections(
                 gen_dir / _segment_bin(segment.segment_id),
                 _slice_sections(
-                    segment.term_index, segment.entity_index, segment.evidence
+                    segment.term_index, segment.entity_index, segment.evidence,
+                    block_span=segment.block_span,
                 ),
             )
         if buffer.resource_count:
@@ -837,6 +916,40 @@ def _col_dict(keys, off, views) -> dict[str, tuple]:
     return out
 
 
+def _read_blocks(
+    mapped: MappedSections, prefix: str, keys: list[str]
+) -> dict[str, tuple]:
+    """Rebuild the per-column ``(bids, boff, bmax)`` block metadata from
+    the flattened sections written by :func:`_block_sections` — zero-copy
+    views over the mapping. Absence of the sections is handled by the
+    callers (pre-block snapshots recompute lazily); malformed lengths are
+    a format error.
+    """
+    path = mapped.path
+    bid = mapped.array(f"{prefix}#bid")
+    bmax = mapped.array(f"{prefix}#bmax")
+    blkoff = mapped.array(f"{prefix}#blkoff")
+    boff = mapped.array(f"{prefix}#boff")
+    n = len(keys)
+    if len(blkoff) != n + 1 or blkoff[0] != 0 or blkoff[n] != len(bid):
+        raise StorageFormatError(
+            f"{path}: section {prefix}#blkoff does not span its blocks"
+        )
+    if len(bmax) != len(bid) or len(boff) != len(bid) + n:
+        raise StorageFormatError(
+            f"{path}: block sections for {prefix!r} disagree on block count"
+        )
+    out: dict[str, tuple] = {}
+    for i, key in enumerate(keys):
+        start, stop = blkoff[i], blkoff[i + 1]
+        out[key] = (
+            bid[start:stop],
+            boff[start + i : stop + i + 1],
+            bmax[start:stop],
+        )
+    return out
+
+
 def _decode_evidence(
     mapped: MappedSections,
 ) -> dict[str, tuple[tuple[str, int], ...]]:
@@ -906,6 +1019,16 @@ def _load_v3_monolithic(
     sup_off, (sup_cand, sup_weight) = _csr(
         engine_mapped, "sup", len(docs), ("cand", "w")
     )
+    # block-max sections are adopted when present (their columns were
+    # written doc-sorted); pre-block snapshots recompute lazily on first
+    # pruned query — the recompute-on-absent compatibility rule
+    block_kwargs: dict[str, Any] = {}
+    if "blk#span" in engine_mapped.names():
+        block_kwargs = {
+            "block_span": int(engine_mapped.array("blk#span")[0]),
+            "term_blocks": _read_blocks(engine_mapped, "term", terms),
+            "entity_blocks": _read_blocks(engine_mapped, "ent", entities),
+        }
     engine = ColumnarQueryEngine(
         doc_ids=docs,
         cand_ids=cands,
@@ -915,6 +1038,7 @@ def _load_v3_monolithic(
         sup_cand=sup_cand,
         sup_weight=sup_weight,
         normalize=config.normalize,
+        **block_kwargs,
     )
 
     def evidence_hydrate() -> dict[str, list[tuple[str, int]]]:
@@ -966,6 +1090,13 @@ def _load_v3_segment(path: pathlib.Path, segment_id: int, entry: dict[str, Any])
             f"{path}: segment holds {resources} resource(s), "
             f"manifest says {entry['resources']}"
         )
+    block_kwargs: dict[str, Any] = {}
+    if "blk#span" in mapped.names():
+        block_kwargs = {
+            "block_span": int(mapped.array("blk#span")[0]),
+            "term_blocks": _read_blocks(mapped, "term", terms),
+            "entity_blocks": _read_blocks(mapped, "ent", entities),
+        }
     return Segment.from_columns(
         segment_id,
         docs,
@@ -974,6 +1105,7 @@ def _load_v3_segment(path: pathlib.Path, segment_id: int, entry: dict[str, Any])
         _col_dict(entities, eoff, entity_views[:3]),
         evidence,
         _slice_hydrator(mapped, docs),
+        **block_kwargs,
     )
 
 
@@ -1032,6 +1164,8 @@ def _load_v3_segmented(
         buffer,
         seal_threshold=header["seal_threshold"],
         fanout=header.get("fanout", 4),
+        # keep the stored span for segments sealed after this load
+        block_span=segments[0].block_span if segments else None,
     )
     if segmented.document_count != indexed:
         raise StorageFormatError(

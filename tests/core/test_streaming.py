@@ -1,5 +1,7 @@
 """Tests for streaming (incremental) resource ingestion."""
 
+import random
+
 import pytest
 
 from repro.core.config import FinderConfig
@@ -101,14 +103,17 @@ class TestObserve:
 
 
 def _both_engines(finder, need, **kwargs):
-    """The ranking from both engines, asserting they agree exactly."""
+    """The ranking from all three engines, asserting exact agreement."""
     previous = finder.engine
     finder.engine = "object"
     reference = finder.find_experts(need, **kwargs)
     finder.engine = "columnar"
     columnar = finder.find_experts(need, **kwargs)
+    finder.engine = "columnar-pruned"
+    pruned = finder.find_experts(need, **kwargs)
     finder.engine = previous
     assert columnar == reference
+    assert pruned == reference
     return reference
 
 
@@ -290,6 +295,59 @@ class TestSegmentedStreamingEquivalence:
         assert segmented.segmented_index.compact(full=True) == 1
         assert segmented.index_stats.segments == 1
         assert [_both_engines(segmented, need) for need in _NEEDS] == before
+
+
+class TestRandomizedPrunedStream:
+    """Satellite of the block-max pruned mode: a seeded random
+    interleaved observe/query stream over a segmented finder, asserting
+    the pruned ranking equals a monolithic cold rebuild at every step
+    (with absolute windows small enough that pruning actually skips)."""
+
+    _WORDS = (
+        "swimming", "freestyle", "guitar", "rock", "song", "pool",
+        "race", "chords", "practice", "training", "medal", "timing",
+        "open", "water", "band", "report", "session", "splits",
+    )
+
+    def test_random_stream_pruned_matches_cold_rebuild(self, analyzer):
+        rng = random.Random(1307)
+        config = FinderConfig(window=None)
+        segmented = ExpertFinder.build(
+            _stream_graph(), _CANDIDATES, analyzer, config,
+            index_mode="segmented", seal_threshold=3,
+        )
+        events = []
+        for step in range(18):
+            rid = f"r{step}"
+            text = " ".join(rng.choices(self._WORDS, k=rng.randint(4, 9)))
+            # creator links in the rebuilt graph put candidates at
+            # distance 1, so the streamed supporters must say the same
+            supporters = [
+                (pid, 1)
+                for pid in rng.sample(_CANDIDATES, rng.randint(1, 3))
+            ]
+            events.append((rid, text, supporters))
+            segmented.observe(rid, text, supporters)
+            graph = _stream_graph()
+            for erid, etext, esupporters in events:
+                graph.add_resource(Resource(
+                    resource_id=erid, platform=Platform.TWITTER, text=etext
+                ))
+                for pid, _ in esupporters:
+                    graph.link_resource(pid, erid, RelationKind.CREATES)
+            rebuilt = ExpertFinder.build(graph, _CANDIDATES, analyzer, config)
+            need = " ".join(rng.choices(self._WORDS, k=2))
+            window = rng.choice((1, 2, 5, None, 0.5))
+            expected = rebuilt.find_experts(need, window=window)
+            segmented.engine = "columnar-pruned"
+            assert segmented.find_experts(need, window=window) == expected
+            segmented.engine = "object"
+            assert segmented.find_experts(need, window=window) == expected
+        stats = segmented.pruning_stats
+        assert stats.pruned_queries > 0  # absolute windows took the pruned path
+        assert stats.fallback_queries > 0  # None/fractional fell back
+        assert stats.blocks_skipped > 0  # and skipping actually happened
+        assert segmented.index_stats.seals >= 1
 
 
 class TestSegmentedFinderSurface:

@@ -3,9 +3,10 @@
 The contract under test is *byte-identical equivalence*: for any
 collection and any (α, window, top_k), ``ColumnarQueryEngine`` must
 return exactly the ranking of the object path (same scores bit for bit,
-same support counts, same tie-breaks). Equivalence is asserted with
-``==`` on the ``ExpertScore`` lists — dataclass equality compares the
-float scores exactly, not approximately.
+same support counts, same tie-breaks) — in both its exhaustive and its
+block-max pruned evaluation modes. Equivalence is asserted with ``==``
+on the ``ExpertScore`` lists, which compares the float scores exactly,
+not approximately.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ import pytest
 from repro.core.config import FinderConfig
 from repro.core.expert_finder import ExpertFinder
 from repro.index import columnar as columnar_module
+from repro.index.blockmax import PruningStats
 from repro.index.columnar import ColumnarQueryEngine
 from repro.socialgraph.graph import SocialGraph
 from repro.socialgraph.metamodel import Platform, RelationKind, Resource, UserProfile
@@ -32,12 +34,18 @@ _VOCAB = (
 
 
 def both_engines(finder, need, **kwargs):
-    """Rank *need* on both engines, assert exact equality, return it."""
+    """Rank *need* on all three engines, assert exact equality, return
+    it. "columnar-pruned" rides along on every equivalence assertion in
+    this module — absolute windows exercise the block-max path, every
+    other window shape its exhaustive fallback."""
     finder.engine = "object"
     reference = finder.find_experts(need, **kwargs)
     finder.engine = "columnar"
     result = finder.find_experts(need, **kwargs)
     assert result == reference
+    finder.engine = "columnar-pruned"
+    pruned = finder.find_experts(need, **kwargs)
+    assert pruned == reference
     return result
 
 
@@ -171,7 +179,7 @@ class TestEngineBehavior:
 
     def test_validation_parity(self, tiny_finder, tiny_dataset):
         need = tiny_dataset.queries[0].text
-        for engine in ("object", "columnar"):
+        for engine in ("object", "columnar", "columnar-pruned"):
             tiny_finder.engine = engine
             with pytest.raises(ValueError):
                 tiny_finder.find_experts(need, alpha=1.5)
@@ -227,5 +235,121 @@ class TestEngineBehavior:
     def test_engine_selector_validation(self, tiny_finder):
         with pytest.raises(ValueError):
             tiny_finder.engine = "simd"
+        tiny_finder.engine = "columnar-pruned"
+        assert tiny_finder.engine == "columnar-pruned"
         tiny_finder.engine = "columnar"
         assert tiny_finder.engine == "columnar"
+
+
+class TestBlockMaxPruning:
+    """Routing and edge cases of the block-max evaluation mode; the
+    ``pruned == object`` equality itself is asserted by every
+    ``both_engines`` call in this module."""
+
+    def _query(self, tiny_finder, tiny_dataset, index=0):
+        need = tiny_dataset.queries[index].text
+        return tiny_finder._analyzer.analyze("__query__", need, language="en")
+
+    def test_absolute_windows_take_the_pruned_path(
+        self, tiny_finder, tiny_dataset
+    ):
+        engine = tiny_finder.query_engine()
+        query = self._query(tiny_finder, tiny_dataset)
+        stats = PruningStats()
+        for window in (1, 10, 10**9):
+            engine.find_experts(
+                query, alpha=0.6, window=window, pruned=True, stats=stats
+            )
+        assert stats.pruned_queries == 3
+        assert stats.fallback_queries == 0
+        assert stats.blocks_scanned > 0
+
+    def test_fractional_and_none_windows_fall_back(
+        self, tiny_finder, tiny_dataset
+    ):
+        # their width depends on the total match count, which pruning
+        # never learns — they must route to the exhaustive path, and
+        # loudly (counted), not silently
+        engine = tiny_finder.query_engine()
+        query = self._query(tiny_finder, tiny_dataset)
+        stats = PruningStats()
+        for window in (0.25, 1.0, None):
+            engine.find_experts(
+                query, alpha=0.6, window=window, pruned=True, stats=stats
+            )
+        assert stats.pruned_queries == 0
+        assert stats.fallback_queries == 3
+        assert stats.blocks_scanned == stats.blocks_skipped == 0
+
+    def test_alpha_extremes_disable_one_leg(self, tiny_finder, tiny_dataset):
+        # α=1.0 zeroes the entity leg's bounds, α=0.0 the term leg's —
+        # both must still prune exactly (and actually skip something)
+        engine = tiny_finder.query_engine()
+        for alpha in (0.0, 1.0):
+            stats = PruningStats()
+            for need in tiny_dataset.queries[:6]:
+                query = tiny_finder._analyzer.analyze(
+                    "__query__", need.text, language="en"
+                )
+                exhaustive = engine.find_experts(query, alpha=alpha, window=5)
+                pruned = engine.find_experts(
+                    query, alpha=alpha, window=5, pruned=True, stats=stats
+                )
+                assert pruned == exhaustive
+            assert stats.blocks_skipped > 0
+
+    def test_window_wider_than_candidate_doc_set(
+        self, tiny_finder, tiny_dataset
+    ):
+        # the heap never fills, so no block may be skipped — and the
+        # result must still equal the exhaustive ranking exactly
+        engine = tiny_finder.query_engine()
+        query = self._query(tiny_finder, tiny_dataset)
+        stats = PruningStats()
+        wide = engine.document_count + 100
+        expected = engine.find_experts(query, alpha=0.6, window=wide)
+        got = engine.find_experts(
+            query, alpha=0.6, window=wide, pruned=True, stats=stats
+        )
+        assert got == expected
+        assert stats.blocks_skipped == 0
+        assert stats.blocks_scanned > 0
+
+    @pytest.mark.parametrize("span", (1, 8, 4096))
+    def test_block_span_never_changes_rankings(
+        self, tiny_finder, tiny_dataset, span
+    ):
+        engine = ColumnarQueryEngine.compile(
+            tiny_finder.retriever,
+            tiny_finder.evidence_of,
+            tiny_finder.config,
+            block_span=span,
+        )
+        assert engine.block_span == span
+        default = tiny_finder.query_engine()
+        for need in tiny_dataset.queries[:6]:
+            query = tiny_finder._analyzer.analyze(
+                "__query__", need.text, language="en"
+            )
+            assert engine.find_experts(
+                query, alpha=0.6, window=10, pruned=True
+            ) == default.find_experts(query, alpha=0.6, window=10)
+
+    def test_block_span_validation(self, tiny_finder):
+        with pytest.raises(ValueError, match="block_span"):
+            ColumnarQueryEngine.compile(
+                tiny_finder.retriever,
+                tiny_finder.evidence_of,
+                tiny_finder.config,
+                block_span=0,
+            )
+
+    def test_finder_pruning_stats_accumulate(self, tiny_finder, tiny_dataset):
+        tiny_finder.engine = "columnar-pruned"
+        before = tiny_finder.pruning_stats.pruned_queries
+        tiny_finder.find_experts(tiny_dataset.queries[0].text, window=5)
+        tiny_finder.find_experts(tiny_dataset.queries[0].text, window=0.5)
+        stats = tiny_finder.pruning_stats
+        assert stats.pruned_queries == before + 1
+        assert stats.fallback_queries >= 1
+        tiny_finder.engine = "columnar"

@@ -659,3 +659,154 @@ class TestV3Lifecycle:
         for seg in segments:
             assert seg.term_index.document_count == seg.document_count
         assert all(seg._term_index is not None for seg in segments)
+
+# -- block-max pruning metadata -----------------------------------------------
+
+from repro.storage.binary import MappedSections, write_sections  # noqa: E402
+
+#: section names that carry block-max metadata (per-prefix quadruple
+#: plus the shared span) — what _strip_block_sections removes to
+#: simulate a snapshot written before pruning existed
+_BLOCK_SUFFIXES = ("bid", "bmax", "blkoff", "boff")
+
+
+def _is_block_section(name):
+    return name == "blk#span" or name.rpartition("#")[2] in _BLOCK_SUFFIXES
+
+
+def _strip_block_sections(path):
+    """Rewrite the section container at *path* without block metadata,
+    byte-preserving every other section."""
+    mapped = MappedSections.open(path)
+    kept = []
+    for name in mapped.names():
+        if _is_block_section(name):
+            continue
+        dtype, offset, length = mapped._toc[name]
+        kept.append((name, dtype, bytes(mapped._view[offset:offset + length])))
+    del mapped  # release the exported memoryviews before rewriting
+    write_sections(path, kept)
+
+
+class TestBlockMaxPersistence:
+    """v3 snapshots persist the pruning block metadata; older v3 files
+    without it must still load and serve pruned queries (the loader
+    recomputes blocks on first use)."""
+
+    def test_engine_and_segments_carry_block_sections(
+        self, snapshot_dir, segmented_snapshot_dir
+    ):
+        engine_bin = _generation_dir(snapshot_dir) / "engine.bin"
+        names = MappedSections.open(engine_bin).names()
+        assert "blk#span" in names
+        for prefix in ("term", "ent"):
+            for suffix in _BLOCK_SUFFIXES:
+                assert f"{prefix}#{suffix}" in names
+        seg_gen = _generation_dir(segmented_snapshot_dir)
+        for seg_file in sorted(seg_gen.glob("segment-*.bin")):
+            assert "blk#span" in MappedSections.open(seg_file).names()
+        # the write buffer preserves postings order and is hydrated on
+        # load, so it must NOT carry block sections
+        buffer_names = MappedSections.open(seg_gen / "buffer.bin").names()
+        assert not any(_is_block_section(n) for n in buffer_names)
+
+    def test_loaded_engine_adopts_stored_blocks(
+        self, built_finder, loaded_finder, tiny_dataset
+    ):
+        engine = loaded_finder.query_engine()
+        # adopted from the snapshot, not recomputed on first pruned use
+        assert engine._term_blocks
+        loaded_finder.engine = "columnar-pruned"
+        try:
+            for need in tiny_dataset.queries:
+                assert loaded_finder.find_experts(need, window=2) == (
+                    built_finder.find_experts(need, window=2)
+                )
+        finally:
+            loaded_finder.engine = "columnar"
+        assert loaded_finder.pruning_stats.pruned_queries >= len(
+            tiny_dataset.queries
+        )
+
+    def test_block_span_round_trips(self, tiny_dataset, tmp_path):
+        finder = ExpertFinder.build(
+            tiny_dataset.merged_graph,
+            tiny_dataset.candidates_for(None),
+            tiny_dataset.analyzer,
+            FinderConfig(),
+            corpus=tiny_dataset.corpus,
+            block_span=48,
+        )
+        assert finder.query_engine().block_span == 48
+        directory = tmp_path / "span48"
+        finder.save(directory)
+        loaded = ExpertFinder.load(directory, tiny_dataset.analyzer)
+        assert loaded.query_engine().block_span == 48
+
+    def test_pre_block_monolithic_snapshot_serves_pruned(
+        self, built_finder, tiny_dataset, tmp_path
+    ):
+        directory = tmp_path / "preblock"
+        built_finder.save(directory)
+        _strip_block_sections(_generation_dir(directory) / "engine.bin")
+        loaded = ExpertFinder.load(directory, tiny_dataset.analyzer)
+        engine = loaded.query_engine()
+        assert not engine._term_blocks  # nothing adopted...
+        loaded.engine = "columnar-pruned"
+        for need in tiny_dataset.queries:
+            assert loaded.find_experts(need, window=2) == (
+                built_finder.find_experts(need, window=2)
+            )
+        assert loaded.pruning_stats.pruned_queries == len(tiny_dataset.queries)
+        assert engine._term_blocks  # ...recomputed on first pruned use
+
+    def test_pre_block_segmented_snapshot_serves_pruned(
+        self, segmented_finder, analyzer, tmp_path
+    ):
+        directory = tmp_path / "preblock-seg"
+        segmented_finder.save(directory)
+        gen = _generation_dir(directory)
+        for seg_file in sorted(gen.glob("segment-*.bin")):
+            _strip_block_sections(seg_file)
+        loaded = ExpertFinder.load(directory, analyzer)
+        loaded.engine = "columnar-pruned"
+        for need in _SEG_NEEDS:
+            assert loaded.find_experts(need, window=2) == (
+                segmented_finder.find_experts(need, window=2)
+            )
+        assert loaded.pruning_stats.pruned_queries == len(_SEG_NEEDS)
+
+    def test_pruned_queries_leave_segments_unhydrated(
+        self, segmented_finder, analyzer, tmp_path
+    ):
+        directory = tmp_path / "lazy-pruned"
+        segmented_finder.save(directory)
+        loaded = ExpertFinder.load(directory, analyzer)
+        loaded.engine = "columnar-pruned"
+        segments = loaded.segmented_index._segments
+        assert all(seg._term_index is None for seg in segments)
+        for need in _SEG_NEEDS:
+            assert loaded.find_experts(need, window=2) == (
+                segmented_finder.find_experts(need, window=2)
+            )
+        # pruned scoring reads the mapped columns and block maxima only
+        assert all(seg._term_index is None for seg in segments)
+
+    def test_rejects_malformed_block_sections(
+        self, built_finder, tiny_dataset, tmp_path
+    ):
+        directory = tmp_path / "badblocks"
+        built_finder.save(directory)
+        engine_bin = _generation_dir(directory) / "engine.bin"
+        mapped = MappedSections.open(engine_bin)
+        sections = []
+        for name in mapped.names():
+            dtype, offset, length = mapped._toc[name]
+            data = bytes(mapped._view[offset:offset + length])
+            if name == "term#bmax":
+                data = data[:-8]  # drop one block maximum
+            sections.append((name, dtype, data))
+        del mapped
+        write_sections(engine_bin, sections)
+        with pytest.raises(StorageFormatError, match="block sections"):
+            load_finder(directory, tiny_dataset.analyzer)
