@@ -137,6 +137,8 @@ def _build_finder(
         build_kwargs["chunk_size"] = args.chunk_size
     if getattr(args, "index_mode", "monolithic") != "monolithic":
         build_kwargs["index_mode"] = args.index_mode
+    if getattr(args, "shards", None):
+        build_kwargs["shards"] = args.shards
     if getattr(args, "seal_threshold", None):
         build_kwargs["seal_threshold"] = args.seal_threshold
     if getattr(args, "block_span", None):
@@ -190,6 +192,14 @@ def _cmd_index(args: argparse.Namespace) -> int:
             f"{seg_stats.buffered} buffered, "
             f"{seg_stats.seals} seals, {seg_stats.compactions} compactions"
         )
+    sharded = finder.sharded_index
+    if sharded is not None:
+        shard_stats = sharded.stats
+        print(
+            f"shards: {shard_stats.shards} "
+            f"(docs per shard: {list(shard_stats.shard_docs)}), "
+            f"{shard_stats.documents} unique indexed documents"
+        )
     stats = finder.build_stats
     if stats is not None:
         print(f"build stages: {stats.render()}")
@@ -210,12 +220,17 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     finder.engine = args.engine
     if args.engine != "object" and finder.index_mode == "monolithic":
         finder.query_engine()  # compile before timing starts
+    if finder.index_mode == "sharded" and args.engine != "object":
+        finder.start_scatter_pool()  # fork workers before timing starts
     ready = time.time()
     service = ExpertSearchService(finder, cache_size=args.cache_size)
     queries = list(dataset.queries)
     started = time.time()
-    for _ in range(args.rounds):
-        service.find_experts_batch(queries, top_k=args.top_k)
+    try:
+        for _ in range(args.rounds):
+            service.find_experts_batch(queries, top_k=args.top_k)
+    finally:
+        finder.close_scatter_pool()
     elapsed = time.time() - started
     stats = service.stats
     qps = stats.queries / elapsed if elapsed > 0 else float("inf")
@@ -237,6 +252,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             f"{stats.compactions} compactions, "
             f"cache survivals {stats.cache_survivals} vs "
             f"clears {stats.invalidations}"
+        )
+    if finder.index_mode == "sharded":
+        sharded = finder.sharded_index
+        print(
+            f"shards: {sharded.shard_count}, "
+            f"batch parallelism {stats.batch_parallelism:.1f}"
         )
     if args.engine == "columnar-pruned":
         print(
@@ -366,6 +387,14 @@ def build_parser() -> argparse.ArgumentParser:
         "+ write buffer (rankings are identical)",
     )
     p_index.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition candidates into K scatter-gather shards "
+        "(rankings identical to the single-index build; queries can "
+        "then fan out across a worker pool)",
+    )
+    p_index.add_argument(
         "--seal-threshold",
         type=int,
         default=None,
@@ -419,6 +448,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="monolithic",
         help="index layout when building (ignored with --snapshot, which "
         "carries its own mode)",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="build a candidate-sharded finder and serve batches through "
+        "the scatter-gather worker pool (ignored with --snapshot, which "
+        "carries its own shard count)",
     )
     p_serve.add_argument(
         "--seal-threshold",

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:
     from repro.index.columnar import ColumnarQueryEngine
     from repro.index.segments import SegmentedIndex, SegmentStats
+    from repro.index.sharded import ShardedIndex, ShardedQueryExecutor
 
 from repro.core.build_stats import BuildStats
 from repro.core.config import FinderConfig
@@ -31,6 +32,8 @@ from repro.core.need import ExpertiseNeed
 from repro.core.ranking import ExpertRanker, ExpertScore
 from repro.index.blockmax import PruningStats
 from repro.index.analyzer import AnalyzedResource, ResourceAnalyzer
+from repro.index.entity_index import EntityIndex
+from repro.index.inverted import InvertedIndex
 from repro.index.parallel import DEFAULT_CHUNK_SIZE, AnalysisTask, analyze_tasks, build_indexes
 from repro.index.statistics import CollectionStatistics
 from repro.index.vsm import ResourceMatch, VectorSpaceRetriever
@@ -60,6 +63,23 @@ _ENGINES = ("columnar", "columnar-pruned", "object")
 _INDEX_MODES = ("monolithic", "segmented")
 
 
+def _check_layout(index_mode: str, shards: int | None) -> None:
+    """Validate the (index_mode, shards) layout selection of a build."""
+    if index_mode not in _INDEX_MODES:
+        raise ValueError(
+            f"index_mode must be one of {_INDEX_MODES}, got {index_mode!r} "
+            "(candidate sharding is selected with shards=K, not index_mode)"
+        )
+    if shards is not None:
+        if isinstance(shards, bool) or not isinstance(shards, int) or shards < 1:
+            raise ValueError(f"shards must be a positive int, got {shards!r}")
+        if index_mode != "monolithic":
+            raise ValueError(
+                "shards=K builds its own per-shard segmented indexes and "
+                f"cannot combine with index_mode={index_mode!r}"
+            )
+
+
 class ExpertFinder:
     """Find experts for expertise needs within a candidate population."""
 
@@ -74,6 +94,7 @@ class ExpertFinder:
         indexed_count: int,
         engine: str = "columnar",
         segmented: "SegmentedIndex | None" = None,
+        sharded: "ShardedIndex | None" = None,
         retriever_factory: Callable[[], VectorSpaceRetriever] | None = None,
         block_span: int | None = None,
     ):
@@ -82,17 +103,19 @@ class ExpertFinder:
         if block_span is not None and block_span <= 0:
             raise ValueError(f"block_span must be positive, got {block_span}")
         sources = sum(
-            source is not None for source in (retriever, segmented, retriever_factory)
+            source is not None
+            for source in (retriever, segmented, sharded, retriever_factory)
         )
         if sources != 1:
             raise ValueError(
-                "exactly one of retriever (monolithic), segmented, or "
-                "retriever_factory (lazy monolithic) must be given"
+                "exactly one of retriever (monolithic), segmented, sharded, "
+                "or retriever_factory (lazy monolithic) must be given"
             )
         self._analyzer = analyzer
         self._retriever = retriever
         self._retriever_factory = retriever_factory
         self._segmented = segmented
+        self._sharded = sharded
         self._evidence_of = evidence_of
         self._ranker = ExpertRanker(evidence_of, config)
         self._config = config
@@ -127,6 +150,7 @@ class ExpertFinder:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         analyzer_factory: Callable[[], ResourceAnalyzer] | None = None,
         index_mode: str = "monolithic",
+        shards: int | None = None,
         seal_threshold: int | None = None,
         compaction: str = "synchronous",
         block_span: int | None = None,
@@ -163,12 +187,17 @@ class ExpertFinder:
         for the engines this finder compiles (None = the default in
         :mod:`repro.index.blockmax`); it never changes rankings, only
         how coarsely the "columnar-pruned" engine can skip.
+
+        *shards* partitions the candidates (and their evidence) into K
+        :class:`~repro.index.sharded.ShardIndex` groups behind a
+        scatter-gather coordinator — rankings stay byte-identical while
+        queries can fan out across a worker pool (see
+        :meth:`start_scatter_pool`). Sharding builds its own per-shard
+        segmented indexes, so it composes with streaming observes but
+        not with ``index_mode="segmented"``.
         """
         config = config or FinderConfig()
-        if index_mode not in _INDEX_MODES:
-            raise ValueError(
-                f"index_mode must be one of {_INDEX_MODES}, got {index_mode!r}"
-            )
+        _check_layout(index_mode, shards)
         if not candidates:
             raise ValueError("candidates must be non-empty")
         if isinstance(candidates, Mapping):
@@ -225,6 +254,201 @@ class ExpertFinder:
         )
         index_s = time.perf_counter() - t0
 
+        finder = cls._assemble(
+            analyzer,
+            term_index,
+            entity_index,
+            evidence_of,
+            evidence_counts,
+            len(documents),
+            config,
+            index_mode=index_mode,
+            shards=shards,
+            seal_threshold=seal_threshold,
+            compaction=compaction,
+            block_span=block_span,
+        )
+        finder._build_stats = BuildStats(
+            workers=workers,
+            nodes=len(unique_nodes),
+            analyzed=len(tasks),
+            indexed=len(documents),
+            gather_s=gather_s,
+            analyze_s=analyze_s,
+            index_s=index_s,
+        )
+        return finder
+
+    @classmethod
+    def from_stream(
+        cls,
+        candidates: Sequence[str],
+        events,
+        analyzer: ResourceAnalyzer,
+        config: FinderConfig | None = None,
+        *,
+        workers: int = 1,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        analyzer_factory: Callable[[], ResourceAnalyzer] | None = None,
+        index_mode: str = "monolithic",
+        shards: int | None = None,
+        seal_threshold: int | None = None,
+        compaction: str = "synchronous",
+        block_span: int | None = None,
+    ) -> "ExpertFinder":
+        """Build a finder from an *event stream*, never materializing a
+        graph: *events* yields ``(node_id, text, supporters)`` or
+        ``(node_id, text, supporters, language)`` tuples in stream
+        order, where *supporters* lists ``(candidate_id, distance)``
+        evidence rows exactly as :meth:`observe` takes them.
+
+        Events are analyzed in chunks of ``chunk_size * workers`` (the
+        parallel-analysis pool absorbs each chunk, so peak memory is the
+        chunk plus the growing indexes, not the stream), making this the
+        entry point for the ``xl`` scale's generator
+        (:mod:`repro.synthetic.stream`). The result is identical to
+        building from an equivalent materialized graph, and all layout
+        options — *index_mode*, *shards* — apply unchanged.
+        """
+        config = config or FinderConfig()
+        _check_layout(index_mode, shards)
+        if not candidates:
+            raise ValueError("candidates must be non-empty")
+        evidence_counts: dict[str, int] = {cid: 0 for cid in candidates}
+        if len(evidence_counts) != len(candidates):
+            raise ValueError("duplicate candidate ids")
+        evidence_of: dict[str, list[tuple[str, int]]] = {}
+        term_index = InvertedIndex()
+        entity_index = EntityIndex()
+        indexed_count = 0
+        seen: set[str] = set()
+        batch: list[AnalysisTask] = []
+        batch_rows: list[tuple[tuple[str, int], ...]] = []
+        flush_at = max(chunk_size, chunk_size * workers)
+        t0 = time.perf_counter()
+        analyze_s = 0.0
+
+        def flush() -> None:
+            nonlocal indexed_count, analyze_s
+            ta = time.perf_counter()
+            analyzed_batch = analyze_tasks(
+                analyzer,
+                batch,
+                workers=workers,
+                chunk_size=chunk_size,
+                analyzer_factory=analyzer_factory,
+            )
+            analyze_s += time.perf_counter() - ta
+            for analyzed, rows in zip(analyzed_batch, batch_rows):
+                evidence_of[analyzed.doc_id] = list(rows)
+                for candidate_id, _distance in rows:
+                    evidence_counts[candidate_id] += 1
+                if analyzed.language in _INDEXABLE_LANGUAGES:
+                    term_index.add_document(analyzed.doc_id, analyzed.term_counts)
+                    entity_index.add_document(
+                        analyzed.doc_id, analyzed.entity_counts
+                    )
+                    indexed_count += 1
+            del batch[:]
+            del batch_rows[:]
+
+        for event in events:
+            node_id, text, supporters, *rest = event
+            language = rest[0] if rest else None
+            rows = tuple((cid, distance) for cid, distance in supporters)
+            if not rows:
+                raise ValueError(
+                    f"resource {node_id!r} must support at least one candidate"
+                )
+            for candidate_id, distance in rows:
+                if candidate_id not in evidence_counts:
+                    raise KeyError(f"unknown candidate {candidate_id!r}")
+                if not 0 <= distance <= config.max_distance:
+                    raise ValueError(
+                        f"distance {distance} outside 0..{config.max_distance}"
+                    )
+            if node_id in seen:
+                raise ValueError(f"resource {node_id!r} already streamed")
+            seen.add(node_id)
+            batch.append((node_id, text, language))
+            batch_rows.append(rows)
+            if len(batch) >= flush_at:
+                flush()
+        flush()
+        stream_s = time.perf_counter() - t0
+
+        finder = cls._assemble(
+            analyzer,
+            term_index,
+            entity_index,
+            evidence_of,
+            evidence_counts,
+            indexed_count,
+            config,
+            index_mode=index_mode,
+            shards=shards,
+            seal_threshold=seal_threshold,
+            compaction=compaction,
+            block_span=block_span,
+        )
+        finder._build_stats = BuildStats(
+            workers=workers,
+            nodes=len(seen),
+            analyzed=len(seen),
+            indexed=indexed_count,
+            gather_s=0.0,
+            analyze_s=analyze_s,
+            index_s=stream_s - analyze_s,
+        )
+        return finder
+
+    @classmethod
+    def _assemble(
+        cls,
+        analyzer: ResourceAnalyzer,
+        term_index,
+        entity_index,
+        evidence_of: dict[str, list[tuple[str, int]]],
+        evidence_counts: dict[str, int],
+        indexed_count: int,
+        config: FinderConfig,
+        *,
+        index_mode: str,
+        shards: int | None,
+        seal_threshold: int | None,
+        compaction: str,
+        block_span: int | None,
+    ) -> "ExpertFinder":
+        """Wrap built indexes in the selected layout (the shared tail of
+        :meth:`build` and :meth:`from_stream`)."""
+        if shards is not None:
+            from repro.index.segments import DEFAULT_SEAL_THRESHOLD
+            from repro.index.sharded import ShardedIndex
+
+            sharded = ShardedIndex.from_built(
+                term_index,
+                entity_index,
+                evidence_of,
+                evidence_counts,
+                config,
+                shards=shards,
+                seal_threshold=(
+                    DEFAULT_SEAL_THRESHOLD
+                    if seal_threshold is None
+                    else seal_threshold
+                ),
+                compaction=compaction,
+                block_span=block_span,
+            )
+            return cls(
+                analyzer,
+                None,
+                evidence_of,
+                config,
+                evidence_counts=evidence_counts,
+                indexed_count=indexed_count,
+                sharded=sharded,
+            )
         if index_mode == "segmented":
             from repro.index.segments import DEFAULT_SEAL_THRESHOLD, SegmentedIndex
 
@@ -241,51 +465,30 @@ class ExpertFinder:
                 compaction=compaction,
                 block_span=block_span,
             )
-            finder = cls(
+            return cls(
                 analyzer,
                 None,
                 evidence_of,
                 config,
                 evidence_counts=evidence_counts,
-                indexed_count=len(documents),
+                indexed_count=indexed_count,
                 segmented=segmented,
             )
-            finder._build_stats = BuildStats(
-                workers=workers,
-                nodes=len(unique_nodes),
-                analyzed=len(tasks),
-                indexed=len(documents),
-                gather_s=gather_s,
-                analyze_s=analyze_s,
-                index_s=index_s,
-            )
-            return finder
-
         retriever = VectorSpaceRetriever(
             term_index,
             entity_index,
             CollectionStatistics(term_index, entity_index),
             idf_exponent=config.idf_exponent,
         )
-        finder = cls(
+        return cls(
             analyzer,
             retriever,
             evidence_of,
             config,
             evidence_counts=evidence_counts,
-            indexed_count=len(documents),
+            indexed_count=indexed_count,
             block_span=block_span,
         )
-        finder._build_stats = BuildStats(
-            workers=workers,
-            nodes=len(unique_nodes),
-            analyzed=len(tasks),
-            indexed=len(documents),
-            gather_s=gather_s,
-            analyze_s=analyze_s,
-            index_s=index_s,
-        )
-        return finder
 
     # -- persistence ---------------------------------------------------------------
 
@@ -325,13 +528,19 @@ class ExpertFinder:
         """The underlying retriever (read-only use: snapshots, stats).
 
         Only monolithic finders have one — a segmented finder's
-        collection lives in its :attr:`segmented_index`. A v3-snapshot
-        finder serves queries from the mapped columnar engine and builds
-        the posting-object retriever here on first demand."""
+        collection lives in its :attr:`segmented_index`, a sharded one's
+        in its :attr:`sharded_index`. A v3-snapshot finder serves
+        queries from the mapped columnar engine and builds the
+        posting-object retriever here on first demand."""
         if self._segmented is not None:
             raise RuntimeError(
                 "a segmented finder has no monolithic retriever; "
                 "use segmented_index"
+            )
+        if self._sharded is not None:
+            raise RuntimeError(
+                "a sharded finder has no monolithic retriever; "
+                "use sharded_index"
             )
         return self._ensure_retriever()
 
@@ -340,8 +549,7 @@ class ExpertFinder:
             factory = self._retriever_factory
             if factory is None:
                 raise RuntimeError(
-                    "a segmented finder has no monolithic retriever; "
-                    "use segmented_index"
+                    f"a {self.index_mode} finder has no monolithic retriever"
                 )
             self._retriever_factory = None
             self._retriever = factory()
@@ -349,13 +557,22 @@ class ExpertFinder:
 
     @property
     def index_mode(self) -> str:
-        """The index layout: "monolithic" or "segmented"."""
-        return "monolithic" if self._segmented is None else "segmented"
+        """The index layout: "monolithic", "segmented", or "sharded"."""
+        if self._segmented is not None:
+            return "segmented"
+        if self._sharded is not None:
+            return "sharded"
+        return "monolithic"
 
     @property
     def segmented_index(self) -> "SegmentedIndex | None":
-        """The segmented index (None for monolithic finders)."""
+        """The segmented index (None for other layouts)."""
         return self._segmented
+
+    @property
+    def sharded_index(self) -> "ShardedIndex | None":
+        """The sharded scatter-gather index (None for other layouts)."""
+        return self._sharded
 
     @property
     def index_stats(self) -> "SegmentStats | None":
@@ -422,11 +639,17 @@ class ExpertFinder:
         so the next query pays one recompile.
 
         Monolithic finders only — a segmented finder never compiles a
-        whole-collection engine (that is the point of the segments)."""
+        whole-collection engine (that is the point of the segments), and
+        a sharded finder's collection is split across its shards."""
         if self._segmented is not None:
             raise RuntimeError(
                 "a segmented finder has no whole-collection engine; "
                 "queries evaluate across its segments"
+            )
+        if self._sharded is not None:
+            raise RuntimeError(
+                "a sharded finder has no whole-collection engine; "
+                "queries scatter across its shards"
             )
         if self._engine is None:
             from repro.index.columnar import ColumnarQueryEngine
@@ -481,6 +704,10 @@ class ExpertFinder:
         indexed = analyzed.language in _INDEXABLE_LANGUAGES
         if self._segmented is not None:
             self._segmented.add(analyzed, supporters, index=indexed)
+        elif self._sharded is not None:
+            # routes restricted rows to the owning shards' write buffers
+            # and broadcasts to pool workers, keeping them in lockstep
+            self._sharded.add(analyzed, supporters, index=indexed)
         elif indexed:
             # the compiled engine snapshots the collection and the
             # evidence relation — drop it so the next query recompiles
@@ -517,6 +744,10 @@ class ExpertFinder:
             if limit is None:
                 return self._segmented.retrieve(query, effective_alpha)
             return self._segmented.retrieve_top_k(query, effective_alpha, limit)
+        if self._sharded is not None:
+            if limit is None:
+                return self._sharded.retrieve(query, effective_alpha)
+            return self._sharded.retrieve_top_k(query, effective_alpha, limit)
         retriever = self._ensure_retriever()
         if limit is None:
             return retriever.retrieve(query, effective_alpha)
@@ -594,6 +825,15 @@ class ExpertFinder:
                     pruned=pruned,
                     stats=self._pruning_stats,
                 )
+            if self._sharded is not None:
+                return self._sharded.find_experts(
+                    query,
+                    alpha=effective_alpha,
+                    window=effective_window,
+                    top_k=top_k,
+                    pruned=pruned,
+                    stats=self._pruning_stats,
+                )
             return self.query_engine().find_experts(
                 query,
                 alpha=effective_alpha,
@@ -611,3 +851,60 @@ class ExpertFinder:
         matches = self.match_resources(need, alpha=alpha, limit=limit)
         ranked = self.rank_matches(matches, window=window)
         return ranked if top_k is None else ranked[:top_k]
+
+    def find_experts_many(
+        self,
+        needs: Sequence[ExpertiseNeed | str],
+        *,
+        top_k: int | None = None,
+        alpha: float | None = None,
+        window: int | float | None | EllipsisType = _UNSET,
+    ) -> list[list[ExpertScore]]:
+        """Batch counterpart of :meth:`find_experts` — identical results
+        to a serial loop. On a sharded finder with an active scatter
+        pool (and a non-object engine) the batch is pipelined through
+        the pool, overlapping this process's analyze/merge with the
+        workers' shard scoring; everywhere else it loops."""
+        sharded = self._sharded
+        if (
+            sharded is None
+            or sharded.executor is None
+            or self._engine_kind == "object"
+        ):
+            return [
+                self.find_experts(need, top_k=top_k, alpha=alpha, window=window)
+                for need in needs
+            ]
+        effective_alpha = self._config.alpha if alpha is None else alpha
+        effective_window = self._config.window if window is _UNSET else window
+        queries = [
+            self._analyzer.analyze(
+                "__query__",
+                need.text if isinstance(need, ExpertiseNeed) else need,
+                language="en",
+            )
+            for need in needs
+        ]
+        return sharded.find_experts_many(
+            queries,
+            alpha=effective_alpha,
+            window=effective_window,
+            top_k=top_k,
+            pruned=self._engine_kind == "columnar-pruned",
+            stats=self._pruning_stats,
+        )
+
+    # -- the scatter pool ---------------------------------------------------------
+
+    def start_scatter_pool(self) -> "ShardedQueryExecutor":
+        """Fork the persistent per-shard worker pool (sharded finders
+        only; idempotent). Queries then scatter to the workers instead
+        of evaluating shards serially in this process."""
+        if self._sharded is None:
+            raise RuntimeError("only a sharded finder has a scatter pool")
+        return self._sharded.start_executor()
+
+    def close_scatter_pool(self) -> None:
+        """Stop the scatter pool if one is running (idempotent)."""
+        if self._sharded is not None:
+            self._sharded.stop_executor()

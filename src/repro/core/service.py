@@ -77,6 +77,10 @@ class ServiceStats:
     fallback_queries: int = 0
     blocks_scanned: int = 0
     blocks_skipped: int = 0
+    #: mean in-flight pipeline depth of scatter-pool batch dispatches
+    #: (0.0 until a batch actually routes through the pool; > 1 means
+    #: batched queries overlapped inside the workers)
+    batch_parallelism: float = 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -128,6 +132,8 @@ class ExpertSearchService:
         self._observed = 0
         self._invalidations = 0
         self._cache_survivals = 0
+        self._batch_depth_sum = 0.0
+        self._batch_dispatches = 0
 
     @property
     def finder(self) -> ExpertFinder:
@@ -204,11 +210,73 @@ class ExpertSearchService:
         """Answer several needs under one parameter setting, in order.
 
         Duplicate needs within the batch hit the cache like repeated
-        single queries would."""
-        return [
-            self.find_experts(need, top_k=top_k, alpha=alpha, window=window)
+        single queries would. On a sharded finder with an active scatter
+        pool (and a non-object engine) the cache misses are dispatched
+        through the pool in one pipelined pass
+        (:meth:`ExpertFinder.find_experts_many`) instead of serially —
+        results are identical, and the achieved overlap shows up as
+        :attr:`ServiceStats.batch_parallelism`."""
+        finder = self._finder
+        sharded = finder.sharded_index
+        if (
+            len(needs) < 2
+            or sharded is None
+            or sharded.executor is None
+            or finder.engine == "object"
+        ):
+            return [
+                self.find_experts(need, top_k=top_k, alpha=alpha, window=window)
+                for need in needs
+            ]
+        started = self._clock()
+        keys = [
+            self._cache_key(
+                need.text if isinstance(need, ExpertiseNeed) else need,
+                alpha,
+                window,
+                top_k,
+            )
             for need in needs
         ]
+        results: list[list[ExpertScore] | None] = [None] * len(needs)
+        miss_of: dict[tuple, int] = {}
+        miss_needs: list[ExpertiseNeed | str] = []
+        for i, (need, key) in enumerate(zip(needs, keys)):
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                results[i] = list(cached)
+            elif key not in miss_of:
+                miss_of[key] = len(miss_needs)
+                miss_needs.append(need)
+                self._misses += 1
+            elif self._cache_size:
+                # in the serial loop the first occurrence would have
+                # populated the cache before this one was looked up
+                self._hits += 1
+            else:
+                self._misses += 1
+        if miss_needs:
+            computed = finder.find_experts_many(
+                miss_needs, top_k=top_k, alpha=alpha, window=window
+            )
+            if len(miss_needs) > 1:
+                self._batch_depth_sum += sharded.executor.last_batch_depth
+                self._batch_dispatches += 1
+            if self._cache_size:
+                for key, j in miss_of.items():
+                    self._cache[key] = tuple(computed[j])
+                while len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+            for i, key in enumerate(keys):
+                if results[i] is None:
+                    results[i] = list(computed[miss_of[key]])
+        self._queries += len(needs)
+        per_query = (self._clock() - started) / len(needs)
+        for _ in needs:
+            self._record_latency(per_query)
+        return results
 
     # -- streaming updates --------------------------------------------------------
 
@@ -276,6 +344,11 @@ class ExpertSearchService:
             fallback_queries=pruning.fallback_queries,
             blocks_scanned=pruning.blocks_scanned,
             blocks_skipped=pruning.blocks_skipped,
+            batch_parallelism=(
+                self._batch_depth_sum / self._batch_dispatches
+                if self._batch_dispatches
+                else 0.0
+            ),
         )
 
     def _record_latency(self, elapsed: float) -> None:

@@ -72,6 +72,10 @@ DEFAULT_FANOUT = 4
 
 _COMPACTION_MODES = ("synchronous", "background", "manual")
 
+#: agenda blocks between shared-floor lock round-trips (see
+#: :meth:`SegmentedIndex._scored_entries_pruned`)
+_FLOOR_STRIDE = 32
+
 #: evidence rows: ``((candidate_id, distance), ...)`` in stream order
 _Rows = tuple[tuple[str, int], ...]
 
@@ -993,12 +997,26 @@ class SegmentedIndex:
         top_k: int | None,
     ) -> list[ExpertScore]:
         terms, entities = self._query_weights(query, alpha)
-        one_minus_alpha = 1.0 - alpha
+        entries = self._scored_entries(segments, terms, entities, alpha)
+        entries.sort()
+        width = window_size(window, len(entries))
+        if width < len(entries):
+            del entries[width:]
+        return self._fold_entries(entries, top_k)
 
-        # Eq. 1 per source; each doc lives in exactly one source, so the
-        # global (-score, doc_id) sort reproduces the monolithic window
-        # cut — entries carry their source's evidence rows for Eq. 3
-        # (never compared: doc ids are unique, so the sort stops earlier)
+    def _scored_entries(
+        self,
+        segments: Sequence[Segment],
+        terms: Sequence[tuple[str, float]],
+        entities: Sequence[tuple[str, float]],
+        alpha: float,
+    ) -> list[tuple[float, str, _Rows]]:
+        """Every positive Eq.-1 match as ``(-score, doc_id, rows)``,
+        unsorted. Each doc lives in exactly one source, so a global
+        ``(-score, doc_id)`` sort of the result reproduces the monolithic
+        window cut — entries carry their source's evidence rows for Eq. 3
+        (never compared: doc ids are unique, so the sort stops earlier)."""
+        one_minus_alpha = 1.0 - alpha
         entries: list[tuple[float, str, _Rows]] = []
         entry = entries.append
         scored: list[tuple[str, float, float]] = []
@@ -1010,11 +1028,7 @@ class SegmentedIndex:
                 score = alpha * term_score + one_minus_alpha * entity_score
                 if score > 0.0:
                     entry((-score, doc_id, evidence.get(doc_id, ())))
-        entries.sort()
-        width = window_size(window, len(entries))
-        if width < len(entries):
-            del entries[width:]
-        return self._fold_entries(entries, top_k)
+        return entries
 
     def _find_experts_pruned(
         self,
@@ -1039,6 +1053,42 @@ class SegmentedIndex:
         as the exhaustive path does — rankings stay byte-identical.
         """
         terms, entities = self._query_weights(query, alpha)
+        entries = self._scored_entries_pruned(
+            segments, terms, entities, alpha, window, stats
+        )
+
+        # entries hold every processed positive match; once any block
+        # was skipped the heap is full, so min(window, len(entries)) is
+        # exactly the exhaustive path's window_size
+        entries.sort()
+        width = window_size(window, len(entries))
+        if width < len(entries):
+            del entries[width:]
+        return self._fold_entries(entries, top_k)
+
+    def _scored_entries_pruned(
+        self,
+        segments: Sequence[Segment],
+        terms: Sequence[tuple[str, float]],
+        entities: Sequence[tuple[str, float]],
+        alpha: float,
+        window: int,
+        stats: PruningStats,
+        shared_floor=None,
+    ) -> list[tuple[float, str, _Rows]]:
+        """Block-max walk returning every *processed* positive match as
+        ``(-score, doc_id, rows)``, unsorted — a superset of the best
+        ``window`` matches; every skipped doc is strictly below the final
+        window threshold.
+
+        *shared_floor* (a ``multiprocessing.Value('d')`` or None) lets
+        concurrent shard workers share one pruning threshold: a worker
+        publishes its local floor once its heap holds ``window`` scores,
+        and skips blocks whose inflated bound sits below the best floor
+        published by *any* worker. The shared value only ever rises
+        within a query, so the break stays exact (see
+        ``docs/architecture.md``).
+        """
         one_minus_alpha = 1.0 - alpha
         W = window
         heappush = heapq.heappush
@@ -1099,10 +1149,28 @@ class SegmentedIndex:
         agenda.sort(reverse=True)
         slack = ub_slack(len(terms) + len(entities))
 
+        # cross-worker floor: read the best published floor, publish our
+        # own (both only rise); refreshed every _FLOOR_STRIDE blocks so
+        # the lock stays off the hot path
+        shared_val = 0.0
+        if shared_floor is not None:
+            with shared_floor.get_lock():
+                shared_val = shared_floor.value
+                if nheap == W and floor > shared_val:
+                    shared_floor.value = shared_val = floor
+
         scanned = 0
         for bound, si, b in agenda:
             if nheap == W and bound * slack < floor:
                 break  # bounds are descending: every later block is below too
+            if shared_floor is not None:
+                if not scanned % _FLOOR_STRIDE:
+                    with shared_floor.get_lock():
+                        if nheap == W and floor > shared_floor.value:
+                            shared_floor.value = floor
+                        shared_val = shared_floor.value
+                if bound * slack < shared_val:
+                    break  # some worker's floor already rules this out
             scanned += 1
             segment, tsp, esp = per_seg[si]
             term_acc = segment._term_acc
@@ -1150,15 +1218,11 @@ class SegmentedIndex:
                         floor = heap[0]
         stats.blocks_scanned += scanned
         stats.blocks_skipped += len(agenda) - scanned
-
-        # entries hold every processed positive match; once any block
-        # was skipped the heap is full, so min(window, len(entries)) is
-        # exactly the exhaustive path's window_size
-        entries.sort()
-        width = window_size(window, len(entries))
-        if width < len(entries):
-            del entries[width:]
-        return self._fold_entries(entries, top_k)
+        if shared_floor is not None and nheap == W:
+            with shared_floor.get_lock():
+                if floor > shared_floor.value:
+                    shared_floor.value = floor
+        return entries
 
     def _fold_entries(
         self, entries: list[tuple[float, str, _Rows]], top_k: int | None

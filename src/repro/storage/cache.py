@@ -65,7 +65,17 @@ def load_or_build(
     *refresh* forces a rebuild. A cache that fails to load (partial
     write, format change) or whose version stamp is missing or stale is
     discarded and rebuilt.
+
+    The ``xl`` scale is rejected outright: it exists only as a stream
+    (:mod:`repro.synthetic.stream`), and caching it would mean
+    materializing ~1M resources on disk and in memory.
     """
+    if scale is DatasetScale.XL:
+        raise ValueError(
+            "the xl scale cannot be cached or materialized; stream it "
+            "with repro.synthetic.stream.stream_resources into "
+            "ExpertFinder.from_stream instead"
+        )
     directory = cache_path(root, scale, seed)
     if not refresh and directory.is_dir():
         if _stamp_is_current(directory):

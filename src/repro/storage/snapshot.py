@@ -54,6 +54,7 @@ argument.
 from __future__ import annotations
 
 import contextlib
+import functools
 import os
 import pathlib
 import re
@@ -71,6 +72,12 @@ from repro.index.columnar import ColumnarQueryEngine
 from repro.index.entity_index import EntityIndex, EntityPosting
 from repro.index.inverted import InvertedIndex, Posting
 from repro.index.segments import Segment, SegmentedIndex, _WriteBuffer
+from repro.index.sharded import (
+    GlobalStatistics,
+    ShardedIndex,
+    ShardIndex,
+    partition_candidates,
+)
 from repro.index.statistics import CollectionStatistics
 from repro.index.vsm import VectorSpaceRetriever, entity_weight
 from repro.storage.binary import (
@@ -100,6 +107,7 @@ ENTITY_INDEX_KIND = "finder-entity-index"
 EVIDENCE_KIND = "finder-evidence"
 MANIFEST_KIND = "finder-segment-manifest"
 SEGMENT_KIND = "finder-segment"
+SHARD_MANIFEST_KIND = "finder-shard-manifest"
 
 _META_FILE = "meta.jsonl"
 _TERM_FILE = "term_index.jsonl.gz"
@@ -114,8 +122,11 @@ _GEN_PATTERN = re.compile(r"gen-(\d{7})")
 _INDEX_BIN = "index.bin"
 _ENGINE_BIN = "engine.bin"
 _BUFFER_BIN = "buffer.bin"
+_STATS_BIN = "stats.bin"
+_EVIDENCE_BIN = "evidence.bin"
+_SHARD_MANIFEST_FILE = "shards.jsonl"
 
-_INDEX_MODES = ("monolithic", "segmented")
+_INDEX_MODES = ("monolithic", "segmented", "sharded")
 
 
 def _segment_file(segment_id: int) -> str:
@@ -124,6 +135,10 @@ def _segment_file(segment_id: int) -> str:
 
 def _segment_bin(segment_id: int) -> str:
     return f"segment-{segment_id:04d}.bin"
+
+
+def _shard_bin(shard: int) -> str:
+    return f"shard-{shard:04d}.bin"
 
 
 _CONFIG_FIELDS = (
@@ -174,11 +189,16 @@ def save_finder(
 
 
 def _meta_records(finder: ExpertFinder, version: int) -> Iterator[dict[str, Any]]:
-    yield {
+    snapshot_record: dict[str, Any] = {
         "type": "snapshot",
         "snapshot_version": version,
         "index_mode": finder.index_mode,
     }
+    if finder.index_mode == "sharded":
+        # the candidate partition is recomputed from the sorted candidate
+        # records at load time; only the shard count needs persisting
+        snapshot_record["shards"] = finder.sharded_index.shard_count
+    yield snapshot_record
     config = finder.config
     record: dict[str, Any] = {"type": "config"}
     for name in _CONFIG_FIELDS:
@@ -198,6 +218,12 @@ def _meta_records(finder: ExpertFinder, version: int) -> Iterator[dict[str, Any]
 
 
 def _save_jsonl(finder: ExpertFinder, directory: pathlib.Path) -> None:
+    if finder.index_mode == "sharded":
+        raise ValueError(
+            "sharded finders snapshot only in the v3 binary format (the "
+            "scatter-pool workers mmap its per-shard section files); "
+            "drop snapshot_format='jsonl' or rebuild without shards"
+        )
     keep: set[str] = {_META_FILE}
     if finder.index_mode == "segmented":
         keep |= _save_segmented(finder.segmented_index, directory)
@@ -464,6 +490,16 @@ def _slice_sections(
         sections += _block_sections("term", term_blocks, "q")
         sections += _block_sections("ent", entity_blocks, "d")
 
+    sections += _evidence_sections(evidence)
+    return sections
+
+
+def _evidence_sections(evidence: Mapping[str, Any]) -> list[tuple[str, str, Any]]:
+    """The resource → supporters relation as binary sections (string
+    tables + an element-offset CSR), preserving row order exactly. Part
+    of every slice container, and a standalone ``evidence.bin`` for
+    sharded snapshots (whose coordinator folds from the full rows while
+    each shard container carries only its restricted rows)."""
     resources = list(evidence)
     cands = sorted({cid for rows in evidence.values() for cid, _ in rows})
     cand_of = {cid: i for i, cid in enumerate(cands)}
@@ -475,11 +511,54 @@ def _slice_sections(
             vcand.append(cand_of[cid])
             vdist.append(distance)
         voff.append(len(vcand))
-    sections += pack_strings("resources", resources)
+    sections = [*pack_strings("resources", resources)]
     sections += pack_strings("cands", cands)
     sections += [("ev#off", "q", voff), ("ev#cand", "q", vcand),
                  ("ev#dist", "q", vdist)]
     return sections
+
+
+def _stats_sections(statistics: GlobalStatistics) -> list[tuple[str, str, Any]]:
+    """The union collection statistics every shard scores with: N plus
+    the term/entity document-frequency tables, in table order."""
+    terms: list[str] = []
+    term_df = array("l")
+    for term, df in statistics.term_df_items():
+        terms.append(term)
+        term_df.append(df)
+    entities: list[str] = []
+    entity_df = array("l")
+    for uri, df in statistics.entity_df_items():
+        entities.append(uri)
+        entity_df.append(df)
+    sections: list[tuple[str, str, Any]] = [
+        ("stat#n", "q", array("l", [statistics.doc_count]))
+    ]
+    sections += pack_strings("terms", terms)
+    sections += [("term#df", "q", term_df)]
+    sections += pack_strings("entities", entities)
+    sections += [("ent#df", "q", entity_df)]
+    return sections
+
+
+def _shard_manifest_records(sharded: ShardedIndex) -> Iterator[dict[str, Any]]:
+    shards = sharded.iter_shards()
+    first = shards[0]
+    yield {
+        "type": "manifest",
+        "shards": len(shards),
+        "seal_threshold": first.seal_threshold,
+        "fanout": first.fanout,
+        "block_span": first._block_span,
+    }
+    for k, shard in enumerate(shards):
+        yield {
+            "type": "shard",
+            "shard": k,
+            "file": _shard_bin(k),
+            "docs": shard.document_count,
+            "resources": shard.resource_count,
+        }
 
 
 def _engine_sections(engine: ColumnarQueryEngine) -> list[tuple[str, str, Any]]:
@@ -579,6 +658,31 @@ def _save_v3(finder: ExpertFinder, directory: pathlib.Path) -> None:
             MANIFEST_KIND,
             _manifest_records(segmented, segments, buffer, _segment_bin, _BUFFER_BIN),
         )
+    elif finder.index_mode == "sharded":
+        sharded = finder.sharded_index
+        write_sections(gen_dir / _STATS_BIN, _stats_sections(sharded.statistics))
+        # the coordinator's full evidence rows (each shard container only
+        # carries the rows restricted to its own candidates)
+        write_sections(
+            gen_dir / _EVIDENCE_BIN, _evidence_sections(finder.evidence_of)
+        )
+        # one section container per shard: its merged collection slice,
+        # doc-sorted with block-max metadata, so every scatter worker
+        # mmaps exactly one file
+        for k, shard in enumerate(sharded.iter_shards()):
+            term_index, entity_index, evidence = shard.merged_slice()
+            write_sections(
+                gen_dir / _shard_bin(k),
+                _slice_sections(
+                    term_index, entity_index, evidence,
+                    block_span=shard._block_span,
+                ),
+            )
+        write_records(
+            gen_dir / _SHARD_MANIFEST_FILE,
+            SHARD_MANIFEST_KIND,
+            _shard_manifest_records(sharded),
+        )
     else:
         retriever = finder.retriever
         write_sections(
@@ -600,9 +704,10 @@ def _save_v3(finder: ExpertFinder, directory: pathlib.Path) -> None:
 
 def _load_meta(
     path: pathlib.Path, expected_version: int
-) -> tuple[FinderConfig, int, dict[str, int], str]:
+) -> tuple[FinderConfig, int, dict[str, int], str, int | None]:
     version: int | None = None
     index_mode: str | None = None
+    shards: int | None = None
     config: FinderConfig | None = None
     indexed: int | None = None
     evidence_counts: dict[str, int] = {}
@@ -616,9 +721,24 @@ def _load_meta(
                     f"(expected {expected_version})"
                 )
             index_mode = record.get("index_mode", "monolithic")
-            if index_mode not in _INDEX_MODES:
+            # "sharded" exists only in the v3 generation layout; a v2
+            # flat-jsonl meta claiming it is as unknown as any typo
+            modes = (
+                _INDEX_MODES
+                if expected_version == SNAPSHOT_VERSION
+                else _INDEX_MODES[:2]
+            )
+            if index_mode not in modes:
                 raise StorageFormatError(
                     f"{path}: unknown index mode {index_mode!r}"
+                )
+            shards = record.get("shards")
+            if index_mode == "sharded" and (
+                type(shards) is not int or shards < 1
+            ):
+                raise StorageFormatError(
+                    f"{path}: sharded snapshot with invalid shard "
+                    f"count {shards!r}"
                 )
         elif rtype == "config":
             try:
@@ -637,7 +757,7 @@ def _load_meta(
             raise StorageFormatError(f"{path}: unknown meta record type {rtype!r}")
     if version is None or index_mode is None or config is None or indexed is None:
         raise StorageFormatError(f"{path}: incomplete snapshot metadata")
-    return config, indexed, evidence_counts, index_mode
+    return config, indexed, evidence_counts, index_mode, shards
 
 
 def _load_term_index(path: pathlib.Path) -> InvertedIndex:
@@ -1183,14 +1303,205 @@ def _load_v3_segmented(
     )
 
 
+def _decode_stats(
+    mapped: MappedSections, path: pathlib.Path, idf_exponent: float
+) -> GlobalStatistics:
+    doc_count = int(mapped.array("stat#n")[0])
+    terms = mapped.strings("terms")
+    term_df = mapped.array("term#df")
+    if len(term_df) != len(terms):
+        raise StorageFormatError(
+            f"{path}: {len(terms)} term(s) but {len(term_df)} df value(s)"
+        )
+    entities = mapped.strings("entities")
+    entity_df = mapped.array("ent#df")
+    if len(entity_df) != len(entities):
+        raise StorageFormatError(
+            f"{path}: {len(entities)} entities but "
+            f"{len(entity_df)} df value(s)"
+        )
+    return GlobalStatistics(
+        idf_exponent,
+        doc_count,
+        dict(zip(terms, (int(df) for df in term_df))),
+        dict(zip(entities, (int(df) for df in entity_df))),
+    )
+
+
+def _load_stats(path: pathlib.Path, idf_exponent: float) -> GlobalStatistics:
+    """Rebuild the union collection statistics from ``stats.bin`` (the
+    decode runs in a helper so its section views are released before the
+    mapping closes)."""
+    mapped = MappedSections.open(path)
+    try:
+        return _decode_stats(mapped, path, idf_exponent)
+    finally:
+        mapped.close()
+
+
+def _read_shard_manifest(
+    manifest_path: pathlib.Path,
+) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    header: dict[str, Any] | None = None
+    entries: list[dict[str, Any]] = []
+    for record in read_records(manifest_path, SHARD_MANIFEST_KIND):
+        rtype = record.get("type")
+        if rtype == "manifest":
+            header = record
+        elif rtype == "shard":
+            entries.append(record)
+        else:
+            raise StorageFormatError(
+                f"{manifest_path}: unknown manifest record type {rtype!r}"
+            )
+    if header is None:
+        raise StorageFormatError(f"{manifest_path}: missing manifest header")
+    if header["shards"] != len(entries):
+        raise StorageFormatError(
+            f"{manifest_path}: manifest declares {header['shards']} "
+            f"shard(s) but lists {len(entries)}"
+        )
+    if [entry["shard"] for entry in entries] != list(range(len(entries))):
+        raise StorageFormatError(
+            f"{manifest_path}: shard entries are not 0..{len(entries) - 1} "
+            f"in order"
+        )
+    return header, entries
+
+
+def _shard_from_bin(
+    path: pathlib.Path,
+    entry: dict[str, Any],
+    config: FinderConfig,
+    statistics: GlobalStatistics,
+    group: tuple[str, ...],
+    header: dict[str, Any],
+) -> ShardIndex:
+    """One shard container → a compiled :class:`ShardIndex` scoring with
+    *statistics*, owning the *group* candidates."""
+    segments = []
+    if entry["docs"] or entry["resources"]:
+        segments.append(_load_v3_segment(path, 0, entry))
+    shard = ShardIndex.restore_compiled(
+        config,
+        segments,
+        None,
+        seal_threshold=header["seal_threshold"],
+        fanout=header.get("fanout", 4),
+        block_span=header.get("block_span"),
+    )
+    shard._global = statistics
+    shard.candidates = frozenset(group)
+    return shard
+
+
+def open_shard(directory: str | pathlib.Path, shard: int) -> ShardIndex:
+    """Open one shard of a v3 sharded *generation* directory, read-only.
+
+    This is what each scatter-pool worker runs after the fork: it maps
+    only its own shard's section container (plus the small stats/meta
+    files), so N workers over one snapshot share a single page-cache
+    copy of the columns and never rebuild posting objects. The candidate
+    partition is recomputed from the meta candidate records — identical
+    to the coordinator's by :func:`partition_candidates` determinism.
+    """
+    gen_dir = pathlib.Path(directory)
+    config, _indexed, evidence_counts, index_mode, _shards = _load_meta(
+        gen_dir / _META_FILE, SNAPSHOT_VERSION
+    )
+    if index_mode != "sharded":
+        raise StorageFormatError(
+            f"{gen_dir}: not a sharded snapshot (index mode {index_mode!r})"
+        )
+    header, entries = _read_shard_manifest(gen_dir / _SHARD_MANIFEST_FILE)
+    if not 0 <= shard < len(entries):
+        raise ValueError(
+            f"shard must be in 0..{len(entries) - 1}, got {shard}"
+        )
+    statistics = _load_stats(gen_dir / _STATS_BIN, config.idf_exponent)
+    partition = partition_candidates(evidence_counts, header["shards"])
+    entry = entries[shard]
+    path = gen_dir / entry["file"]
+    if not path.is_file():
+        raise StorageFormatError(
+            f"{gen_dir / _SHARD_MANIFEST_FILE}: manifest names missing "
+            f"file {entry['file']!r}"
+        )
+    return _shard_from_bin(path, entry, config, statistics, partition[shard], header)
+
+
+def _load_v3_sharded(
+    gen_dir: pathlib.Path,
+    analyzer: ResourceAnalyzer,
+    config: FinderConfig,
+    indexed: int,
+    evidence_counts: dict[str, int],
+    shards: int | None,
+) -> ExpertFinder:
+    manifest_path = gen_dir / _SHARD_MANIFEST_FILE
+    header, entries = _read_shard_manifest(manifest_path)
+    if shards is not None and header["shards"] != shards:
+        raise StorageFormatError(
+            f"{manifest_path}: manifest holds {header['shards']} shard(s), "
+            f"metadata says {shards}"
+        )
+    statistics = _load_stats(gen_dir / _STATS_BIN, config.idf_exponent)
+    if statistics.doc_count != indexed:
+        raise StorageFormatError(
+            f"{gen_dir / _STATS_BIN}: statistics cover {statistics.doc_count} "
+            f"indexed document(s), metadata says {indexed}"
+        )
+    # the coordinator folds Eq. 3 from the full rows, so they hydrate
+    # eagerly (unlike the monolithic path, where only re-saves need them)
+    evidence_mapped = MappedSections.open(gen_dir / _EVIDENCE_BIN)
+    try:
+        evidence_of = {
+            doc_id: list(rows)
+            for doc_id, rows in _decode_evidence(evidence_mapped).items()
+        }
+    finally:
+        evidence_mapped.close()
+    partition = partition_candidates(evidence_counts, header["shards"])
+    shard_objs = []
+    for k, entry in enumerate(entries):
+        path = gen_dir / entry["file"]
+        if not path.is_file():
+            raise StorageFormatError(
+                f"{manifest_path}: manifest names missing file {entry['file']!r}"
+            )
+        shard_objs.append(
+            _shard_from_bin(path, entry, config, statistics, partition[k], header)
+        )
+    sharded = ShardedIndex(config, shard_objs, statistics, evidence_of, partition)
+    # scatter-pool workers re-open from disk instead of inheriting the
+    # coordinator's hydrated shards — one mmap each, shared page cache
+    sharded._shard_openers = [
+        functools.partial(open_shard, str(gen_dir), k)
+        for k in range(len(entries))
+    ]
+    return ExpertFinder(
+        analyzer,
+        None,
+        evidence_of,
+        config,
+        evidence_counts=evidence_counts,
+        indexed_count=indexed,
+        sharded=sharded,
+    )
+
+
 def _load_v3(
     directory: pathlib.Path, analyzer: ResourceAnalyzer
 ) -> ExpertFinder:
     gen_dir = _read_current(directory)
     try:
-        config, indexed, evidence_counts, index_mode = _load_meta(
+        config, indexed, evidence_counts, index_mode, shards = _load_meta(
             gen_dir / _META_FILE, SNAPSHOT_VERSION
         )
+        if index_mode == "sharded":
+            return _load_v3_sharded(
+                gen_dir, analyzer, config, indexed, evidence_counts, shards
+            )
         if index_mode == "segmented":
             return _load_v3_segmented(
                 gen_dir, analyzer, config, indexed, evidence_counts
@@ -1220,7 +1531,7 @@ def load_finder(
     if (directory / _CURRENT_FILE).exists():
         return _load_v3(directory, analyzer)
     try:
-        config, indexed, evidence_counts, index_mode = _load_meta(
+        config, indexed, evidence_counts, index_mode, _shards = _load_meta(
             directory / _META_FILE, JSONL_SNAPSHOT_VERSION
         )
         if index_mode == "segmented":

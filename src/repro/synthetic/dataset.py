@@ -44,18 +44,32 @@ from repro.textproc.pipeline import TextPipeline
 
 class DatasetScale(enum.Enum):
     """Preset sizes: TINY for unit tests, SMALL for benchmarks, PAPER for
-    a full-volume run."""
+    a full-volume run, XL for the streaming-only scale (~1M resources /
+    10k candidates — served by :mod:`repro.synthetic.stream`, never by
+    the materializing builder)."""
 
     TINY = "tiny"
     SMALL = "small"
     PAPER = "paper"
+    XL = "xl"
+
+    def _reject_xl(self, what: str) -> None:
+        if self is DatasetScale.XL:
+            raise ValueError(
+                f"the xl scale has no {what}: it is streaming-only "
+                "(~1M resources would be materialized); generate events "
+                "with repro.synthetic.stream.stream_resources and build "
+                "via ExpertFinder.from_stream"
+            )
 
     @property
     def profile(self) -> ScaleProfile:
+        self._reject_xl("network profile")
         return {"tiny": TINY, "small": SMALL, "paper": PAPER}[self.value]
 
     @property
     def population_size(self) -> int:
+        self._reject_xl("population")
         return {"tiny": 12, "small": 40, "paper": 40}[self.value]
 
 
@@ -114,6 +128,7 @@ def build_dataset(
     only shards the corpus-analysis stage (the dominant cost) across a
     process pool.
     """
+    scale._reject_xl("materialized dataset")
     people = generate_population(seed, size=scale.population_size)
     networks = NetworkBuilder(people, scale.profile, seed + 1).build()
 

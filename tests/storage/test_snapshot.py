@@ -810,3 +810,202 @@ class TestBlockMaxPersistence:
         write_sections(engine_bin, sections)
         with pytest.raises(StorageFormatError, match="block sections"):
             load_finder(directory, tiny_dataset.analyzer)
+
+
+# -- sharded snapshots ---------------------------------------------------------
+
+from repro.synthetic.stream import (  # noqa: E402
+    stream_candidates,
+    stream_queries,
+    stream_resources,
+)
+
+_SHARD_CANDS = stream_candidates(7)
+_SHARD_NEEDS = stream_queries(4, seed=23)
+
+
+def _build_sharded(analyzer, shards=3):
+    finder = _ExpertFinder.from_stream(
+        _SHARD_CANDS,
+        stream_resources(_SHARD_CANDS, 70, seed=23),
+        analyzer,
+        FinderConfig(window=None),
+        shards=shards,
+    )
+    # leave post-build streaming state behind too: one indexed observe
+    # and one language-cut (evidence-only) observe
+    finder.observe("post1", "a late freestyle swimming report", [(_SHARD_CANDS[0], 1)])
+    finder.observe(
+        "post2",
+        "questa e una bella giornata per nuotare in piscina",
+        [(_SHARD_CANDS[1], 1)],
+    )
+    return finder
+
+
+@pytest.fixture(scope="module")
+def sharded_finder(analyzer):
+    return _build_sharded(analyzer)
+
+
+@pytest.fixture(scope="module")
+def sharded_snapshot_dir(sharded_finder, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("sharded") / "finder"
+    sharded_finder.save(directory)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def loaded_sharded(sharded_snapshot_dir, analyzer):
+    return ExpertFinder.load(sharded_snapshot_dir, analyzer)
+
+
+class TestShardedRoundTrip:
+    def test_layout(self, sharded_snapshot_dir, sharded_finder):
+        gen = _generation_dir(sharded_snapshot_dir)
+        for name in ("stats.bin", "evidence.bin", "shards.jsonl",
+                     "shard-0000.bin", "shard-0001.bin", "shard-0002.bin"):
+            assert (gen / name).is_file(), name
+        assert not (gen / "shard-0003.bin").exists()
+
+    def test_mode_and_shape_survive(self, loaded_sharded, sharded_finder):
+        assert loaded_sharded.index_mode == "sharded"
+        loaded_stats = loaded_sharded.sharded_index.stats
+        built_stats = sharded_finder.sharded_index.stats
+        assert loaded_stats.shards == built_stats.shards == 3
+        assert loaded_stats.shard_docs == built_stats.shard_docs
+        assert loaded_stats.documents == built_stats.documents
+        assert (
+            loaded_sharded.indexed_resources == sharded_finder.indexed_resources
+        )
+
+    @pytest.mark.parametrize("engine", ("object", "columnar", "columnar-pruned"))
+    def test_rankings_survive(self, loaded_sharded, sharded_finder, engine):
+        loaded_sharded.engine = engine
+        for need in _SHARD_NEEDS:
+            for window in (5, None, 0.5):
+                assert loaded_sharded.find_experts(need, window=window) == (
+                    sharded_finder.find_experts(need, window=window)
+                )
+
+    def test_scatter_pool_over_mapped_shards(self, loaded_sharded, sharded_finder):
+        loaded_sharded.engine = "columnar"
+        executor = loaded_sharded.start_scatter_pool()
+        try:
+            assert executor.worker_count == 3
+            for need in _SHARD_NEEDS:
+                assert loaded_sharded.find_experts(need, window=6) == (
+                    sharded_finder.find_experts(need, window=6)
+                )
+        finally:
+            loaded_sharded.close_scatter_pool()
+
+    def test_observe_after_load_reaches_restarted_pool(
+        self, sharded_snapshot_dir, analyzer
+    ):
+        loaded = ExpertFinder.load(sharded_snapshot_dir, analyzer)
+        reference = ExpertFinder.load(sharded_snapshot_dir, analyzer)
+        loaded.engine = "columnar"
+        loaded.observe("late1", "one more gold medal race recap",
+                       [(_SHARD_CANDS[2], 1)])
+        reference.observe("late1", "one more gold medal race recap",
+                          [(_SHARD_CANDS[2], 1)])
+        loaded.start_scatter_pool()
+        try:
+            # workers open the on-disk state, so the post-load observe
+            # must be replayed into them
+            for need in _SHARD_NEEDS:
+                assert loaded.find_experts(need, window=6) == (
+                    reference.find_experts(need, window=6)
+                )
+            # a restarted pool re-opens the disk state; the replay log
+            # must cover it again
+            loaded.close_scatter_pool()
+            loaded.start_scatter_pool()
+            for need in _SHARD_NEEDS:
+                assert loaded.find_experts(need, window=6) == (
+                    reference.find_experts(need, window=6)
+                )
+        finally:
+            loaded.close_scatter_pool()
+
+    def test_resave_roundtrip(self, loaded_sharded, sharded_finder, tmp_path, analyzer):
+        directory = tmp_path / "resave"
+        loaded_sharded.save(directory)
+        again = ExpertFinder.load(directory, analyzer)
+        for need in _SHARD_NEEDS:
+            assert again.find_experts(need) == sharded_finder.find_experts(need)
+
+    def test_jsonl_save_rejected(self, sharded_finder, tmp_path):
+        with pytest.raises(ValueError, match="v3"):
+            sharded_finder.save(tmp_path / "flat", snapshot_format="jsonl")
+
+
+class TestShardedFormatGuards:
+    @pytest.fixture
+    def broken_dir(self, sharded_finder, tmp_path):
+        directory = tmp_path / "broken"
+        sharded_finder.save(directory)
+        return directory
+
+    def test_manifest_shard_count_mismatch(self, broken_dir, analyzer):
+        _edit_manifest(
+            _generation_dir(broken_dir) / "shards.jsonl",
+            lambda records: [
+                {**r, "shards": 5} if r["type"] == "manifest" else r
+                for r in records
+            ],
+        )
+        with pytest.raises(StorageFormatError, match="declares"):
+            load_finder(broken_dir, analyzer)
+
+    def test_manifest_out_of_order(self, broken_dir, analyzer):
+        _edit_manifest(
+            _generation_dir(broken_dir) / "shards.jsonl",
+            lambda records: [records[0]] + list(reversed(records[1:])),
+        )
+        with pytest.raises(StorageFormatError, match="order"):
+            load_finder(broken_dir, analyzer)
+
+    def test_missing_shard_file(self, broken_dir, analyzer):
+        (_generation_dir(broken_dir) / "shard-0001.bin").unlink()
+        with pytest.raises(StorageFormatError, match="missing"):
+            load_finder(broken_dir, analyzer)
+
+    def test_meta_invalid_shard_count(self, broken_dir, analyzer):
+        _edit_manifest(
+            _generation_dir(broken_dir) / "meta.jsonl",
+            lambda records: [
+                {**r, "shards": 0} if r["type"] == "snapshot" else r
+                for r in records
+            ],
+        )
+        with pytest.raises(StorageFormatError, match="shard count"):
+            load_finder(broken_dir, analyzer)
+
+    def test_stats_document_count_cross_checked(self, broken_dir, analyzer):
+        _edit_manifest(
+            _generation_dir(broken_dir) / "meta.jsonl",
+            lambda records: [
+                {**r, "indexed": r["indexed"] + 1}
+                if r["type"] == "counts"
+                else r
+                for r in records
+            ],
+        )
+        with pytest.raises(StorageFormatError, match="statistics cover"):
+            load_finder(broken_dir, analyzer)
+
+    def test_open_shard_rejects_unsharded_generation(
+        self, snapshot_dir, analyzer
+    ):
+        from repro.storage.snapshot import open_shard
+
+        with pytest.raises(StorageFormatError, match="not a sharded"):
+            open_shard(_generation_dir(snapshot_dir), 0)
+
+    def test_open_shard_rejects_bad_index(self, broken_dir):
+        from repro.storage.snapshot import open_shard
+
+        with pytest.raises(ValueError, match="shard must be"):
+            open_shard(_generation_dir(broken_dir), 7)
