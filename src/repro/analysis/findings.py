@@ -1,0 +1,79 @@
+"""Finding and report datatypes shared by the lint engine and CLI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Ordered by ``(path, line, col, rule)`` so reports are stable across
+    runs and cache replays.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileResult:
+    """The outcome of linting one file."""
+
+    path: str
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    from_cache: bool = False
+
+
+@dataclass
+class LintReport:
+    """Aggregated outcome of a lint run over many files."""
+
+    results: list[FileResult] = field(default_factory=list)
+
+    @property
+    def findings(self) -> list[Finding]:
+        out = [f for result in self.results for f in result.findings]
+        out.sort()
+        return out
+
+    @property
+    def files_checked(self) -> int:
+        return len(self.results)
+
+    @property
+    def files_cached(self) -> int:
+        return sum(1 for result in self.results if result.from_cache)
+
+    @property
+    def suppressed(self) -> int:
+        return sum(result.suppressed for result in self.results)
+
+    @property
+    def is_clean(self) -> bool:
+        return not any(result.findings for result in self.results)
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "files_checked": self.files_checked,
+            "files_cached": self.files_cached,
+            "suppressed": self.suppressed,
+            "findings": [f.to_json() for f in self.findings],
+        }

@@ -1,0 +1,109 @@
+"""``float-equality`` — no exact ``==``/``!=`` between float scores.
+
+Block-max pruning compares a block's upper bound against the current
+top-window floor; the two sides reach the same mathematical value
+through different operation orders (raw block maxima scaled per query
+vs the evaluated posting fold), so exact comparison is wrong at the
+ULP level — :func:`repro.index.blockmax.ub_slack` exists precisely to
+absorb that. The same applies to any merge/pruning code equating two
+computed scores.
+
+Inside ``repro.index``/``repro.core`` the rule flags ``==``/``!=``
+where either side is a nonzero float literal, or where both sides are
+computed float expressions (arithmetic over floats, float constants,
+or ``float(...)``-style producers). Comparison against the literal
+``0.0`` stays allowed: it is the codebase's exact sentinel — the irf
+of an unseen term is exactly ``0.0``, never approximately so.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import Checker, FileContext
+from .findings import Finding
+
+_ARITHMETIC = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow)
+_FLOAT_PRODUCERS = {"float", "fsum", "sqrt", "log", "exp", "pow"}
+
+
+def _is_zero_literal(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+        and node.value == 0
+    )
+
+
+def _is_nonzero_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_nonzero_float_literal(node.operand)
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value != 0.0
+    )
+
+
+def _is_floaty(node: ast.expr) -> bool:
+    """A computed float expression: arithmetic, float literals, or a
+    call to a known float producer."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _ARITHMETIC):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_floaty(node.operand)
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        return name in _FLOAT_PRODUCERS
+    return False
+
+
+class FloatEqualityChecker(Checker):
+    rule = "float-equality"
+    description = (
+        "exact ==/!= between computed float scores; route through "
+        "ub_slack/math.isclose (comparison to the 0.0 sentinel is exempt)"
+    )
+    scope = ("repro.index", "repro.core")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            sides = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = sides[i], sides[i + 1]
+                if _is_zero_literal(left) or _is_zero_literal(right):
+                    continue  # the exact-0.0 sentinel idiom (unseen-term irf)
+                if _is_nonzero_float_literal(left) or _is_nonzero_float_literal(
+                    right
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "exact comparison against a nonzero float literal; "
+                        "float scores must be compared through "
+                        "ub_slack/math.isclose",
+                    )
+                elif _is_floaty(left) and _is_floaty(right):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "exact ==/!= between two computed float "
+                        "expressions; operation order differs across "
+                        "engines at the ULP level — use "
+                        "ub_slack/math.isclose",
+                    )

@@ -1,0 +1,274 @@
+"""``mmap-discipline`` — mapped snapshot sections are read-only.
+
+v3 snapshots are served zero-copy: :mod:`repro.storage.binary` maps a
+section container and hands out ``memoryview`` casts over the shared
+pages. Writing through such a view corrupts the snapshot for every
+process mapping it — the crash-safety story (generational ``CURRENT``
+swaps) assumes sealed files never change. Similarly, a ``Segment``'s
+compiled columns are the immutable query-time truth; mutating them
+outside the sanctioned compile/hydrate paths desynchronizes block
+metadata and scratch sizing.
+
+Two sub-rules:
+
+* **view mutation** (every module): no item assignment, ``del``, or
+  mutating method call (``byteswap``/``append``/``frombytes``/…) on a
+  value derived from ``memoryview(...)``, a mapped-section accessor
+  (``.array(...)``/``.blob(...)``), or a ``.cast(...)``/slice of one;
+* **column mutation** (``repro.index`` only): compiled column
+  attributes (``_term_cols``, ``_entity_blocks``, ``_sup_weight``, …)
+  may only be written inside the sanctioned construction and lazy
+  block-build paths (``__init__``, ``compile``, ``from_columns``,
+  ``_init_blocks``, ``_pruned_term``, …).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .base import Checker, FileContext
+from .findings import Finding
+
+_VIEW_SOURCES = {"array", "blob"}
+_MUTATING_METHODS = {
+    "byteswap",
+    "append",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "reverse",
+    "sort",
+    "clear",
+    "frombytes",
+    "fromlist",
+    "fromunicode",
+    "update",
+    "setdefault",
+}
+_COLUMN_ATTR = re.compile(
+    r"^_(term|entity|sup)_(cols|blocks|pruned|offsets|cand|weight|pairs)$"
+)
+_SANCTIONED_COLUMN_WRITERS = {
+    "__init__",
+    "compile",
+    "from_columns",
+    "restore_compiled",
+    "_init_blocks",
+    "_init_scratch",
+    "_run_hydrate",
+    "_build_pruned",
+    "_pruned_term",
+    "_pruned_entity",
+}
+_DICT_MUTATORS = {"update", "clear", "pop", "popitem", "setdefault"}
+
+
+def _attr_name(node: ast.expr) -> str | None:
+    """The attribute name when *node* is ``<anything>.<attr>``."""
+    return node.attr if isinstance(node, ast.Attribute) else None
+
+
+class _Scope(ast.NodeVisitor):
+    def __init__(
+        self,
+        checker: "MmapDisciplineChecker",
+        ctx: FileContext,
+        findings: list[Finding],
+        function_stack: tuple[str, ...],
+        column_rule: bool,
+    ):
+        self.checker = checker
+        self.ctx = ctx
+        self.findings = findings
+        self.function_stack = function_stack
+        self.column_rule = column_rule
+        self.view_names: set[str] = set()
+        self.column_aliases: set[str] = set()
+
+    # -- taint classification --------------------------------------------------------
+
+    def is_view(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.view_names
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "memoryview":
+                return True
+            if isinstance(func, ast.Attribute):
+                if func.attr in _VIEW_SOURCES:
+                    return True
+                if func.attr == "cast" and self.is_view(func.value):
+                    return True
+            return False
+        if isinstance(node, ast.Subscript):
+            # slicing a memoryview yields another view over the same pages
+            return isinstance(node.slice, ast.Slice) and self.is_view(node.value)
+        return False
+
+    def _is_column_attr(self, node: ast.expr) -> bool:
+        if not self.column_rule:
+            return False
+        attr = _attr_name(node)
+        if attr is not None and _COLUMN_ATTR.match(attr):
+            return True
+        return isinstance(node, ast.Name) and node.id in self.column_aliases
+
+    def _sanctioned(self) -> bool:
+        return bool(
+            self.function_stack
+            and self.function_stack[-1] in _SANCTIONED_COLUMN_WRITERS
+        )
+
+    # -- bookkeeping -----------------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.checker._check_scope(
+            self.ctx,
+            node,
+            self.findings,
+            (*self.function_stack, node.name),
+            self.column_rule,
+        )
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(self.checker.finding(self.ctx, node, message))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        view_value = self.is_view(node.value)
+        column_value = self._is_column_attr(node.value)
+        for target in node.targets:
+            self._check_store(target)
+            if isinstance(target, ast.Name):
+                if view_value:
+                    self.view_names.add(target.id)
+                else:
+                    self.view_names.discard(target.id)
+                if column_value:
+                    self.column_aliases.add(target.id)
+                else:
+                    self.column_aliases.discard(target.id)
+            elif self._is_column_attr(target) and not self._sanctioned():
+                self._flag(
+                    target,
+                    f"compiled column attribute .{_attr_name(target)} is "
+                    "assigned outside the sanctioned compile/hydrate paths",
+                )
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        self._check_store(node.target)
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            if self.is_view(node.value):
+                self.view_names.add(node.target.id)
+            else:
+                self.view_names.discard(node.target.id)
+        elif (
+            isinstance(node.target, ast.Attribute)
+            and self._is_column_attr(node.target)
+            and node.value is not None
+            and not self._sanctioned()
+        ):
+            self._flag(
+                node.target,
+                f"compiled column attribute .{node.target.attr} is "
+                "assigned outside the sanctioned compile/hydrate paths",
+            )
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.generic_visit(node)
+        self._check_store(node.target)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        self.generic_visit(node)
+        for target in node.targets:
+            self._check_store(target)
+
+    def _check_store(self, target: ast.expr) -> None:
+        if not isinstance(target, ast.Subscript):
+            return
+        base = target.value
+        if self.is_view(base):
+            self._flag(
+                target,
+                "item write through a memoryview derived from a mapped "
+                "snapshot section; mapped pages are shared and sealed — "
+                "copy into a fresh array() before mutating",
+            )
+        elif self._is_column_attr(base) and not self._sanctioned():
+            self._flag(
+                target,
+                f"item write into compiled column attribute "
+                f".{_attr_name(base) or '<alias>'} outside the sanctioned "
+                "compile/hydrate paths",
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.generic_visit(node)
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr in _MUTATING_METHODS and self.is_view(func.value):
+            self._flag(
+                node,
+                f".{func.attr}() mutates a memoryview derived from a "
+                "mapped snapshot section; copy into a fresh array() first",
+            )
+        elif (
+            func.attr in _DICT_MUTATORS
+            and self._is_column_attr(func.value)
+            and not self._sanctioned()
+        ):
+            self._flag(
+                node,
+                f".{func.attr}() mutates compiled column attribute "
+                f".{_attr_name(func.value) or '<alias>'} outside the "
+                "sanctioned compile/hydrate paths",
+            )
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            if isinstance(item.optional_vars, ast.Name) and self.is_view(
+                item.context_expr
+            ):
+                self.view_names.add(item.optional_vars.id)
+        self.generic_visit(node)
+
+
+class MmapDisciplineChecker(Checker):
+    rule = "mmap-discipline"
+    description = (
+        "no writes through mapped-section memoryviews; compiled columns "
+        "only mutate inside sanctioned compile/hydrate paths"
+    )
+    scope = None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        findings: list[Finding] = []
+        column_rule = ctx.module is not None and (
+            ctx.module == "repro.index" or ctx.module.startswith("repro.index.")
+        )
+        self._check_scope(ctx, ctx.tree, findings, (), column_rule)
+        yield from findings
+
+    def _check_scope(
+        self,
+        ctx: FileContext,
+        root: ast.Module | ast.FunctionDef | ast.AsyncFunctionDef,
+        findings: list[Finding],
+        function_stack: tuple[str, ...],
+        column_rule: bool,
+    ) -> None:
+        scope = _Scope(self, ctx, findings, function_stack, column_rule)
+        for stmt in root.body:
+            scope.visit(stmt)

@@ -17,9 +17,11 @@ on the fly (``--scale``/``--seed``).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.core.config import FinderConfig
 from repro.core.expert_finder import ExpertFinder
@@ -314,6 +316,37 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import DEFAULT_EXCLUDE, ALL_CHECKERS, lint_paths
+
+    paths = args.paths or [
+        path for path in ("src", "tests", "benchmarks") if Path(path).exists()
+    ]
+    if not paths:
+        print("lint: no paths given and no default paths exist", file=sys.stderr)
+        return 2
+    exclude = list(DEFAULT_EXCLUDE) + (args.exclude or [])
+    cache_path = None if args.no_cache else args.cache
+    try:
+        report = lint_paths(paths, cache_path=cache_path, exclude=exclude)
+    except FileNotFoundError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        rules = ", ".join(sorted({c.rule for c in ALL_CHECKERS}))
+        print(
+            f"checked {report.files_checked} files "
+            f"({report.files_cached} cached): "
+            f"{len(report.findings)} findings, "
+            f"{report.suppressed} suppressed [{rules}]"
+        )
+    return 0 if report.is_clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -464,6 +497,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="segmented mode: buffer size (resources) at which it seals",
     )
     p_serve.set_defaults(func=_cmd_serve_bench)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repo's custom static-analysis rules "
+        "(determinism, fork-safety, mmap discipline, ...)",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src tests benchmarks)",
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="format"
+    )
+    p_lint.add_argument(
+        "--cache",
+        default=".repro_lint_cache.json",
+        help="per-file verdict cache path (default: %(default)s)",
+    )
+    p_lint.add_argument(
+        "--no-cache", action="store_true", help="disable the verdict cache"
+    )
+    p_lint.add_argument(
+        "--exclude",
+        action="append",
+        help="additional path substring to skip (repeatable)",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_exp = sub.add_parser("experiments", help="reproduce the paper's tables/figures")
     _add_dataset_args(p_exp)

@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import pathlib
 import time
-from collections.abc import Callable, Mapping, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
 from types import EllipsisType, MappingProxyType
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:
     from repro.index.columnar import ColumnarQueryEngine
@@ -283,7 +283,7 @@ class ExpertFinder:
     def from_stream(
         cls,
         candidates: Sequence[str],
-        events,
+        events: Iterable[tuple[Any, ...]],
         analyzer: ResourceAnalyzer,
         config: FinderConfig | None = None,
         *,
@@ -406,8 +406,8 @@ class ExpertFinder:
     def _assemble(
         cls,
         analyzer: ResourceAnalyzer,
-        term_index,
-        entity_index,
+        term_index: InvertedIndex,
+        entity_index: EntityIndex,
         evidence_of: dict[str, list[tuple[str, int]]],
         evidence_counts: dict[str, int],
         indexed_count: int,

@@ -62,7 +62,9 @@ class ExpertScore:
             f"supporting_resources={self.supporting_resources!r})"
         )
 
-    def __reduce__(self):
+    def __reduce__(
+        self,
+    ) -> tuple[type["ExpertScore"], tuple[str, float, int]]:
         return (
             ExpertScore,
             (self.candidate_id, self.score, self.supporting_resources),

@@ -11,6 +11,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from functools import lru_cache
+from typing import Any
 
 from repro.evaluation.baselines import random_baseline, random_curves
 from repro.evaluation.runner import ExperimentRunner, MetricsSummary
@@ -105,18 +106,31 @@ def _shared_context(scale: DatasetScale, seed: int) -> ExperimentContext:
     return ExperimentContext.create(scale, seed)
 
 
-def shared_context(scale_value: str = "", seed: int = DEFAULT_SEED) -> ExperimentContext:
+class _SharedContext:
     """Process-wide context cache; used by the benchmark suite.
 
     The ``REPRO_SCALE`` environment variable is resolved to a concrete
     :class:`DatasetScale` *before* the cache lookup — caching on the raw
     string (where ``""`` means "whatever the env says") would keep
     returning a context built at a stale scale after the env changes.
+
+    A callable class rather than attributes monkey-patched onto a
+    function: ``cache_clear``/``cache_info`` (which the tests and REPL
+    users rely on) are real, typed methods delegating to the underlying
+    ``lru_cache``.
     """
-    scale = DatasetScale(scale_value) if scale_value else scale_from_env()
-    return _shared_context(scale, seed)
+
+    def __call__(
+        self, scale_value: str = "", seed: int = DEFAULT_SEED
+    ) -> ExperimentContext:
+        scale = DatasetScale(scale_value) if scale_value else scale_from_env()
+        return _shared_context(scale, seed)
+
+    def cache_clear(self) -> None:
+        _shared_context.cache_clear()
+
+    def cache_info(self) -> Any:
+        return _shared_context.cache_info()
 
 
-#: expose the cache controls the tests (and REPL users) rely on
-shared_context.cache_clear = _shared_context.cache_clear  # type: ignore[attr-defined]
-shared_context.cache_info = _shared_context.cache_info  # type: ignore[attr-defined]
+shared_context = _SharedContext()

@@ -102,9 +102,9 @@ class ColumnarQueryEngine:
         cand_ids: list[str],
         term_cols: dict[str, tuple],
         entity_cols: dict[str, tuple],
-        sup_offsets,
-        sup_cand,
-        sup_weight,
+        sup_offsets: "Sequence[int]",
+        sup_cand: "Sequence[int]",
+        sup_weight: "Sequence[float]",
         normalize: bool,
         block_span: int | None = None,
         term_blocks: Mapping[str, tuple] | None = None,

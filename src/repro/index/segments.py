@@ -43,7 +43,8 @@ import heapq
 import math
 import threading
 from array import array
-from collections.abc import Iterable, Mapping, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Any
 from dataclasses import dataclass
 
 # Direct submodule imports only — ``repro.index`` is imported by
@@ -183,7 +184,7 @@ class Segment:
         term_cols: Mapping[str, tuple],
         entity_cols: Mapping[str, tuple],
         evidence: Mapping[str, _Rows],
-        hydrate,
+        hydrate: "Callable[[], tuple[InvertedIndex, EntityIndex]] | None",
         *,
         block_span: int | None = None,
         term_blocks: Mapping[str, tuple] | None = None,
@@ -468,6 +469,9 @@ class _WriteBuffer:
                     + posting.entity_frequency * ew * entity_weight(posting.d_score)
                 )
         emit = out.append
+        # repro: lint-ok[determinism] emission order is scratch only —
+        # SegmentedIndex merges all segments' rows and sorts with the
+        # total (-score, doc_id) key before any cut
         for doc_id in term_scores.keys() | entity_scores.keys():
             emit(
                 (
@@ -1074,7 +1078,7 @@ class SegmentedIndex:
         alpha: float,
         window: int,
         stats: PruningStats,
-        shared_floor=None,
+        shared_floor: Any = None,
     ) -> list[tuple[float, str, _Rows]]:
         """Block-max walk returning every *processed* positive match as
         ``(-score, doc_id, rows)``, unsorted — a superset of the best

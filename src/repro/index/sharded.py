@@ -44,6 +44,7 @@ import math
 import multiprocessing
 import time
 from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
 from dataclasses import dataclass
 
 import heapq
@@ -195,7 +196,7 @@ class GlobalStatistics:
     def entity_df_items(self) -> list[tuple[str, int]]:
         return list(self._entity_df.items())
 
-    def __getstate__(self):
+    def __getstate__(self) -> tuple[Any, ...]:
         return (
             self.idf_exponent,
             self.doc_count,
@@ -203,7 +204,7 @@ class GlobalStatistics:
             self._entity_df,
         )
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: tuple[Any, ...]) -> None:
         self.idf_exponent, self.doc_count, self._term_df, self._entity_df = state
         self._tw_cache = {}
         self._ew_cache = {}
@@ -229,14 +230,16 @@ class ShardIndex(SegmentedIndex):
         config: FinderConfig,
         stats: GlobalStatistics,
         candidates: Iterable[str],
-        **kwargs,
+        **kwargs: Any,
     ) -> "ShardIndex":
         shard = cls.from_built(term_index, entity_index, evidence_of, config, **kwargs)
         shard._global = stats
         shard.candidates = frozenset(candidates)
         return shard
 
-    def _query_weights(self, query, alpha):
+    def _query_weights(
+        self, query: AnalyzedResource, alpha: float
+    ) -> tuple[list[tuple[str, float]], list[tuple[str, float]]]:
         stats = self._global
         if stats is None:
             raise RuntimeError("shard has no attached global statistics")
@@ -249,7 +252,7 @@ class ShardIndex(SegmentedIndex):
         *,
         window: int | None = None,
         stats: PruningStats | None = None,
-        shared_floor=None,
+        shared_floor: Any = None,
     ) -> list[tuple[float, str]]:
         """The scatter payload: ``(-score, doc_id)`` pairs for this
         shard's matches, unsorted.
@@ -414,7 +417,9 @@ class ShardedIndex:
                     shard_docs[k].add(doc_id)
                     shard_rows[k][doc_id] = restricted
         indexed_ids = term_index.doc_ids()
-        for doc_id in indexed_ids:
+        # sorted so the reported unsupported resource is the same on
+        # every run (doc_ids() is a frozenset)
+        for doc_id in sorted(indexed_ids):
             if not evidence.get(doc_id):
                 raise ValueError(
                     f"indexed resource {doc_id!r} has no supporters; "
@@ -737,7 +742,7 @@ class ShardedIndex:
         )
 
 
-def _restrict_index(cls, index, doc_ids: set[str]):
+def _restrict_index(cls: type[Any], index: Any, doc_ids: set[str]) -> Any:
     """A new ``cls`` index holding only *doc_ids*' postings, in the
     original postings order (a filtered subsequence — per-document float
     accumulation is order-independent across documents, so restricted
@@ -750,7 +755,7 @@ def _restrict_index(cls, index, doc_ids: set[str]):
     return cls.restore(doc_ids, postings)
 
 
-def _worker_main(conn, source, shared_floor) -> None:
+def _worker_main(conn: Any, source: Any, shared_floor: Any) -> None:
     """Scatter-pool worker loop: open (or adopt) one shard, then serve
     query/observe/stop requests over the pipe until told to stop.
 
@@ -914,7 +919,7 @@ class ShardedQueryExecutor:
         for k in range(len(self._conns)):
             self._recv(k)
 
-    def _broadcast(self, request) -> None:
+    def _broadcast(self, request: tuple[Any, ...]) -> None:
         for k, conn in enumerate(self._conns):
             try:
                 conn.send(request)
@@ -924,7 +929,7 @@ class ShardedQueryExecutor:
                     f"{exc}"
                 ) from exc
 
-    def _recv(self, k: int):
+    def _recv(self, k: int) -> tuple[Any, ...]:
         conn = self._conns[k]
         proc = self._procs[k]
         deadline = time.monotonic() + self._timeout

@@ -186,6 +186,9 @@ class VectorSpaceRetriever:
                 for doc_id, weighted in self._weighted_entity_postings(uri):
                     entity_scores[doc_id] = entity_scores.get(doc_id, 0.0) + weighted
 
+        # repro: lint-ok[determinism] every consumer re-sorts with the
+        # total (-score, doc_id) key (_match_order), so emission order
+        # here cannot reach a ranking
         for doc_id in term_scores.keys() | entity_scores.keys():
             t_score = term_scores.get(doc_id, 0.0)
             e_score = entity_scores.get(doc_id, 0.0)

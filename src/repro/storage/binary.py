@@ -58,8 +58,10 @@ import tempfile
 import zlib
 from array import array
 from collections.abc import Iterable, Sequence
+from typing import cast
 
 from repro.storage.jsonl import StorageFormatError
+from repro.storage.sections import offsets_name
 
 MAGIC = b"RPROBIN3"
 CONTAINER_VERSION = 1
@@ -107,8 +109,13 @@ def encode_values(dtype: str, data: object) -> bytes:
         values = data
         if dtype == "q" and values.itemsize != 8:
             values = array("q", values)
+    elif isinstance(data, Iterable):
+        items = cast("Iterable[int] | Iterable[float]", data)
+        values = array("q", items) if dtype == "q" else array("d", items)
     else:
-        values = array(dtype, data)  # type: ignore[arg-type]
+        raise TypeError(
+            f"cannot encode {type(data).__name__} as a {dtype!r} section"
+        )
     if not _LITTLE_ENDIAN:
         values = array(values.typecode, values)
         values.byteswap()
@@ -126,7 +133,7 @@ def pack_strings(
         blob += text.encode("utf-8")
         offsets.append(len(blob))
     return [
-        (f"{name}#off", "q", encode_values("q", offsets)),
+        (offsets_name(name), "q", encode_values("q", offsets)),
         (name, "B", bytes(blob)),
     ]
 
@@ -309,7 +316,7 @@ class MappedSections:
             )
         return entry
 
-    def array(self, name: str):
+    def array(self, name: str) -> "memoryview | array":
         """The numeric section *name* as a zero-copy int64/float64 view
         (a byteswapped ``array`` copy on big-endian hosts)."""
         dtype, offset, length = self._section(name, ("q", "d"))
@@ -332,7 +339,7 @@ class MappedSections:
 
     def strings(self, name: str) -> list[str]:
         """Decode the string list packed by :func:`pack_strings`."""
-        offsets = self.array(f"{name}#off")
+        offsets = self.array(offsets_name(name))
         blob = self.blob(name)
         if len(offsets) == 0 or offsets[0] != 0 or offsets[-1] != len(blob):
             raise StorageFormatError(

@@ -7,7 +7,8 @@ and entity annotation over every node), so caching it pays the most.
 from __future__ import annotations
 
 import pathlib
-from collections.abc import Mapping
+from collections.abc import Iterator, Mapping
+from typing import Any
 
 from repro.index.analyzer import AnalyzedResource
 from repro.storage.jsonl import read_records, write_records
@@ -20,7 +21,7 @@ def save_corpus(
 ) -> int:
     """Write *corpus* to *path*; returns the record count."""
 
-    def records():
+    def records() -> Iterator[dict[str, Any]]:
         for node_id, analysis in corpus.items():
             yield {
                 "id": node_id,

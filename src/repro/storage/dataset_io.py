@@ -18,6 +18,8 @@ which are stored already crawled.
 from __future__ import annotations
 
 import pathlib
+from collections.abc import Iterator
+from typing import Any
 
 from repro.entity.annotator import EntityAnnotator
 from repro.index.analyzer import ResourceAnalyzer
@@ -53,7 +55,7 @@ def save_dataset(dataset: EvaluationDataset, directory: str | pathlib.Path) -> N
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
 
-    def meta_records():
+    def meta_records() -> Iterator[dict[str, Any]]:
         yield {
             "type": "dataset",
             "scale": dataset.scale.value,

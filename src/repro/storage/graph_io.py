@@ -14,6 +14,8 @@ can validate references as it goes):
 from __future__ import annotations
 
 import pathlib
+from collections.abc import Iterator
+from typing import Any
 
 from repro.socialgraph.graph import SocialGraph
 from repro.socialgraph.metamodel import (
@@ -29,7 +31,7 @@ from repro.storage.jsonl import StorageFormatError, read_records, write_records
 KIND = "social-graph"
 
 
-def _graph_records(graph: SocialGraph):
+def _graph_records(graph: SocialGraph) -> Iterator[dict[str, Any]]:
     yield {
         "type": "meta",
         "platform": graph.platform.value if graph.platform else None,

@@ -20,7 +20,7 @@ import os
 import pathlib
 import tempfile
 from collections.abc import Iterable, Iterator
-from typing import Any
+from typing import Any, TextIO
 
 FORMAT_VERSION = 1
 
@@ -30,7 +30,7 @@ class StorageFormatError(ValueError):
     incompatible, or its content is corrupt."""
 
 
-def _open_read(path: pathlib.Path):
+def _open_read(path: pathlib.Path) -> TextIO:
     if path.suffix == ".gz":
         return gzip.open(path, "rt", encoding="utf-8")
     return open(path, "r", encoding="utf-8")

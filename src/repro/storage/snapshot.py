@@ -61,7 +61,7 @@ import re
 import shutil
 import tempfile
 from array import array
-from collections.abc import Iterator, Mapping, MutableMapping
+from collections.abc import Callable, Iterator, Mapping, MutableMapping, Sequence
 from typing import Any
 
 from repro.core.config import FinderConfig
@@ -80,6 +80,7 @@ from repro.index.sharded import (
 )
 from repro.index.statistics import CollectionStatistics
 from repro.index.vsm import VectorSpaceRetriever, entity_weight
+from repro.storage import sections as layout
 from repro.storage.binary import (
     MappedSections,
     _fsync_directory,
@@ -109,36 +110,30 @@ MANIFEST_KIND = "finder-segment-manifest"
 SEGMENT_KIND = "finder-segment"
 SHARD_MANIFEST_KIND = "finder-shard-manifest"
 
-_META_FILE = "meta.jsonl"
-_TERM_FILE = "term_index.jsonl.gz"
-_ENTITY_FILE = "entity_index.jsonl.gz"
-_EVIDENCE_FILE = "evidence.jsonl.gz"
-_MANIFEST_FILE = "segments.jsonl"
-_BUFFER_FILE = "buffer.jsonl.gz"
+# layout names come from the repro.storage.sections registry (enforced
+# by the section-registry lint rule); local aliases keep call sites short
+_META_FILE = layout.META_FILE
+_TERM_FILE = layout.TERM_FILE
+_ENTITY_FILE = layout.ENTITY_FILE
+_EVIDENCE_FILE = layout.EVIDENCE_FILE
+_MANIFEST_FILE = layout.MANIFEST_FILE
+_BUFFER_FILE = layout.BUFFER_FILE
 
-_CURRENT_FILE = "CURRENT"
+_CURRENT_FILE = layout.CURRENT_FILE
 _CURRENT_MAGIC = "repro-snapshot-v3"
 _GEN_PATTERN = re.compile(r"gen-(\d{7})")
-_INDEX_BIN = "index.bin"
-_ENGINE_BIN = "engine.bin"
-_BUFFER_BIN = "buffer.bin"
-_STATS_BIN = "stats.bin"
-_EVIDENCE_BIN = "evidence.bin"
-_SHARD_MANIFEST_FILE = "shards.jsonl"
+_INDEX_BIN = layout.INDEX_BIN
+_ENGINE_BIN = layout.ENGINE_BIN
+_BUFFER_BIN = layout.BUFFER_BIN
+_STATS_BIN = layout.STATS_BIN
+_EVIDENCE_BIN = layout.EVIDENCE_BIN
+_SHARD_MANIFEST_FILE = layout.SHARD_MANIFEST_FILE
 
 _INDEX_MODES = ("monolithic", "segmented", "sharded")
 
-
-def _segment_file(segment_id: int) -> str:
-    return f"segment-{segment_id:04d}.jsonl.gz"
-
-
-def _segment_bin(segment_id: int) -> str:
-    return f"segment-{segment_id:04d}.bin"
-
-
-def _shard_bin(shard: int) -> str:
-    return f"shard-{shard:04d}.bin"
+_segment_file = layout.segment_file
+_segment_bin = layout.segment_bin
+_shard_bin = layout.shard_bin
 
 
 _CONFIG_FIELDS = (
@@ -304,7 +299,7 @@ def _manifest_records(
     segmented: SegmentedIndex,
     segments: tuple[Segment, ...],
     buffer: _WriteBuffer,
-    segment_name,
+    segment_name: Callable[[int], str],
     buffer_name: str,
 ) -> Iterator[dict[str, Any]]:
     yield {
@@ -403,8 +398,10 @@ def _block_sections(
         bmax.extend(maxima)
         boff.extend(offs)
         blkoff.append(len(bid))
-    return [(f"{prefix}#bid", "q", bid), (f"{prefix}#bmax", bmax_dtype, bmax),
-            (f"{prefix}#blkoff", "q", blkoff), (f"{prefix}#boff", "q", boff)]
+    return [(layout.block_name(prefix, "bid"), "q", bid),
+            (layout.block_name(prefix, "bmax"), bmax_dtype, bmax),
+            (layout.block_name(prefix, "blkoff"), "q", blkoff),
+            (layout.block_name(prefix, "boff"), "q", boff)]
 
 
 def _slice_sections(
@@ -452,9 +449,9 @@ def _slice_sections(
             tdoc.append(d)
             ttf.append(tf)
         toff.append(len(tdoc))
-    sections += pack_strings("terms", terms)
-    sections += [("term#off", "q", toff), ("term#doc", "q", tdoc),
-                 ("term#tf", "q", ttf)]
+    sections += pack_strings(layout.TERMS, terms)
+    sections += [(layout.TERM_OFF, "q", toff), (layout.TERM_DOC, "q", tdoc),
+                 (layout.TERM_TF, "q", ttf)]
 
     entities: list[str] = []
     entity_blocks: list[tuple] = []
@@ -482,11 +479,12 @@ def _slice_sections(
             ewe.append(we)
             eds.append(ds)
         eoff.append(len(edoc))
-    sections += pack_strings("entities", entities)
-    sections += [("ent#off", "q", eoff), ("ent#doc", "q", edoc),
-                 ("ent#ef", "q", eef), ("ent#we", "d", ewe), ("ent#ds", "d", eds)]
+    sections += pack_strings(layout.ENTITIES, entities)
+    sections += [(layout.ENT_OFF, "q", eoff), (layout.ENT_DOC, "q", edoc),
+                 (layout.ENT_EF, "q", eef), (layout.ENT_WE, "d", ewe),
+                 (layout.ENT_DS, "d", eds)]
     if block_span is not None:
-        sections += [("blk#span", "q", array("l", [block_span]))]
+        sections += [(layout.BLOCK_SPAN, "q", array("l", [block_span]))]
         sections += _block_sections("term", term_blocks, "q")
         sections += _block_sections("ent", entity_blocks, "d")
 
@@ -511,10 +509,10 @@ def _evidence_sections(evidence: Mapping[str, Any]) -> list[tuple[str, str, Any]
             vcand.append(cand_of[cid])
             vdist.append(distance)
         voff.append(len(vcand))
-    sections = [*pack_strings("resources", resources)]
-    sections += pack_strings("cands", cands)
-    sections += [("ev#off", "q", voff), ("ev#cand", "q", vcand),
-                 ("ev#dist", "q", vdist)]
+    sections = [*pack_strings(layout.RESOURCES, resources)]
+    sections += pack_strings(layout.CANDS, cands)
+    sections += [(layout.EV_OFF, "q", voff), (layout.EV_CAND, "q", vcand),
+                 (layout.EV_DIST, "q", vdist)]
     return sections
 
 
@@ -532,12 +530,12 @@ def _stats_sections(statistics: GlobalStatistics) -> list[tuple[str, str, Any]]:
         entities.append(uri)
         entity_df.append(df)
     sections: list[tuple[str, str, Any]] = [
-        ("stat#n", "q", array("l", [statistics.doc_count]))
+        (layout.STAT_N, "q", array("l", [statistics.doc_count]))
     ]
-    sections += pack_strings("terms", terms)
-    sections += [("term#df", "q", term_df)]
-    sections += pack_strings("entities", entities)
-    sections += [("ent#df", "q", entity_df)]
+    sections += pack_strings(layout.TERMS, terms)
+    sections += [(layout.TERM_DF, "q", term_df)]
+    sections += pack_strings(layout.ENTITIES, entities)
+    sections += [(layout.ENT_DF, "q", entity_df)]
     return sections
 
 
@@ -585,15 +583,16 @@ def _engine_sections(engine: ColumnarQueryEngine) -> list[tuple[str, str, Any]]:
             doc.extend(doc_col)
             weight.extend(weight_col)
             off.append(len(doc))
-        name = "terms" if prefix == "term" else "entities"
+        name = layout.TERMS if prefix == "term" else layout.ENTITIES
         sections += pack_strings(name, keys)
-        sections += [(f"{prefix}#off", "q", off), (f"{prefix}#doc", "q", doc),
-                     (f"{prefix}#w", "d", weight)]
+        sections += [(layout.csr(prefix, "off"), "q", off),
+                     (layout.csr(prefix, "doc"), "q", doc),
+                     (layout.csr(prefix, "w"), "d", weight)]
         sections += _block_sections(prefix, [blocks[k] for k in keys], "d")
-    sections += [("blk#span", "q", array("l", [engine.block_span]))]
-    sections += [("sup#off", "q", cols["sup_offsets"]),
-                 ("sup#cand", "q", cols["sup_cand"]),
-                 ("sup#w", "d", cols["sup_weight"])]
+    sections += [(layout.BLOCK_SPAN, "q", array("l", [engine.block_span]))]
+    sections += [(layout.SUP_OFF, "q", cols["sup_offsets"]),
+                 (layout.SUP_CAND, "q", cols["sup_cand"]),
+                 (layout.SUP_W, "d", cols["sup_weight"])]
     return sections
 
 
@@ -882,7 +881,7 @@ def _load_segmented(
     manifest_path = directory / _MANIFEST_FILE
     header, entries, buffer_entry = _read_manifest(manifest_path)
 
-    def load_entry(entry: dict[str, Any], path: pathlib.Path):
+    def load_entry(entry: dict[str, Any], path: pathlib.Path) -> Segment:
         term_index, entity_index, evidence = _load_slice(path)
         if term_index.document_count != entry["docs"]:
             raise StorageFormatError(
@@ -951,8 +950,10 @@ class _LazyEvidence(MutableMapping):
 
     __slots__ = ("_hydrate", "_data")
 
-    def __init__(self, hydrate):
-        self._hydrate = hydrate
+    def __init__(
+        self, hydrate: Callable[[], dict[str, list[tuple[str, int]]]]
+    ):
+        self._hydrate: Callable[[], dict[str, list[tuple[str, int]]]] | None = hydrate
         self._data: dict[str, list[tuple[str, int]]] | None = None
 
     def _ensure(self) -> dict[str, list[tuple[str, int]]]:
@@ -963,19 +964,19 @@ class _LazyEvidence(MutableMapping):
             data = self._data = hydrate()
         return data
 
-    def __getitem__(self, key):
+    def __getitem__(self, key: str) -> list[tuple[str, int]]:
         return self._ensure()[key]
 
-    def __setitem__(self, key, value):
+    def __setitem__(self, key: str, value: list[tuple[str, int]]) -> None:
         self._ensure()[key] = value
 
-    def __delitem__(self, key):
+    def __delitem__(self, key: str) -> None:
         del self._ensure()[key]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(self._ensure())
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self._ensure())
 
 
@@ -1003,32 +1004,36 @@ def _read_current(directory: pathlib.Path) -> pathlib.Path:
 
 def _csr(
     mapped: MappedSections, prefix: str, n_keys: int, columns: tuple[str, ...]
-):
+) -> tuple[Any, list[Any]]:
     """The offsets array + parallel column views of one CSR group, with
     the length cross-checks (per-element content is covered by the
     container checksum)."""
     path = mapped.path
-    off = mapped.array(f"{prefix}#off")
+    off_name = layout.csr(prefix, "off")
+    off = mapped.array(off_name)
     if len(off) != n_keys + 1:
         raise StorageFormatError(
-            f"{path}: section {prefix}#off has {len(off)} offsets "
+            f"{path}: section {off_name} has {len(off)} offsets "
             f"for {n_keys} key(s)"
         )
-    views = [mapped.array(f"{prefix}#{column}") for column in columns]
+    views = [mapped.array(layout.csr(prefix, column)) for column in columns]
     total = len(views[0])
     if off[0] != 0 or off[n_keys] != total:
         raise StorageFormatError(
-            f"{path}: section {prefix}#off does not span its columns"
+            f"{path}: section {off_name} does not span its columns"
         )
     for column, view in zip(columns[1:], views[1:]):
         if len(view) != total:
             raise StorageFormatError(
-                f"{path}: section {prefix}#{column} length {len(view)} != {total}"
+                f"{path}: section {layout.csr(prefix, column)} "
+                f"length {len(view)} != {total}"
             )
     return off, views
 
 
-def _col_dict(keys, off, views) -> dict[str, tuple]:
+def _col_dict(
+    keys: Sequence[str], off: Any, views: Sequence[Any]
+) -> dict[str, tuple]:
     out: dict[str, tuple] = {}
     for i, key in enumerate(keys):
         start, stop = off[i], off[i + 1]
@@ -1046,14 +1051,15 @@ def _read_blocks(
     a format error.
     """
     path = mapped.path
-    bid = mapped.array(f"{prefix}#bid")
-    bmax = mapped.array(f"{prefix}#bmax")
-    blkoff = mapped.array(f"{prefix}#blkoff")
-    boff = mapped.array(f"{prefix}#boff")
+    blkoff_name = layout.block_name(prefix, "blkoff")
+    bid = mapped.array(layout.block_name(prefix, "bid"))
+    bmax = mapped.array(layout.block_name(prefix, "bmax"))
+    blkoff = mapped.array(blkoff_name)
+    boff = mapped.array(layout.block_name(prefix, "boff"))
     n = len(keys)
     if len(blkoff) != n + 1 or blkoff[0] != 0 or blkoff[n] != len(bid):
         raise StorageFormatError(
-            f"{path}: section {prefix}#blkoff does not span its blocks"
+            f"{path}: section {blkoff_name} does not span its blocks"
         )
     if len(bmax) != len(bid) or len(boff) != len(bid) + n:
         raise StorageFormatError(
@@ -1084,7 +1090,9 @@ def _decode_evidence(
     return evidence
 
 
-def _slice_hydrator(mapped: MappedSections, docs: list[str]):
+def _slice_hydrator(
+    mapped: MappedSections, docs: list[str]
+) -> Callable[[], tuple[InvertedIndex, EntityIndex]]:
     """A closure rebuilding the posting-object indexes of one mapped
     slice — run at most once, only when merges/re-saves need objects."""
 
@@ -1143,9 +1151,9 @@ def _load_v3_monolithic(
     # written doc-sorted); pre-block snapshots recompute lazily on first
     # pruned query — the recompute-on-absent compatibility rule
     block_kwargs: dict[str, Any] = {}
-    if "blk#span" in engine_mapped.names():
+    if layout.BLOCK_SPAN in engine_mapped.names():
         block_kwargs = {
-            "block_span": int(engine_mapped.array("blk#span")[0]),
+            "block_span": int(engine_mapped.array(layout.BLOCK_SPAN)[0]),
             "term_blocks": _read_blocks(engine_mapped, "term", terms),
             "entity_blocks": _read_blocks(engine_mapped, "ent", entities),
         }
@@ -1191,7 +1199,9 @@ def _load_v3_monolithic(
     return finder
 
 
-def _load_v3_segment(path: pathlib.Path, segment_id: int, entry: dict[str, Any]):
+def _load_v3_segment(
+    path: pathlib.Path, segment_id: int, entry: dict[str, Any]
+) -> Segment:
     mapped = MappedSections.open(path)
     docs = mapped.strings("docs")
     if len(docs) != entry["docs"]:
@@ -1211,9 +1221,9 @@ def _load_v3_segment(path: pathlib.Path, segment_id: int, entry: dict[str, Any])
             f"manifest says {entry['resources']}"
         )
     block_kwargs: dict[str, Any] = {}
-    if "blk#span" in mapped.names():
+    if layout.BLOCK_SPAN in mapped.names():
         block_kwargs = {
-            "block_span": int(mapped.array("blk#span")[0]),
+            "block_span": int(mapped.array(layout.BLOCK_SPAN)[0]),
             "term_blocks": _read_blocks(mapped, "term", terms),
             "entity_blocks": _read_blocks(mapped, "ent", entities),
         }
@@ -1229,7 +1239,7 @@ def _load_v3_segment(path: pathlib.Path, segment_id: int, entry: dict[str, Any])
     )
 
 
-def _load_v3_buffer(path: pathlib.Path, entry: dict[str, Any]):
+def _load_v3_buffer(path: pathlib.Path, entry: dict[str, Any]) -> _WriteBuffer:
     """The unsealed buffer rehydrates eagerly — it is small by
     construction (below the seal threshold) and mutable on the very next
     observe, so mapping it lazily buys nothing."""
@@ -1306,15 +1316,15 @@ def _load_v3_segmented(
 def _decode_stats(
     mapped: MappedSections, path: pathlib.Path, idf_exponent: float
 ) -> GlobalStatistics:
-    doc_count = int(mapped.array("stat#n")[0])
-    terms = mapped.strings("terms")
-    term_df = mapped.array("term#df")
+    doc_count = int(mapped.array(layout.STAT_N)[0])
+    terms = mapped.strings(layout.TERMS)
+    term_df = mapped.array(layout.TERM_DF)
     if len(term_df) != len(terms):
         raise StorageFormatError(
             f"{path}: {len(terms)} term(s) but {len(term_df)} df value(s)"
         )
-    entities = mapped.strings("entities")
-    entity_df = mapped.array("ent#df")
+    entities = mapped.strings(layout.ENTITIES)
+    entity_df = mapped.array(layout.ENT_DF)
     if len(entity_df) != len(entities):
         raise StorageFormatError(
             f"{path}: {len(entities)} entities but "

@@ -1,0 +1,13 @@
+# repro: lint-module[repro.index.fixture_determinism]
+"""Lint fixture: the deterministic spellings of the violation file."""
+
+
+def merge(term_scores: dict, entity_scores: dict) -> list:
+    out = []
+    for doc_id in sorted(term_scores.keys() | entity_scores.keys()):
+        out.append(doc_id)
+    ids = {1, 2, 3}
+    out.extend(sorted(ids))
+    total = sum(ids)  # order-free reductions over sets stay allowed
+    out.append(total)
+    return out

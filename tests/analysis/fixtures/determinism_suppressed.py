@@ -1,0 +1,12 @@
+# repro: lint-module[repro.index.fixture_determinism]
+"""Lint fixture: the same violations, suppressed with reasons."""
+
+
+def merge(term_scores: dict, entity_scores: dict) -> list:
+    out = []
+    # repro: lint-ok[determinism] fixture: consumers re-sort downstream
+    for doc_id in term_scores.keys() | entity_scores.keys():
+        out.append(doc_id)
+    ids = {1, 2, 3}
+    out.extend(list(ids))  # repro: lint-ok[determinism] fixture reason
+    return out

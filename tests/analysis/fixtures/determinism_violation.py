@@ -1,0 +1,17 @@
+# repro: lint-module[repro.index.fixture_determinism]
+"""Lint fixture: deliberate determinism violations (positive cases)."""
+
+import random  # entropy import in a scoring module
+
+
+def merge(term_scores: dict, entity_scores: dict) -> list:
+    out = []
+    for doc_id in term_scores.keys() | entity_scores.keys():  # set-order loop
+        out.append(doc_id)
+    ids = {1, 2, 3}
+    out.extend(list(ids))  # hash-order materialization
+    return out
+
+
+def jitter() -> float:
+    return random.random()  # entropy call site

@@ -1,0 +1,14 @@
+# repro: lint-module[repro.index.fixture_floateq]
+"""Lint fixture: the sanctioned float-comparison shapes."""
+
+
+def ub_slack(bound: float) -> float:
+    return bound * (1.0 + 1e-12)
+
+
+def prune(score: float, bound: float, tw: float, tf: float) -> bool:
+    if tf * tw <= ub_slack(score - bound):  # ordered compare through slack
+        return True
+    if score == 0.0:  # the exact-0.0 sentinel stays allowed
+        return False
+    return tf == 0  # int compares stay allowed

@@ -1,0 +1,7 @@
+# repro: lint-module[repro.index.fixture_floateq]
+"""Lint fixture: exact float comparison suppressed with a reason."""
+
+
+def prune(score: float, bound: float, tw: float, tf: float) -> bool:
+    # repro: lint-ok[float-equality] fixture: both sides same fold order
+    return tf * tw == score - bound

@@ -1,0 +1,10 @@
+# repro: lint-module[repro.index.fixture_floateq]
+"""Lint fixture: exact float-score comparisons."""
+
+
+def prune(score: float, bound: float, tw: float, tf: float) -> bool:
+    if tf * tw == score - bound:  # computed floats compared exactly
+        return True
+    if score != 0.5:  # nonzero float literal
+        return False
+    return float(score) == float(bound)  # float producers compared exactly

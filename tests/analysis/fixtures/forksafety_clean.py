@@ -1,0 +1,23 @@
+"""Lint fixture: module-level callables only — the sanctioned shape."""
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+from multiprocessing import Process
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _init_worker(seed: int) -> None:
+    pass
+
+
+def run(items: list) -> list:
+    with ProcessPoolExecutor(initializer=partial(_init_worker, 7)) as pool:
+        out = list(pool.map(_square, items))
+        pool.submit(_square, 2)
+        pool.submit(math.sqrt, 2.0)  # module-alias attribute stays allowed
+    Process(target=_square, args=(3,)).start()
+    return out

@@ -1,0 +1,26 @@
+"""Lint fixture: unpicklable callables crossing the fork seam."""
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import Process
+
+
+class Driver:
+    def start(self) -> None:
+        Process(target=self.handle).start()  # bound method
+
+    def handle(self) -> None:
+        pass
+
+
+def run(items: list) -> list:
+    square = lambda x: x * x  # noqa: E731
+    with ProcessPoolExecutor() as pool:
+        pool.submit(lambda: 1)  # lambda
+        out = list(pool.map(square, items))  # name bound to a lambda
+
+    def helper(x: int) -> int:
+        return x + 1
+
+    with ProcessPoolExecutor(initializer=lambda: None) as pool:  # lambda init
+        pool.submit(helper, 1)  # closure (nested def)
+    return out

@@ -1,0 +1,22 @@
+# repro: lint-module[repro.index.fixture_mmap]
+"""Lint fixture: the sanctioned read/copy-on-write shapes."""
+
+from array import array
+
+
+def read(sections) -> int:
+    view = sections.array("col")
+    total = 0
+    for value in view:  # reads through a view are fine
+        total += value
+    copy = array("q", view)  # copy first ...
+    copy[0] = total  # ... then mutate the copy freely
+    return copy[0]
+
+
+class Segment:
+    def __init__(self) -> None:
+        self._term_cols: dict = {}  # construction is sanctioned
+
+    def _pruned_term(self, term: str) -> None:
+        self._term_cols[term] = (1, 2)  # lazy block build is sanctioned

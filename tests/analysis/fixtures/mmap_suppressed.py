@@ -1,0 +1,13 @@
+# repro: lint-module[repro.index.fixture_mmap]
+"""Lint fixture: view/column mutations suppressed with reasons."""
+
+
+def tamper(sections) -> None:
+    view = sections.array("col")
+    view[0] = 1  # repro: lint-ok[mmap-discipline] fixture: scratch copy
+
+
+class Segment:
+    def grow(self, term: str) -> None:
+        # repro: lint-ok[mmap-discipline] fixture: migration shim
+        self._term_cols[term] = (1, 2)

@@ -1,0 +1,12 @@
+# repro: lint-module[repro.index.fixture_sections]
+"""Lint fixture: layout names drawn from the registry module."""
+
+from repro.storage import sections as layout
+
+
+def save(mapped, name: str) -> tuple:
+    offsets = mapped.array(layout.TERM_OFF)
+    stats = layout.STATS_BIN
+    shard = layout.shard_bin(0)
+    derived = layout.offsets_name(name)
+    return offsets, stats, shard, derived

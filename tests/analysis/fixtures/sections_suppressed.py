@@ -1,0 +1,7 @@
+# repro: lint-module[repro.index.fixture_sections]
+"""Lint fixture: layout literals suppressed with reasons."""
+
+
+def save(mapped) -> object:
+    # repro: lint-ok[section-registry] fixture: format-guard test literal
+    return mapped.array("term#off")

@@ -1,0 +1,99 @@
+"""Per-rule fixture tests: each custom rule is demonstrated by a
+positive fixture (the test fails if the checker is removed), a
+suppressed variant, and a clean variant."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import ALL_CHECKERS, lint_source
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+RULES = [
+    "determinism",
+    "fork-safety",
+    "mmap-discipline",
+    "float-equality",
+    "section-registry",
+]
+
+_FIXTURE_STEM = {
+    "determinism": "determinism",
+    "fork-safety": "forksafety",
+    "mmap-discipline": "mmap",
+    "float-equality": "floateq",
+    "section-registry": "sections",
+}
+
+
+def _lint_fixture(name: str):
+    path = FIXTURES / name
+    return lint_source(path, path.read_text(encoding="utf-8"), ALL_CHECKERS)
+
+
+def test_rule_names_registered():
+    assert sorted(c.rule for c in ALL_CHECKERS) == sorted(RULES)
+
+
+@pytest.mark.parametrize("rule", RULES)
+def test_violation_fixture_is_caught(rule):
+    result = _lint_fixture(f"{_FIXTURE_STEM[rule]}_violation.py")
+    hits = [f for f in result.findings if f.rule == rule]
+    assert hits, f"{rule}: violation fixture produced no findings"
+    for finding in hits:
+        assert finding.line > 0
+        assert finding.message
+
+
+@pytest.mark.parametrize("rule", RULES)
+def test_suppressed_fixture_is_silent(rule):
+    result = _lint_fixture(f"{_FIXTURE_STEM[rule]}_suppressed.py")
+    assert [f for f in result.findings if f.rule == rule] == []
+    assert result.suppressed > 0
+
+
+@pytest.mark.parametrize("rule", RULES)
+def test_clean_fixture_is_clean(rule):
+    result = _lint_fixture(f"{_FIXTURE_STEM[rule]}_clean.py")
+    assert result.findings == []
+    assert result.suppressed == 0
+
+
+def test_determinism_catches_every_seeded_class():
+    result = _lint_fixture("determinism_violation.py")
+    messages = " ".join(f.message for f in result.findings)
+    assert "unordered set expression" in messages
+    assert "materializes" in messages
+    assert "import of 'random'" in messages
+    assert "entropy" in messages
+
+
+def test_forksafety_describes_each_violation_kind():
+    result = _lint_fixture("forksafety_violation.py")
+    messages = " ".join(f.message for f in result.findings)
+    assert "lambda" in messages
+    assert "bound method" in messages
+    assert "inside another function" in messages
+
+
+def test_mmap_rule_separates_view_and_column_subrules():
+    result = _lint_fixture("mmap_violation.py")
+    messages = [f.message for f in result.findings]
+    assert any("memoryview" in m or "mapped" in m for m in messages)
+    assert any("column attribute" in m for m in messages)
+
+
+def test_floateq_exempts_zero_sentinel():
+    # the clean fixture contains `score == 0.0` and `tf == 0`
+    result = _lint_fixture("floateq_clean.py")
+    assert result.findings == []
+
+
+def test_sections_rule_names_the_registry():
+    result = _lint_fixture("sections_violation.py")
+    assert all(
+        "repro.storage.sections" in f.message
+        for f in result.findings
+        if f.rule == "section-registry"
+    )

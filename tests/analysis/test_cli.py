@@ -1,0 +1,62 @@
+"""``repro lint`` CLI: exit codes, report formats, cache flags."""
+
+import json
+
+from repro.cli import main
+
+VIOLATION = (
+    "# repro: lint-module[repro.index.fake]\n"
+    "def f(a: dict, b: dict) -> list:\n"
+    "    return list(a.keys() | b.keys())\n"
+)
+
+
+def _write(tmp_path, text=VIOLATION):
+    target = tmp_path / "scratch.py"
+    target.write_text(text)
+    return target
+
+
+def test_exit_zero_on_clean(tmp_path, capsys):
+    target = _write(tmp_path, "x = 1\n")
+    assert main(["lint", str(target), "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+def test_exit_one_on_findings(tmp_path, capsys):
+    target = _write(tmp_path)
+    assert main(["lint", str(target), "--no-cache"]) == 1
+    out = capsys.readouterr().out
+    assert "[determinism]" in out
+    assert "scratch.py:3" in out
+
+
+def test_exit_two_on_missing_path(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "nope"), "--no-cache"]) == 2
+    assert "lint:" in capsys.readouterr().err
+
+
+def test_json_format(tmp_path, capsys):
+    target = _write(tmp_path)
+    assert main(["lint", str(target), "--no-cache", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    assert payload["findings"][0]["rule"] == "determinism"
+    assert payload["findings"][0]["line"] == 3
+
+
+def test_cache_flag_roundtrip(tmp_path, capsys):
+    target = _write(tmp_path)
+    cache = tmp_path / "cache.json"
+    assert main(["lint", str(target), "--cache", str(cache)]) == 1
+    assert cache.exists()
+    assert main(["lint", str(target), "--cache", str(cache)]) == 1
+    out = capsys.readouterr().out
+    assert "(1 cached)" in out
+
+
+def test_exclude_flag(tmp_path, capsys):
+    _write(tmp_path)
+    code = main(["lint", str(tmp_path), "--no-cache", "--exclude", "scratch"])
+    assert code == 0

@@ -1,0 +1,39 @@
+"""The strict typing gate, exercised when the tools are installed.
+
+mypy and ruff ship in the ``dev`` extra and run unconditionally in the
+CI lint job; locally these tests simply skip when the tools are
+absent so the tier-1 suite stays dependency-free.
+"""
+
+import pathlib
+import shutil
+import subprocess
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_is_clean():
+    proc = subprocess.run(
+        ["mypy"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_is_clean():
+    paths = [p for p in ("src", "tests", "benchmarks") if (REPO_ROOT / p).exists()]
+    proc = subprocess.run(
+        ["ruff", "check", *paths],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
