@@ -1,0 +1,104 @@
+"""Talk to the expert finder over HTTP.
+
+Everything the library does in process, ``repro.serve`` also does over
+a socket. This script self-hosts a gateway on an ephemeral port
+(``GatewayHarness`` — the same helper the tests and benchmarks use),
+then walks the HTTP surface like a remote client would: readiness,
+single and batched queries, a streamed observe, a crowd routing plan,
+a hot reload, and the metrics document.
+
+    python examples/http_client.py
+
+Against a standalone server (``repro serve --snapshot dir``), the same
+requests work with ``curl`` — see the README's gateway quickstart.
+"""
+
+from repro import DatasetScale, ExpertFinder, FinderConfig, build_dataset
+from repro.serve import GatewayConfig, GatewayHarness
+from repro.serve.reload import build_service
+
+
+def main() -> None:
+    dataset = build_dataset(DatasetScale.TINY, seed=7)
+
+    def source():
+        finder = ExpertFinder.build(
+            dataset.merged_graph,
+            dataset.candidates_for(None),
+            dataset.analyzer,
+            FinderConfig(),
+            corpus=dataset.corpus,
+        )
+        return build_service(finder)
+
+    question = "who is the best freestyle swimmer"
+    with GatewayHarness(source, config=GatewayConfig(rate_limit=None)) as gw:
+        print(f"gateway listening on {gw.base_url}\n")
+
+        status, _, ready = gw.request("GET", "/readyz")
+        print(f"GET /readyz -> {status} {ready}")
+
+        status, _, body = gw.request(
+            "POST", "/v1/query", {"need": question, "top_k": 3}
+        )
+        print(f"\nPOST /v1/query {question!r} -> {status}")
+        for rank, expert in enumerate(body["experts"], start=1):
+            print(
+                f"  rank {rank}: {expert['candidate_id']} "
+                f"(score {expert['score']:.1f}, "
+                f"{expert['supporting_resources']} resources)"
+            )
+
+        needs = [question, "rock guitar chords", "homemade pasta recipe"]
+        status, _, body = gw.request(
+            "POST", "/v1/query/batch", {"needs": needs, "top_k": 1}
+        )
+        print(f"\nPOST /v1/query/batch ({len(needs)} needs) -> {status}")
+        for need, experts in zip(needs, body["results"]):
+            top = experts[0]["candidate_id"] if experts else "(nobody)"
+            print(f"  {need!r}: {top}")
+
+        status, _, body = gw.request(
+            "POST",
+            "/v1/observe",
+            {
+                "node_id": "live:tweet:1",
+                "text": "new personal best in the 100m freestyle final",
+                "supporters": [[dataset.person_ids[-1], 1]],
+                "language": "en",
+            },
+        )
+        print(f"\nPOST /v1/observe -> {status} indexed={body['indexed']}")
+
+        status, _, plan = gw.request(
+            "POST",
+            "/v1/crowd/route",
+            {"need": question, "strategy": "hybrid"},
+        )
+        print(
+            f"POST /v1/crowd/route -> {status} "
+            f"waves={plan['waves']} "
+            f"answer_probability={plan['answer_probability']:.2f}"
+        )
+
+        status, _, body = gw.request("POST", "/admin/reload")
+        print(
+            f"POST /admin/reload -> {status} "
+            f"now serving generation {body['generation']}"
+        )
+
+        status, _, metrics = gw.request("GET", "/v1/metrics")
+        service, gateway = metrics["service"], metrics["gateway"]
+        print(
+            f"\nGET /v1/metrics -> {status}: "
+            f"{gateway['requests_total']} requests, "
+            f"{service['queries']} queries served by generation "
+            f"{metrics['generation']} "
+            f"(hit rate {service['hit_rate']:.0%}, "
+            f"p95 {service['p95_latency_s'] * 1e3:.2f}ms)"
+        )
+    print("\ngateway stopped")
+
+
+if __name__ == "__main__":
+    main()

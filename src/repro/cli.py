@@ -8,6 +8,7 @@
     repro index --dataset data/small --out data/small.idx    # finder snapshot
     repro index --snapshot data/small.idx --compact --out data/small.opt
     repro serve-bench --dataset data/small --snapshot data/small.idx
+    repro serve --snapshot data/small.idx --port 8080        # HTTP gateway
     repro experiments --only tab3,fig7 --scale tiny          # reproduce paper
 
 Every subcommand also works without a saved dataset by generating one
@@ -236,6 +237,22 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     elapsed = time.time() - started
     stats = service.stats
     qps = stats.queries / elapsed if elapsed > 0 else float("inf")
+    if args.json:
+        # the same dict /v1/metrics serves under "service" — one
+        # serialization helper (ServiceStats.to_dict) for both surfaces
+        print(
+            json.dumps(
+                {
+                    "source": source,
+                    "elapsed_s": elapsed,
+                    "qps": qps,
+                    "service": stats.to_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     engine_label = (
         "segmented index"
         if finder.index_mode == "segmented"
@@ -269,6 +286,61 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             f"{stats.blocks_skipped} skipped "
             f"({stats.block_skip_rate:.0%} skip rate)"
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.service import ExpertSearchService
+    from repro.serve import GatewayConfig, ServeApp, run_gateway
+    from repro.serve.reload import build_service
+    from repro.storage.snapshot import snapshot_generation
+
+    engine = args.engine
+    cache_size = args.cache_size
+    label = None
+    if args.snapshot:
+        # Hot-reloadable: every (re)load reads the snapshot directory's
+        # CURRENT generation, so `repro index --out <same dir>` followed
+        # by SIGHUP or POST /admin/reload serves the new build.
+        snapshot_path = args.snapshot
+        if args.dataset:
+            analyzer = _load_dataset(args).analyzer
+        else:
+            from repro.synthetic.dataset import default_analyzer
+
+            analyzer = default_analyzer()
+
+        def source() -> ExpertSearchService:
+            finder = ExpertFinder.load(snapshot_path, analyzer)
+            return build_service(finder, engine=engine, cache_size=cache_size)
+
+        def label() -> str | None:  # noqa: F811 (one branch wins)
+            return snapshot_generation(snapshot_path)
+
+        reloadable = True
+    else:
+        dataset = _load_dataset(args)
+
+        def source() -> ExpertSearchService:
+            finder = _build_finder(dataset, args)
+            return build_service(finder, engine=engine, cache_size=cache_size)
+
+        reloadable = False
+    config = GatewayConfig(
+        rate_limit=args.rate_limit if args.rate_limit > 0 else None,
+        burst=args.burst,
+        max_batch_needs=args.max_batch_needs,
+    )
+    app = ServeApp(source, label=label, config=config, reloadable=reloadable)
+    try:
+        asyncio.run(run_gateway(app, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        pass
+    except ValueError as exc:
+        # e.g. object engine on a sharded snapshot
+        raise SystemExit(f"error: {exc}") from exc
     return 0
 
 
@@ -496,7 +568,66 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="segmented mode: buffer size (resources) at which it seals",
     )
+    p_serve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable stats (the same dict the gateway's "
+        "/v1/metrics endpoint serves) instead of the human summary",
+    )
     p_serve.set_defaults(func=_cmd_serve_bench)
+
+    p_gw = sub.add_parser(
+        "serve", help="run the HTTP serving gateway (repro.serve)"
+    )
+    _add_dataset_args(p_gw)
+    p_gw.add_argument("--host", default="127.0.0.1")
+    p_gw.add_argument("--port", type=int, default=8080)
+    p_gw.add_argument(
+        "--snapshot",
+        help="serve this snapshot directory; SIGHUP or POST /admin/reload "
+        "re-reads its CURRENT generation without dropping requests "
+        "(omit to build a finder in process — not reloadable)",
+    )
+    p_gw.add_argument("--platform", choices=sorted(_PLATFORMS), default="all")
+    p_gw.add_argument("--alpha", type=float, default=0.6)
+    p_gw.add_argument("--window", type=int, default=100)
+    p_gw.add_argument("--distance", type=int, default=2, choices=(0, 1, 2))
+    p_gw.add_argument(
+        "--engine",
+        choices=("columnar", "columnar-pruned", "object"),
+        default="columnar",
+        help="query engine for cache misses (object is invalid for "
+        "sharded snapshots)",
+    )
+    p_gw.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="when building in process: candidate shards for "
+        "scatter-gather batches (ignored with --snapshot, which carries "
+        "its own layout)",
+    )
+    p_gw.add_argument("--cache-size", type=int, default=1024)
+    p_gw.add_argument(
+        "--rate-limit",
+        type=float,
+        default=50.0,
+        help="per-client token-bucket refill rate in requests/second "
+        "(0 disables rate limiting)",
+    )
+    p_gw.add_argument(
+        "--burst",
+        type=float,
+        default=100.0,
+        help="token-bucket capacity (burst size) per client",
+    )
+    p_gw.add_argument(
+        "--max-batch-needs",
+        type=int,
+        default=256,
+        help="largest accepted /v1/query/batch request",
+    )
+    p_gw.set_defaults(func=_cmd_serve)
 
     p_lint = sub.add_parser(
         "lint",

@@ -19,11 +19,22 @@ finder with
   serving benchmarks and operational visibility.
 
 The service is deliberately synchronous and process-local — it is the
-unit a sharded/async tier would replicate, not that tier itself.
+unit a sharded/async tier would replicate, not that tier itself. It
+*is* safe to call from several threads (the HTTP gateway in
+:mod:`repro.serve` drives one service from an executor pool): a single
+re-entrant lock serializes every query, observe, and invalidation, so
+an observe can never interleave with a query's cache fill and leave a
+stale ranking behind. The lock deliberately also covers the finder
+compute — the compiled engines reuse per-instance scratch buffers
+(flat accumulators, touched lists), so finder evaluation is
+single-threaded by design; cross-core scaling comes from sharded
+scatter-gather worker processes, not from racing threads through one
+engine.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from collections.abc import Callable, Sequence
@@ -84,23 +95,62 @@ class ServiceStats:
 
     @property
     def hit_rate(self) -> float:
+        """Cache hits per query — 0.0 before the first request."""
         return self.cache_hits / self.queries if self.queries else 0.0
 
     @property
     def block_skip_rate(self) -> float:
-        """Fraction of candidate blocks the pruned queries never scanned."""
+        """Fraction of candidate blocks the pruned queries never
+        scanned — 0.0 before the first pruned query."""
         total = self.blocks_scanned + self.blocks_skipped
         return self.blocks_skipped / total if total else 0.0
 
+    def to_dict(self) -> dict[str, float | int]:
+        """The stats as one flat JSON-ready mapping — the single
+        serialization the ``/v1/metrics`` gateway endpoint and
+        ``repro serve-bench --json`` both emit (so they cannot drift).
+        Includes the derived :attr:`hit_rate`/:attr:`block_skip_rate`
+        alongside the raw counters."""
+        return {
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_size": self.cache_size,
+            "hit_rate": self.hit_rate,
+            "observed": self.observed,
+            "invalidations": self.invalidations,
+            "cache_survivals": self.cache_survivals,
+            "p50_latency_s": self.p50_latency,
+            "p95_latency_s": self.p95_latency,
+            "segments": self.segments,
+            "buffered_docs": self.buffered_docs,
+            "compactions": self.compactions,
+            "pruned_queries": self.pruned_queries,
+            "fallback_queries": self.fallback_queries,
+            "blocks_scanned": self.blocks_scanned,
+            "blocks_skipped": self.blocks_skipped,
+            "block_skip_rate": self.block_skip_rate,
+            "batch_parallelism": self.batch_parallelism,
+        }
 
-def _percentile(sorted_values: Sequence[float], percentile: float) -> float:
-    """Nearest-rank percentile of an ascending-sorted sample (0 if empty)."""
-    if not sorted_values:
-        return 0.0
+
+def percentile(sorted_values: Sequence[float], percentile: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample.
+
+    An empty sample has no latencies to report yet, so every percentile
+    of it is 0.0 — asking for p95 before the first request must not
+    raise. An out-of-range *percentile* is a caller bug and raises even
+    on an empty sample."""
     if not 0.0 <= percentile <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {percentile}")
+    if not sorted_values:
+        return 0.0
     rank = max(1, -(-len(sorted_values) * percentile // 100))  # ceil
     return sorted_values[int(rank) - 1]
+
+
+#: compatibility alias (the helper predates its public export)
+_percentile = percentile
 
 
 class ExpertSearchService:
@@ -121,6 +171,12 @@ class ExpertSearchService:
                 f"max_latency_samples must be positive, got {max_latency_samples}"
             )
         self._finder = finder
+        # One lock for queries, observes, and invalidations: cache
+        # mutation must never interleave with an observe's invalidation,
+        # and the compiled engines' scratch buffers admit one evaluating
+        # thread at a time (see the module docstring). Re-entrant
+        # because observe() invalidates while already holding it.
+        self._lock = threading.RLock()
         self._cache: OrderedDict[tuple, tuple[ExpertScore, ...]] = OrderedDict()
         self._cache_size = cache_size
         self._clock = clock
@@ -181,22 +237,23 @@ class ExpertSearchService:
         text = need.text if isinstance(need, ExpertiseNeed) else need
         key = self._cache_key(text, alpha, window, top_k)
         started = self._clock()
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            self._hits += 1
-            result = list(cached)
-        else:
-            self._misses += 1
-            result = self._finder.find_experts(
-                need, top_k=top_k, alpha=alpha, window=window
-            )
-            if self._cache_size:
-                self._cache[key] = tuple(result)
-                if len(self._cache) > self._cache_size:
-                    self._cache.popitem(last=False)
-        self._queries += 1
-        self._record_latency(self._clock() - started)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                result = list(cached)
+            else:
+                self._misses += 1
+                result = self._finder.find_experts(
+                    need, top_k=top_k, alpha=alpha, window=window
+                )
+                if self._cache_size:
+                    self._cache[key] = tuple(result)
+                    if len(self._cache) > self._cache_size:
+                        self._cache.popitem(last=False)
+            self._queries += 1
+            self._record_latency(self._clock() - started)
         return result
 
     def find_experts_batch(
@@ -229,6 +286,23 @@ class ExpertSearchService:
                 for need in needs
             ]
         started = self._clock()
+        with self._lock:
+            return self._find_experts_batch_locked(
+                needs, started, top_k=top_k, alpha=alpha, window=window
+            )
+
+    def _find_experts_batch_locked(
+        self,
+        needs: Sequence[ExpertiseNeed | str],
+        started: float,
+        *,
+        top_k: int | None,
+        alpha: float | None,
+        window: int | float | None | EllipsisType,
+    ) -> list[list[ExpertScore]]:
+        finder = self._finder
+        sharded = finder.sharded_index
+        assert sharded is not None and sharded.executor is not None
         keys = [
             self._cache_key(
                 need.text if isinstance(need, ExpertiseNeed) else need,
@@ -296,34 +370,43 @@ class ExpertSearchService:
         language cut) changes no statistics and can never match a query
         — every cached result would be recomputed identically, so the
         cache survives (counted as a ``cache_survival``)."""
-        indexed = self._finder.observe(
-            node_id, text, supporters, language=language
-        )
-        self._observed += 1
-        if indexed:
-            self.invalidate()
-        else:
-            self._cache_survivals += 1
+        with self._lock:
+            indexed = self._finder.observe(
+                node_id, text, supporters, language=language
+            )
+            self._observed += 1
+            if indexed:
+                self.invalidate()
+            else:
+                self._cache_survivals += 1
         return indexed
 
     def invalidate(self) -> None:
         """Drop every cached result (counted in :attr:`stats`)."""
-        self._cache.clear()
-        self._invalidations += 1
+        with self._lock:
+            self._cache.clear()
+            self._invalidations += 1
 
     # -- introspection -------------------------------------------------------------
 
     @property
     def cached_results(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
-    def latency_percentile(self, percentile: float) -> float:
+    def latency_percentile(self, pct: float) -> float:
         """Nearest-rank latency percentile over the recorded samples
         (seconds; 0.0 before the first query)."""
-        return _percentile(sorted(self._latencies), percentile)
+        with self._lock:
+            ordered = sorted(self._latencies)
+        return percentile(ordered, pct)
 
     @property
     def stats(self) -> ServiceStats:
+        with self._lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> ServiceStats:
         ordered = sorted(self._latencies)
         index_stats = self._finder.index_stats
         pruning = self._finder.pruning_stats
@@ -334,8 +417,8 @@ class ExpertSearchService:
             cache_size=len(self._cache),
             observed=self._observed,
             invalidations=self._invalidations,
-            p50_latency=_percentile(ordered, 50),
-            p95_latency=_percentile(ordered, 95),
+            p50_latency=percentile(ordered, 50),
+            p95_latency=percentile(ordered, 95),
             cache_survivals=self._cache_survivals,
             segments=0 if index_stats is None else index_stats.segments,
             buffered_docs=0 if index_stats is None else index_stats.buffered,

@@ -103,6 +103,12 @@ class JurySelector:
         nobody is perfect and nobody is (quite) a coin flip."""
         if not 0.0 <= best_error <= worst_error <= 0.5:
             raise ValueError("need 0 <= best_error <= worst_error <= 0.5")
+        for cid, score in likert.items():
+            if not isinstance(score, int) or isinstance(score, bool) or not 1 <= score <= 7:
+                raise ValueError(
+                    f"likert score for {cid!r} must be an integer in 1..7, "
+                    f"got {score!r}"
+                )
         jurors = [
             JurorProfile(
                 candidate_id=cid,
@@ -116,6 +122,8 @@ class JurySelector:
         """The jury minimizing JER among odd-sized prefixes of the
         error-sorted pool that fit the *budget* (Cao et al.'s
         monotonicity makes prefixes sufficient)."""
+        if max_size is not None and max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
         limit = len(self._jurors) if max_size is None else min(max_size, len(self._jurors))
         best: JuryDecision | None = None
         members: list[JurorProfile] = []

@@ -1,0 +1,101 @@
+"""Per-client token-bucket rate limiting.
+
+Every client (keyed by the ``x-client-id`` header, falling back to the
+peer address) owns one bucket of *burst* tokens refilled continuously
+at *rate* tokens/second. A request spends one token (a batch spends one
+per need — it does that much work); when the bucket is dry the gateway
+answers 429 with a ``Retry-After`` telling the client when one token
+will have accrued.
+
+The limiter is only ever touched from the event-loop thread, so it
+needs no lock. Bucket state is two floats per client; to stay bounded
+under address churn the table evicts the least-recently-used *full*
+buckets first (a full bucket carries no information — a fresh client
+starts full), then the least-recently-used of the rest.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from collections.abc import Callable
+
+
+class TokenBucketLimiter:
+    """A table of per-client token buckets over one shared policy."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        max_clients: int = 4096,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive tokens/second, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must admit at least one request, got {burst}")
+        if max_clients < 1:
+            raise ValueError(f"max_clients must be positive, got {max_clients}")
+        self._rate = float(rate)
+        self._burst = float(burst)
+        self._clock = clock
+        self._max_clients = max_clients
+        #: client key → (tokens, last refill time); LRU order
+        self._buckets: OrderedDict[str, tuple[float, float]] = OrderedDict()
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    @property
+    def burst(self) -> float:
+        return self._burst
+
+    @property
+    def clients(self) -> int:
+        return len(self._buckets)
+
+    def try_acquire(self, key: str, cost: float = 1.0) -> float:
+        """Spend *cost* tokens from *key*'s bucket.
+
+        Returns 0.0 when admitted, otherwise the number of seconds
+        until one token will have accrued (the ``Retry-After`` value —
+        deliberately one token, not *cost*: a client over its burst
+        should retry soon and requeue, not stay silent for minutes).
+        """
+        if cost <= 0:
+            raise ValueError(f"cost must be positive, got {cost}")
+        now = self._clock()
+        state = self._buckets.get(key)
+        if state is None:
+            tokens = self._burst
+        else:
+            tokens, last = state
+            tokens = min(self._burst, tokens + (now - last) * self._rate)
+        if tokens >= cost:
+            self._buckets[key] = (tokens - cost, now)
+            self._buckets.move_to_end(key)
+            self._evict()
+            return 0.0
+        self._buckets[key] = (tokens, now)
+        self._buckets.move_to_end(key)
+        self._evict()
+        return max((1.0 - tokens) / self._rate, 1e-9)
+
+    def _evict(self) -> None:
+        if len(self._buckets) <= self._max_clients:
+            return
+        # pass 1: drop LRU clients whose buckets refilled to full —
+        # forgetting them loses nothing
+        now = self._clock()
+        for key in list(self._buckets):
+            if len(self._buckets) <= self._max_clients:
+                return
+            tokens, last = self._buckets[key]
+            if min(self._burst, tokens + (now - last) * self._rate) >= self._burst:
+                del self._buckets[key]
+        # pass 2: still over (every client mid-refill) — drop strict LRU
+        while len(self._buckets) > self._max_clients:
+            self._buckets.popitem(last=False)

@@ -1,0 +1,100 @@
+"""Gateway-side operational metrics.
+
+:class:`GatewayMetrics` counts what the HTTP layer adds on top of the
+service's own :class:`~repro.core.service.ServiceStats`: request and
+response totals, per-route wall-clock latency percentiles (measured
+around the whole dispatch, queueing included), the in-flight gauge,
+token-bucket rejections, and reload outcomes. All mutation happens on
+the event-loop thread, so plain ints suffice.
+
+``/v1/metrics`` serves ``{"service": ServiceStats.to_dict(), "gateway":
+GatewayMetrics.snapshot()}`` — the service half is the same helper
+``repro serve-bench --json`` emits, so the two surfaces cannot drift.
+"""
+
+from __future__ import annotations
+
+from repro.core.service import percentile
+
+#: per-route latency samples kept (the buffer halves itself when full,
+#: like the service's — recent traffic wins)
+_MAX_SAMPLES = 4096
+
+
+class RouteMetrics:
+    """Latency + count accounting of one route."""
+
+    __slots__ = ("requests", "errors", "_samples")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self._samples: list[float] = []
+
+    def record(self, elapsed: float, status: int) -> None:
+        self.requests += 1
+        if status >= 500:
+            self.errors += 1
+        if len(self._samples) >= _MAX_SAMPLES:
+            del self._samples[: len(self._samples) // 2]
+        self._samples.append(elapsed)
+
+    def snapshot(self) -> dict[str, float | int]:
+        ordered = sorted(self._samples)
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "p50_latency_s": percentile(ordered, 50),
+            "p95_latency_s": percentile(ordered, 95),
+        }
+
+
+class GatewayMetrics:
+    """Counters for one gateway process."""
+
+    def __init__(self) -> None:
+        self.requests_total = 0
+        self.responses_by_status: dict[int, int] = {}
+        self.rate_limited_total = 0
+        self.bad_requests_total = 0
+        self.in_flight = 0
+        self.reloads = 0
+        self.reload_failures = 0
+        self._routes: dict[str, RouteMetrics] = {}
+
+    def begin(self) -> None:
+        self.requests_total += 1
+        self.in_flight += 1
+
+    def end(self, route: str, status: int, elapsed: float) -> None:
+        self.in_flight -= 1
+        self.responses_by_status[status] = (
+            self.responses_by_status.get(status, 0) + 1
+        )
+        if status == 429:
+            self.rate_limited_total += 1
+        elif 400 <= status < 500:
+            self.bad_requests_total += 1
+        per_route = self._routes.get(route)
+        if per_route is None:
+            per_route = self._routes[route] = RouteMetrics()
+        per_route.record(elapsed, status)
+
+    def snapshot(self) -> dict[str, object]:
+        """The gateway half of the ``/v1/metrics`` payload."""
+        return {
+            "requests_total": self.requests_total,
+            "responses_by_status": {
+                str(status): count
+                for status, count in sorted(self.responses_by_status.items())
+            },
+            "rate_limited_total": self.rate_limited_total,
+            "bad_requests_total": self.bad_requests_total,
+            "in_flight": self.in_flight,
+            "reloads": self.reloads,
+            "reload_failures": self.reload_failures,
+            "routes": {
+                name: route.snapshot()
+                for name, route in sorted(self._routes.items())
+            },
+        }

@@ -1525,6 +1525,20 @@ def _load_v3(
         raise StorageFormatError(f"{directory}: malformed snapshot: {exc}") from exc
 
 
+def snapshot_generation(directory: str | pathlib.Path) -> str | None:
+    """The name of the v3 generation the snapshot's ``CURRENT`` pointer
+    selects (e.g. ``"gen-0000002"``), or ``None`` for the flat jsonl
+    layout (which has no generations).
+
+    The serving gateway (:mod:`repro.serve`) reports this label per
+    loaded generation, so operators can tell *which* snapshot state a
+    hot-reloaded process is answering from."""
+    directory = pathlib.Path(directory)
+    if not (directory / _CURRENT_FILE).exists():
+        return None
+    return _read_current(directory).name
+
+
 def load_finder(
     directory: str | pathlib.Path, analyzer: ResourceAnalyzer
 ) -> ExpertFinder:

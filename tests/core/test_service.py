@@ -1,10 +1,16 @@
 """Tests for the cached query-serving layer."""
 
+import threading
+
 import pytest
 
 from repro.core.config import FinderConfig
 from repro.core.expert_finder import ExpertFinder
-from repro.core.service import ExpertSearchService, normalize_need_text
+from repro.core.service import (
+    ExpertSearchService,
+    normalize_need_text,
+    percentile,
+)
 from repro.socialgraph.graph import SocialGraph
 from repro.socialgraph.metamodel import Platform, RelationKind, Resource, UserProfile
 
@@ -313,3 +319,150 @@ class TestShardedBatch:
         service = ExpertSearchService(sharded)
         service.find_experts_batch(queries)
         assert service.stats.batch_parallelism == 0.0
+
+
+class TestPercentile:
+    def test_empty_sample_is_zero(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([], 95) == 0.0
+
+    @pytest.mark.parametrize("pct", [-0.1, 100.1, 200])
+    def test_out_of_range_raises_even_on_empty(self, pct):
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([], pct)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([1.0, 2.0], pct)
+
+    def test_nearest_rank(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(sample, 0) == 1.0
+        assert percentile(sample, 50) == 2.0
+        assert percentile(sample, 75) == 3.0
+        assert percentile(sample, 76) == 4.0
+        assert percentile(sample, 100) == 4.0
+
+    def test_singleton(self):
+        assert percentile([7.0], 1) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+
+class TestStatsEdgeCases:
+    def test_all_gauges_defined_before_first_request(self, service):
+        stats = service.stats
+        assert stats.queries == 0
+        assert stats.hit_rate == 0.0
+        assert stats.block_skip_rate == 0.0
+        assert stats.p50_latency == 0.0
+        assert stats.p95_latency == 0.0
+        assert stats.batch_parallelism == 0.0
+
+    def test_latency_percentile_empty_and_bounds(self, service):
+        assert service.latency_percentile(95) == 0.0
+        with pytest.raises(ValueError):
+            service.latency_percentile(101)
+        service.find_experts("freestyle swimming")
+        assert service.latency_percentile(95) > 0.0
+
+    def test_to_dict_mirrors_stats(self, service):
+        service.find_experts("freestyle swimming")
+        service.find_experts("freestyle swimming")
+        stats = service.stats
+        as_dict = stats.to_dict()
+        assert as_dict["queries"] == stats.queries == 2
+        assert as_dict["cache_hits"] == stats.cache_hits == 1
+        assert as_dict["hit_rate"] == stats.hit_rate == 0.5
+        assert as_dict["p50_latency_s"] == stats.p50_latency
+        assert as_dict["p95_latency_s"] == stats.p95_latency
+        assert as_dict["block_skip_rate"] == stats.block_skip_rate
+
+    def test_to_dict_is_json_ready(self, service):
+        import json
+
+        service.find_experts("freestyle swimming")
+        parsed = json.loads(json.dumps(service.stats.to_dict()))
+        assert parsed["queries"] == 1
+
+
+class TestThreadSafety:
+    """The service is shared by gateway executor threads: concurrent
+    queries and observes must never corrupt the cache, the counters, or
+    the engines' shared scratch buffers."""
+
+    def test_concurrent_queries_and_observes(self, finder):
+        finder.engine = "columnar"
+        service = ExpertSearchService(finder, cache_size=8)
+        needs = [
+            "freestyle swimming",
+            "rock guitar",
+            "pasta recipe",
+            "theremin concert",
+        ]
+        errors: list[Exception] = []
+        barrier = threading.Barrier(len(needs) + 1)
+
+        def query_worker(need: str) -> None:
+            try:
+                barrier.wait(10.0)
+                for _ in range(25):
+                    experts = service.find_experts(need)
+                    ids = [e.candidate_id for e in experts]
+                    assert len(ids) == len(set(ids))
+                    assert all(
+                        e.supporting_resources >= 1 for e in experts
+                    )
+            except Exception as exc:  # surfaced below
+                errors.append(exc)
+
+        def observe_worker() -> None:
+            try:
+                barrier.wait(10.0)
+                for i in range(10):
+                    service.observe(
+                        f"obs:{i}",
+                        "another swimming race recap",
+                        [("alice", 1)],
+                    )
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=query_worker, args=(need,))
+            for need in needs
+        ]
+        threads.append(threading.Thread(target=observe_worker))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60.0)
+        assert errors == []
+        stats = service.stats
+        assert stats.queries == 100
+        assert stats.observed == 10
+        assert stats.cache_hits + stats.cache_misses == 100
+        assert len(service._latencies) == stats.queries
+
+    def test_concurrent_batches_share_the_cache(self, finder):
+        finder.engine = "columnar"
+        service = ExpertSearchService(finder, cache_size=32)
+        needs = ["freestyle swimming", "rock guitar"]
+        errors: list[Exception] = []
+
+        def batch_worker() -> None:
+            try:
+                for _ in range(10):
+                    results = service.find_experts_batch(needs)
+                    assert len(results) == len(needs)
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=batch_worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60.0)
+        assert errors == []
+        stats = service.stats
+        assert stats.queries == 80
+        # only the first computation of each need can miss
+        assert stats.cache_misses == len(needs)
+        assert stats.cache_hits == 80 - len(needs)

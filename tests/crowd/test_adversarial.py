@@ -1,0 +1,173 @@
+"""Adversarial inputs across the crowd modules.
+
+The gateway exposes routing, jury selection, and team formation to
+untrusted HTTP clients, so every malformed shape a client can produce
+must surface as a typed ``ValueError``/``KeyError`` (which the gateway
+maps to a structured 400) — never as a wrong answer or an unrelated
+crash deep inside an algorithm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import networkx as nx
+
+from repro.crowd.jury import JurorProfile, JurySelector, majority_error_rate
+from repro.crowd.routing import (
+    ContactModel,
+    QuestionRouter,
+    RoutingStrategy,
+    default_contact_models,
+)
+from repro.crowd.team_formation import SkillCoverageError, TeamFormation
+from repro.core.ranking import ExpertScore
+
+
+def _ranked(*cids: str) -> list[ExpertScore]:
+    return [
+        ExpertScore(candidate_id=cid, score=float(len(cids) - i), supporting_resources=1)
+        for i, cid in enumerate(cids)
+    ]
+
+
+# -- jury ------------------------------------------------------------------------
+
+
+class TestJuryAdversarial:
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            JurySelector([])
+
+    def test_error_rate_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            JurorProfile(candidate_id="a", error_rate=1.5)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            JurorProfile(candidate_id="a", error_rate=-0.1)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            JurorProfile(candidate_id="a", error_rate=0.2, cost=-1.0)
+
+    def test_majority_error_rate_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            majority_error_rate([])
+
+    @pytest.mark.parametrize("score", [0, 8, -3, 3.5, True, "5"])
+    def test_from_expertise_likert_out_of_range(self, score):
+        with pytest.raises(ValueError, match="1..7"):
+            JurySelector.from_expertise({"a": score})
+
+    def test_from_expertise_bad_error_bounds(self):
+        with pytest.raises(ValueError, match="worst_error"):
+            JurySelector.from_expertise({"a": 4}, best_error=0.4, worst_error=0.1)
+
+    @pytest.mark.parametrize("max_size", [0, -1, -100])
+    def test_select_max_size_below_one(self, max_size):
+        selector = JurySelector([JurorProfile("a", 0.1)])
+        with pytest.raises(ValueError, match="max_size"):
+            selector.select(max_size=max_size)
+
+    @pytest.mark.parametrize("budget", [0.0, -5.0])
+    def test_select_budget_admits_nobody(self, budget):
+        selector = JurySelector([JurorProfile("a", 0.1, cost=1.0)])
+        with pytest.raises(ValueError, match="budget"):
+            selector.select(budget=budget)
+
+    def test_select_still_works_after_validation(self):
+        selector = JurySelector.from_expertise({"a": 7, "b": 6, "c": 2})
+        decision = selector.select(max_size=3)
+        assert decision.members
+        assert 0.0 <= decision.jury_error_rate <= 1.0
+
+
+# -- routing ---------------------------------------------------------------------
+
+
+class TestRoutingAdversarial:
+    def test_empty_contact_models_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            QuestionRouter({})
+
+    def test_empty_ranking_rejected(self):
+        router = QuestionRouter(default_contact_models(["a"]))
+        with pytest.raises(ValueError, match="empty"):
+            router.plan([], RoutingStrategy.PARALLEL)
+
+    @pytest.mark.parametrize("top_k", [0, -2])
+    def test_nonpositive_top_k_rejected(self, top_k):
+        router = QuestionRouter(default_contact_models(["a"]))
+        with pytest.raises(ValueError, match="positive"):
+            router.plan(_ranked("a"), RoutingStrategy.SEQUENTIAL, top_k=top_k)
+
+    @pytest.mark.parametrize("wave_size", [0, -1])
+    def test_nonpositive_wave_size_rejected(self, wave_size):
+        router = QuestionRouter(default_contact_models(["a"]))
+        with pytest.raises(ValueError, match="positive"):
+            router.plan(
+                _ranked("a"), RoutingStrategy.HYBRID, wave_size=wave_size
+            )
+
+    @pytest.mark.parametrize("target", [0.0, 1.0, -0.5, 2.0])
+    def test_target_probability_out_of_open_interval(self, target):
+        router = QuestionRouter(default_contact_models(["a"]))
+        with pytest.raises(ValueError, match="target_probability"):
+            router.plan(
+                _ranked("a"),
+                RoutingStrategy.HYBRID,
+                target_probability=target,
+            )
+
+    def test_unknown_candidate_in_ranking(self):
+        router = QuestionRouter(default_contact_models(["a"]))
+        with pytest.raises(KeyError, match="stranger"):
+            router.plan(_ranked("a", "stranger"), RoutingStrategy.PARALLEL)
+
+    def test_contact_model_bounds(self):
+        with pytest.raises(ValueError, match="answer_probability"):
+            ContactModel(answer_probability=1.2, response_time=1.0)
+        with pytest.raises(ValueError, match="response_time"):
+            ContactModel(answer_probability=0.5, response_time=0.0)
+
+    def test_all_silent_contacts_plan_has_no_latency(self):
+        router = QuestionRouter(
+            {"a": ContactModel(answer_probability=0.0, response_time=1.0)}
+        )
+        plan = router.plan(_ranked("a"), RoutingStrategy.PARALLEL)
+        assert plan.answer_probability == 0.0
+        assert plan.expected_latency is None
+
+
+# -- team formation --------------------------------------------------------------
+
+
+class TestTeamAdversarial:
+    def test_empty_skill_map_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            TeamFormation({}, nx.Graph())
+
+    def test_empty_required_skills_rejected(self):
+        formation = TeamFormation({"a": {"x"}}, nx.Graph())
+        with pytest.raises(ValueError, match="non-empty"):
+            formation.rarest_first([])
+        with pytest.raises(ValueError, match="non-empty"):
+            formation.greedy_cover([])
+
+    def test_unknown_skill_rejected_by_both_algorithms(self):
+        formation = TeamFormation({"a": {"x"}}, nx.Graph())
+        with pytest.raises(SkillCoverageError, match="quantum basket weaving"):
+            formation.rarest_first(["x", "quantum basket weaving"])
+        with pytest.raises(SkillCoverageError, match="quantum basket weaving"):
+            formation.greedy_cover(["x", "quantum basket weaving"])
+
+    def test_unknown_skill_is_a_value_error(self):
+        # the gateway maps ValueError → 400; SkillCoverageError must stay one
+        assert issubclass(SkillCoverageError, ValueError)
+
+    def test_candidates_off_graph_use_disconnected_penalty(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        formation = TeamFormation({"a": {"x"}, "ghost": {"y"}}, graph)
+        team = formation.rarest_first(["x", "y"])
+        assert team.members == frozenset({"a", "ghost"})
+        assert team.diameter_cost == TeamFormation.DISCONNECTED_PENALTY

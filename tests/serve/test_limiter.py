@@ -1,0 +1,115 @@
+"""Token-bucket limiter unit tests (driven by a fake clock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.limiter import TokenBucketLimiter
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestAdmission:
+    def test_burst_admitted_then_rejected(self, clock):
+        limiter = TokenBucketLimiter(1.0, 3.0, clock=clock)
+        assert [limiter.try_acquire("c") for _ in range(3)] == [0.0, 0.0, 0.0]
+        retry = limiter.try_acquire("c")
+        assert retry == pytest.approx(1.0)  # one token accrues in 1 s
+
+    def test_refill_readmits(self, clock):
+        limiter = TokenBucketLimiter(2.0, 1.0, clock=clock)
+        assert limiter.try_acquire("c") == 0.0
+        assert limiter.try_acquire("c") > 0.0
+        clock.advance(0.5)  # 2 tokens/s × 0.5 s = 1 token
+        assert limiter.try_acquire("c") == 0.0
+
+    def test_refill_caps_at_burst(self, clock):
+        limiter = TokenBucketLimiter(10.0, 2.0, clock=clock)
+        clock.advance(1000.0)
+        assert limiter.try_acquire("c", 2.0) == 0.0  # not 10 002 tokens
+        assert limiter.try_acquire("c") > 0.0
+
+    def test_clients_are_independent(self, clock):
+        limiter = TokenBucketLimiter(1.0, 1.0, clock=clock)
+        assert limiter.try_acquire("a") == 0.0
+        assert limiter.try_acquire("a") > 0.0
+        assert limiter.try_acquire("b") == 0.0
+
+    def test_batch_cost_spends_many_tokens(self, clock):
+        limiter = TokenBucketLimiter(1.0, 10.0, clock=clock)
+        assert limiter.try_acquire("c", cost=8.0) == 0.0
+        assert limiter.try_acquire("c", cost=8.0) > 0.0  # only 2 left
+        assert limiter.try_acquire("c", cost=2.0) == 0.0
+
+    def test_retry_after_reflects_partial_tokens(self, clock):
+        limiter = TokenBucketLimiter(2.0, 1.0, clock=clock)
+        limiter.try_acquire("c")
+        clock.advance(0.25)  # bucket holds 0.5 token
+        retry = limiter.try_acquire("c")
+        assert retry == pytest.approx(0.25)  # 0.5 missing / 2 per second
+
+    def test_rejection_does_not_consume_tokens(self, clock):
+        limiter = TokenBucketLimiter(1.0, 1.0, clock=clock)
+        limiter.try_acquire("c")
+        for _ in range(5):
+            limiter.try_acquire("c")  # rejected, must not dig a debt
+        clock.advance(1.0)
+        assert limiter.try_acquire("c") == 0.0
+
+
+class TestEviction:
+    def test_full_buckets_evicted_first(self, clock):
+        limiter = TokenBucketLimiter(1.0, 2.0, clock=clock, max_clients=2)
+        limiter.try_acquire("drained")
+        limiter.try_acquire("drained")  # now empty: carries state
+        clock.advance(0.1)
+        limiter.try_acquire("idle")  # 1 spent, refills quickly
+        clock.advance(10.0)  # "idle" is full again; "drained" refilled too
+        limiter.try_acquire("fresh")  # overflows the table
+        assert limiter.clients == 2
+        # both old buckets were full → pass 1 dropped the LRU one
+        assert limiter.try_acquire("fresh") == 0.0
+
+    def test_strict_lru_when_nothing_is_full(self, clock):
+        limiter = TokenBucketLimiter(0.001, 1.0, clock=clock, max_clients=2)
+        limiter.try_acquire("a")
+        limiter.try_acquire("b")
+        limiter.try_acquire("c")  # nobody refilled: LRU "a" is dropped
+        assert limiter.clients == 2
+        # "a" comes back as a fresh (full) bucket
+        assert limiter.try_acquire("a") == 0.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("rate", [0.0, -1.0])
+    def test_rate_must_be_positive(self, rate):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucketLimiter(rate, 1.0)
+
+    def test_burst_must_admit_one(self):
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucketLimiter(1.0, 0.5)
+
+    def test_max_clients_positive(self):
+        with pytest.raises(ValueError, match="max_clients"):
+            TokenBucketLimiter(1.0, 1.0, max_clients=0)
+
+    @pytest.mark.parametrize("cost", [0.0, -2.0])
+    def test_cost_must_be_positive(self, cost):
+        limiter = TokenBucketLimiter(1.0, 1.0)
+        with pytest.raises(ValueError, match="cost"):
+            limiter.try_acquire("c", cost=cost)

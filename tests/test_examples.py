@@ -61,6 +61,15 @@ class TestExamples:
         assert "new post 4" in out
         assert "resources indexed overall" in out
 
+    def test_http_client(self, capsys):
+        _run_example("http_client")
+        out = capsys.readouterr().out
+        assert "GET /readyz -> 200" in out
+        assert "rank 1:" in out
+        assert "POST /admin/reload -> 200" in out
+        assert "now serving generation 2" in out
+        assert "gateway stopped" in out
+
     def test_domain_analysis(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "tiny")
         _run_example("domain_analysis")
